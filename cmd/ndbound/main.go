@@ -1,0 +1,88 @@
+// Command ndbound computes the paper's fundamental neighbor-discovery
+// bounds for a given radio configuration.
+//
+// Usage:
+//
+//	ndbound [-omega µs] [-alpha r] [-eta d] [-etaE d -etaF d]
+//	        [-betamax b] [-S n] [-pc p] [-pf p]
+//
+// Examples:
+//
+//	ndbound -eta 0.01                 # all symmetric bounds at η = 1 %
+//	ndbound -etaE 0.02 -etaF 0.08     # asymmetric bound
+//	ndbound -eta 0.05 -S 100 -pc 0.01 # collision-constrained bound
+//	ndbound -eta 0.05 -S 3 -pf 0.0005 # Appendix B redundancy solution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/collision"
+	"repro/internal/core"
+	"repro/internal/textplot"
+	"repro/internal/timebase"
+)
+
+func main() {
+	var (
+		omega   = flag.Int64("omega", 36, "packet airtime ω in µs")
+		alpha   = flag.Float64("alpha", 1.0, "power ratio α = Ptx/Prx")
+		eta     = flag.Float64("eta", 0.01, "duty-cycle η for symmetric bounds")
+		etaE    = flag.Float64("etaE", 0, "duty-cycle of device E (asymmetric)")
+		etaF    = flag.Float64("etaF", 0, "duty-cycle of device F (asymmetric)")
+		betaMax = flag.Float64("betamax", 0, "channel-utilization cap βm (Theorem 5.6)")
+		s       = flag.Int("S", 0, "number of simultaneous transmitters")
+		pc      = flag.Float64("pc", 0.01, "collision-probability cap used with -S")
+		pf      = flag.Float64("pf", 0, "failure-rate target for Appendix B (needs -S)")
+	)
+	flag.Parse()
+
+	p := core.Params{Omega: timebase.Ticks(*omega), Alpha: *alpha}
+	if !p.Valid() {
+		fmt.Fprintf(os.Stderr, "ndbound: invalid radio parameters ω=%d α=%g\n", *omega, *alpha)
+		os.Exit(2)
+	}
+
+	fmt.Printf("Radio: ω = %v, α = %g\n\n", p.Omega, p.Alpha)
+	t := textplot.NewTable("bound", "inputs", "worst-case latency")
+
+	sec := func(ticks float64) string { return fmt.Sprintf("%.6g s", ticks/1e6) }
+
+	t.Add("symmetric (Thm 5.5)", fmt.Sprintf("η=%g", *eta), sec(p.Symmetric(*eta)))
+	t.Add("mutual-exclusive (Thm C.1)", fmt.Sprintf("η=%g", *eta), sec(p.MutualExclusive(*eta)))
+	t.Add("unidirectional (Thm 5.4)",
+		fmt.Sprintf("β=γ=η/2=%g", *eta/2), sec(p.Unidirectional(*eta/2, *eta/2)))
+	t.Add("slotted limit, Eq 18", fmt.Sprintf("η=%g", *eta), sec(p.SlottedZhengTime(*eta)))
+	t.Add("slotted limit, Eq 19", fmt.Sprintf("η=%g", *eta), sec(p.SlottedCodeTime(*eta)))
+
+	if *etaE > 0 && *etaF > 0 {
+		t.Add("asymmetric (Thm 5.7)", fmt.Sprintf("ηE=%g ηF=%g", *etaE, *etaF),
+			sec(p.Asymmetric(*etaE, *etaF)))
+	}
+	if *betaMax > 0 {
+		t.Add("constrained (Thm 5.6)", fmt.Sprintf("η=%g βm=%g", *eta, *betaMax),
+			sec(p.Constrained(*eta, *betaMax)))
+	}
+	if *s > 1 && *pf == 0 {
+		bm := core.MaxBetaForCollisionRate(*s, *pc)
+		t.Add("constrained by collisions (Fig 7)",
+			fmt.Sprintf("η=%g S=%d Pc≤%g → βm=%.4g", *eta, *s, *pc, bm),
+			sec(p.Constrained(*eta, bm)))
+	}
+	fmt.Print(t.String())
+
+	if *pf > 0 && *s > 1 {
+		sol, err := collision.SolveFractional(p, *eta, *pf, *s, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ndbound: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nAppendix B redundancy solution (η=%g, Pf=%g, S=%d):\n", *eta, *pf, *s)
+		fmt.Printf("  cover every offset %d times (+%0.2f fractional), β=%.4g, γ=%.4g\n",
+			sol.Q, sol.QFrac, sol.Beta, sol.Gamma)
+		fmt.Printf("  per-beacon Pc=%.4g, achieved Pf=%.4g, L' = %s\n",
+			sol.Pc, sol.Pf, sec(sol.Latency))
+	}
+}

@@ -1,0 +1,94 @@
+// Command ndeval regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	ndeval                   # run everything
+//	ndeval -exp table1       # Table 1
+//	ndeval -exp fig6         # Figure 6
+//	ndeval -exp fig7         # Figure 7
+//	ndeval -exp slotted      # Section 6.1.1 (Eq 18/19 vs Thm 5.5)
+//	ndeval -exp appb         # Appendix B worked example
+//	ndeval -exp achieve      # bound-achievability certification
+//	ndeval -exp mc           # Monte-Carlo Eq 12 validation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/timebase"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: all|table1|fig5|fig6|fig7|slotted|appb|achieve|mc|covmap|assist|ablate")
+		omega  = flag.Int64("omega", 36, "packet airtime ω in µs")
+		alpha  = flag.Float64("alpha", 1.0, "power ratio α")
+		trials = flag.Int("trials", 40, "Monte-Carlo trials for -exp mc")
+	)
+	flag.Parse()
+
+	p := core.Params{Omega: timebase.Ticks(*omega), Alpha: *alpha}
+	if !p.Valid() {
+		fmt.Fprintf(os.Stderr, "ndeval: invalid radio parameters\n")
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ndeval: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Println()
+	}
+
+	run("table1", func() (string, error) {
+		r, err := eval.RunTable1(p)
+		return r.Render(), err
+	})
+	run("fig6", func() (string, error) {
+		return eval.RunFigure6(p).Render(), nil
+	})
+	run("fig7", func() (string, error) {
+		return eval.RunFigure7(p).Render(), nil
+	})
+	run("slotted", func() (string, error) {
+		return eval.RunSlottedAlpha(p.Omega).Render(), nil
+	})
+	run("appb", func() (string, error) {
+		r, err := eval.RunAppendixB(p)
+		return r.Render(), err
+	})
+	run("achieve", func() (string, error) {
+		r, err := eval.RunAchievability(p)
+		return r.Render(), err
+	})
+	run("mc", func() (string, error) {
+		r, err := eval.RunCollisionMC(p, *trials)
+		return r.Render(), err
+	})
+	run("fig5", func() (string, error) {
+		r, err := eval.RunFigure5(p)
+		return r.Render(), err
+	})
+	run("covmap", func() (string, error) {
+		return eval.RenderCoverageMap(p)
+	})
+	run("assist", func() (string, error) {
+		r, err := eval.RunAssistance(p)
+		return r.Render(), err
+	})
+	run("ablate", func() (string, error) {
+		r, err := eval.RunAblations(p)
+		return r.Render(), err
+	})
+}

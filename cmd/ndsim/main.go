@@ -1,0 +1,163 @@
+// Command ndsim analyzes and simulates neighbor-discovery protocols.
+//
+// It builds a protocol schedule, measures its exact worst-case discovery
+// latency with the coverage engine, compares it against the fundamental
+// bound, and optionally Monte-Carlos a group of devices over a collision
+// channel.
+//
+// Usage:
+//
+//	ndsim -proto optimal  -eta 0.02
+//	ndsim -proto disco    -p1 37 -p2 43 -slot 5000
+//	ndsim -proto diffcode -q 7 -slot 5000
+//	ndsim -proto uconnect -p 11 -slot 5000
+//	ndsim -proto ble      -preset balanced
+//	ndsim -proto optimal  -eta 0.05 -group 10 -trials 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/optimal"
+	"repro/internal/protocols"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/timebase"
+)
+
+func main() {
+	var (
+		proto  = flag.String("proto", "optimal", "protocol: optimal|disco|diffcode|uconnect|searchlight|ble")
+		omega  = flag.Int64("omega", 36, "packet airtime ω in µs")
+		alpha  = flag.Float64("alpha", 1.0, "power ratio α")
+		eta    = flag.Float64("eta", 0.02, "duty-cycle (optimal)")
+		p1     = flag.Int("p1", 37, "Disco prime 1")
+		p2     = flag.Int("p2", 43, "Disco prime 2")
+		pp     = flag.Int("p", 11, "U-Connect prime")
+		q      = flag.Int("q", 7, "Diffcode order")
+		tt     = flag.Int("t", 16, "Searchlight period (slots)")
+		slot   = flag.Int64("slot", 5000, "slot length in µs (slotted protocols)")
+		preset = flag.String("preset", "balanced", "BLE preset: fast|balanced|lowpower")
+		group  = flag.Int("group", 0, "also run a group simulation with this many devices")
+		trials = flag.Int("trials", 30, "Monte-Carlo trials for -group")
+		jitter = flag.Int64("jitter", 0, "beacon jitter in µs for -group")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	p := core.Params{Omega: timebase.Ticks(*omega), Alpha: *alpha}
+	dev, name, bound, err := buildDevice(p, *proto, *eta, *p1, *p2, *pp, *q, *tt,
+		timebase.Ticks(*slot), *preset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Protocol: %s\n", name)
+	fmt.Printf("  β = %.5g (channel utilization), γ = %.5g, η = %.5g\n",
+		dev.B.Beta(), dev.C.Gamma(), dev.Eta(p.Alpha))
+
+	ana, err := coverage.Analyze(dev.B, dev.C, coverage.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndsim: analyze: %v\n", err)
+		os.Exit(1)
+	}
+	if !ana.Deterministic {
+		fmt.Printf("  NOT deterministic: %.4g%% of offsets covered\n", ana.CoveredFraction*100)
+	} else {
+		fmt.Printf("  worst-case latency: %v (mean %.6g s)\n",
+			ana.WorstLatency, ana.MeanLatency/1e6)
+		fmt.Printf("  minimal covering prefix M = %d beacons; disjoint=%v redundant=%v\n",
+			ana.MinimalPrefix, ana.Disjoint, ana.Redundant)
+		if bound > 0 {
+			fmt.Printf("  fundamental bound at achieved η: %.6g s → optimality ratio %.4g\n",
+				bound/1e6, core.OptimalityRatio(float64(ana.WorstLatency), bound))
+		}
+	}
+
+	if *group > 1 {
+		fmt.Printf("\nGroup simulation: S=%d devices, %d trials, collisions on, jitter %d µs\n",
+			*group, *trials, *jitter)
+		horizon := 20 * dev.B.Period
+		if ana.Deterministic && 10*ana.WorstLatency > horizon {
+			horizon = 10 * ana.WorstLatency
+		}
+		res, err := sim.GroupDiscovery(dev, *group, *trials, sim.Config{
+			Horizon:    horizon,
+			Collisions: true,
+			Jitter:     timebase.Ticks(*jitter),
+			Seed:       *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ndsim: group: %v\n", err)
+			os.Exit(1)
+		}
+		st := res.Latency
+		fmt.Printf("  pair latency: mean %.6g s, p95 %v, max %v\n",
+			st.Mean/1e6, st.P95, st.Max)
+		fmt.Printf("  failure rate within horizon: %.4g%%\n", st.FailureRate()*100)
+		fmt.Printf("  packet collision rate: %.4g%% (Eq 12 predicts %.4g%%)\n",
+			res.CollisionRate*100, core.CollisionProbability(*group, dev.B.Beta())*100)
+	}
+}
+
+func buildDevice(p core.Params, proto string, eta float64, p1, p2, pp, q, t int,
+	slot timebase.Ticks, preset string) (schedule.Device, string, float64, error) {
+	switch proto {
+	case "optimal":
+		pair, err := optimal.NewSymmetric(p.Omega, p.Alpha, eta)
+		if err != nil {
+			return schedule.Device{}, "", 0, err
+		}
+		etaAch := pair.E.Eta(p.Alpha)
+		return pair.E, fmt.Sprintf("optimal symmetric (η=%g)", eta), p.Symmetric(etaAch), nil
+	case "disco":
+		s, err := protocols.NewDisco(p1, p2, slot, p.Omega)
+		if err != nil {
+			return schedule.Device{}, "", 0, err
+		}
+		dev, err := s.DeviceFullDuplex()
+		return dev, s.Name, p.Symmetric(s.Eta(p.Alpha)), err
+	case "diffcode":
+		s, err := protocols.NewDiffcode(q, slot, p.Omega)
+		if err != nil {
+			return schedule.Device{}, "", 0, err
+		}
+		dev, err := s.DeviceFullDuplex()
+		return dev, s.Name, p.Symmetric(s.Eta(p.Alpha)), err
+	case "uconnect":
+		s, err := protocols.NewUConnect(pp, slot, p.Omega)
+		if err != nil {
+			return schedule.Device{}, "", 0, err
+		}
+		dev, err := s.DeviceFullDuplex()
+		return dev, s.Name, p.Symmetric(s.Eta(p.Alpha)), err
+	case "searchlight":
+		s, err := protocols.NewSearchlight(t, true, slot, p.Omega)
+		if err != nil {
+			return schedule.Device{}, "", 0, err
+		}
+		dev, err := s.DeviceFullDuplex()
+		return dev, s.Name, p.Symmetric(s.Eta(p.Alpha)), err
+	case "ble":
+		var cfg protocols.PI
+		switch preset {
+		case "fast":
+			cfg = protocols.BLEFastAdv
+		case "balanced":
+			cfg = protocols.BLEBalanced
+		case "lowpower":
+			cfg = protocols.BLELowPower
+		default:
+			return schedule.Device{}, "", 0, fmt.Errorf("unknown BLE preset %q", preset)
+		}
+		dev, err := cfg.Device()
+		return dev, cfg.Name, p.Symmetric(cfg.Eta(p.Alpha)), err
+	default:
+		return schedule.Device{}, "", 0, fmt.Errorf("unknown protocol %q", proto)
+	}
+}

@@ -1,0 +1,199 @@
+// Package collision solves the Appendix B trade-off of the paper: when S
+// devices discover each other simultaneously, beacons collide (Equation
+// 12), and a protocol can buy robustness by covering every initial offset
+// redundantly — a fraction q of offsets Q+1 times, the rest Q times
+// (Equation 32) — at the cost of a longer latency L′ (Equation 33). Given a
+// duty-cycle η, an acceptable failure rate Pf and a contender count S, the
+// solvers below find the redundancy degree and the transmit/receive split
+// that minimize L′.
+//
+// The paper gives this optimization implicitly ("numeric solutions are
+// feasible") and works one example; this package is the numeric solver, and
+// the test suite pins its output against the paper's example regime.
+package collision
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Solution is an operating point of the Appendix B trade-off.
+type Solution struct {
+	Q     int     // every offset covered at least Q times
+	QFrac float64 // fraction q of offsets covered Q+1 times (0 for integer solutions)
+
+	Beta  float64 // transmit duty-cycle = channel utilization
+	Gamma float64 // receive duty-cycle
+
+	Pc      float64 // per-beacon collision probability at Beta (Eq 12, S−2 interferers)
+	Pf      float64 // achieved failure rate (≤ the requested bound)
+	Latency float64 // L′ in ticks: (Q+q)·ω/(β·γ)
+}
+
+// Redundancy returns the effective redundancy degree R = Q + q.
+func (s Solution) Redundancy() float64 { return float64(s.Q) + s.QFrac }
+
+// betaGrid controls the resolution of the numeric search over β.
+const betaGrid = 4000
+
+// SolveIntegerQ finds, for q = 0 (every offset covered exactly Q times),
+// the integer Q and split β that minimize L′ = Q·ω/(βγ) subject to
+// Pc(β)^Q ≤ pf, for Q = 1..maxQ. This is the paper's "Assuming q = 0"
+// simplification.
+func SolveIntegerQ(p core.Params, eta, pf float64, s, maxQ int) (Solution, error) {
+	if err := checkArgs(p, eta, pf, s); err != nil {
+		return Solution{}, err
+	}
+	if maxQ < 1 {
+		return Solution{}, fmt.Errorf("collision: maxQ=%d must be ≥ 1", maxQ)
+	}
+	best := Solution{Latency: math.Inf(1)}
+	for q := 1; q <= maxQ; q++ {
+		sol, ok := bestBetaForQ(p, eta, pf, s, q, 0)
+		if ok && sol.Latency < best.Latency {
+			best = sol
+		}
+	}
+	if math.IsInf(best.Latency, 1) {
+		return Solution{}, fmt.Errorf("collision: no feasible (Q ≤ %d, β) meets Pf=%v for S=%d at η=%v", maxQ, pf, s, eta)
+	}
+	return best, nil
+}
+
+// SolveFractional optimizes over (Q, q, β) jointly: for every candidate β
+// it finds the smallest effective redundancy R = Q + q whose Equation 32
+// failure rate meets pf — q is solved from the linear interpolation
+// (1−q)·Pc^Q + q·Pc^(Q+1) = pf — and minimizes L′ = (Q+q)·ω/(βγ). This is
+// the theoretical optimum under the complete-decorrelation assumption, and
+// it reproduces the paper's Appendix B example (its "Q = 3" is the
+// q ≈ 0.73 fraction of offsets covered three times).
+func SolveFractional(p core.Params, eta, pf float64, s, maxQ int) (Solution, error) {
+	if err := checkArgs(p, eta, pf, s); err != nil {
+		return Solution{}, err
+	}
+	best := Solution{Latency: math.Inf(1)}
+	w := float64(p.Omega)
+	for i := 1; i < betaGrid; i++ {
+		beta := eta / p.Alpha * float64(i) / betaGrid
+		gamma := eta - p.Alpha*beta
+		if gamma <= 0 {
+			break
+		}
+		pc := collisionProb(s, beta)
+		bigQ, frac, ok := minimalRedundancy(pc, pf, maxQ)
+		if !ok {
+			continue
+		}
+		r := float64(bigQ) + frac
+		lat := r * w / (beta * gamma)
+		if lat < best.Latency {
+			best = Solution{
+				Q: bigQ, QFrac: frac,
+				Beta: beta, Gamma: gamma,
+				Pc: pc, Pf: core.RedundantFailureRate(frac, bigQ, s, beta),
+				Latency: lat,
+			}
+		}
+	}
+	if math.IsInf(best.Latency, 1) {
+		return Solution{}, fmt.Errorf("collision: no feasible β meets Pf=%v for S=%d at η=%v", pf, s, eta)
+	}
+	return best, nil
+}
+
+// minimalRedundancy returns the smallest (Q, q) meeting
+// (1−q)·pc^Q + q·pc^(Q+1) ≤ pf, minimizing the effective redundancy Q+q.
+func minimalRedundancy(pc, pf float64, maxQ int) (bigQ int, q float64, ok bool) {
+	if pc <= 0 {
+		return 1, 0, true // collisions impossible: single coverage suffices
+	}
+	if pc >= 1 {
+		return 0, 0, false // every beacon collides
+	}
+	// Smallest integer n with pc^n ≤ pf.
+	n := int(math.Ceil(math.Log(pf) / math.Log(pc)))
+	if n < 1 {
+		n = 1
+	}
+	if maxQ > 0 && n > maxQ+1 {
+		return 0, 0, false
+	}
+	if n == 1 {
+		return 1, 0, true
+	}
+	// Try to shave the last integer step: Q = n−1 with fractional q from
+	// the linear Equation 32.
+	pcQ := math.Pow(pc, float64(n-1))
+	pcQ1 := pcQ * pc
+	q = (pcQ - pf) / (pcQ - pcQ1)
+	if q >= 0 && q <= 1 {
+		return n - 1, q, true
+	}
+	return n, 0, true
+}
+
+// bestBetaForQ grid-searches β for a fixed integer Q with q = 0.
+func bestBetaForQ(p core.Params, eta, pf float64, s, q int, _ float64) (Solution, bool) {
+	w := float64(p.Omega)
+	best := Solution{Latency: math.Inf(1)}
+	found := false
+	for i := 1; i < betaGrid; i++ {
+		beta := eta / p.Alpha * float64(i) / betaGrid
+		gamma := eta - p.Alpha*beta
+		if gamma <= 0 {
+			break
+		}
+		pc := collisionProb(s, beta)
+		pfAt := math.Pow(pc, float64(q))
+		if pfAt > pf {
+			continue
+		}
+		lat := float64(q) * w / (beta * gamma)
+		if lat < best.Latency {
+			best = Solution{Q: q, Beta: beta, Gamma: gamma, Pc: pc, Pf: pfAt, Latency: lat}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// collisionProb is Equation 12 with S−2 relevant interferers (the two
+// devices of the discovering pair never collide with themselves).
+func collisionProb(s int, beta float64) float64 {
+	if s <= 2 {
+		return 0
+	}
+	return 1 - math.Exp(-2*float64(s-2)*beta)
+}
+
+func checkArgs(p core.Params, eta, pf float64, s int) error {
+	if !p.Valid() {
+		return fmt.Errorf("collision: invalid radio params %+v", p)
+	}
+	if eta <= 0 || eta >= 1 {
+		return fmt.Errorf("collision: η=%v out of range", eta)
+	}
+	if pf <= 0 || pf >= 1 {
+		return fmt.Errorf("collision: Pf=%v out of range", pf)
+	}
+	if s < 2 {
+		return fmt.Errorf("collision: S=%d must be ≥ 2", s)
+	}
+	return nil
+}
+
+// ConstrainedSeries evaluates Theorem 5.6 over a duty-cycle sweep for the
+// channel-utilization cap that keeps the per-beacon collision probability
+// of s simultaneous transmitters at or below pcMax — the construction
+// behind Figure 7. It returns, for each η, the latency bound in ticks, plus
+// the crossover duty-cycle 2αβm below which the constraint is inactive.
+func ConstrainedSeries(p core.Params, etas []float64, s int, pcMax float64) (latencies []float64, crossover float64) {
+	bm := core.MaxBetaForCollisionRate(s, pcMax)
+	latencies = make([]float64, len(etas))
+	for i, eta := range etas {
+		latencies[i] = p.Constrained(eta, bm)
+	}
+	return latencies, 2 * p.Alpha * bm
+}

@@ -1,0 +1,196 @@
+package collision
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/timebase"
+)
+
+// paperParams is the Appendix B worked example: ω = 36 µs, α = 1, η = 5 %,
+// Pf = 0.05 %, S = 3.
+var paperParams = core.Params{Omega: 36, Alpha: 1}
+
+func TestSolveIntegerQPaperExample(t *testing.T) {
+	sol, err := SolveIntegerQ(paperParams, 0.05, 0.0005, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports Q = 3, L′ = 0.1583 s, channel utilization 2.07 %.
+	// Under Eq 32/33 with q = 0 the optimum lands at Q = 2 with L′ ≈ 0.165 s
+	// (see EXPERIMENTS.md for the algebra); we pin the regime rather than
+	// the paper's irreproducible point values.
+	if sol.Q < 2 || sol.Q > 3 {
+		t.Errorf("Q = %d, want 2 or 3", sol.Q)
+	}
+	seconds := sol.Latency / 1e6
+	if seconds < 0.10 || seconds > 0.20 {
+		t.Errorf("L′ = %v s, want within [0.10, 0.20] (paper: 0.1583)", seconds)
+	}
+	if sol.Pf > 0.0005 {
+		t.Errorf("achieved Pf %v exceeds the bound", sol.Pf)
+	}
+	// Energy budget must be respected.
+	if got := sol.Beta + sol.Gamma; math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("β+γ = %v, want 0.05", got)
+	}
+}
+
+func TestSolveFractionalPaperExample(t *testing.T) {
+	sol, err := SolveFractional(paperParams, 0.05, 0.0005, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continuous optimum: R ≈ 2.3–2.8 (so ⌈R⌉ = 3, matching the paper's
+	// "optimal value of Q is 3"), β ≈ 2 %, L′ ≈ 0.14 s.
+	r := sol.Redundancy()
+	if r < 2.0 || r > 3.0 {
+		t.Errorf("R = %v, want within [2, 3]", r)
+	}
+	if sol.Beta < 0.015 || sol.Beta > 0.027 {
+		t.Errorf("β = %v, want ≈ 0.02 (paper: 0.0207)", sol.Beta)
+	}
+	seconds := sol.Latency / 1e6
+	if seconds < 0.12 || seconds > 0.17 {
+		t.Errorf("L′ = %v s, want ≈ 0.14 (paper: 0.1583)", seconds)
+	}
+	// Fractional relaxation can only improve on integer Q.
+	intSol, err := SolveIntegerQ(paperParams, 0.05, 0.0005, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Latency > intSol.Latency+1e-9 {
+		t.Errorf("fractional L′ %v worse than integer L′ %v", sol.Latency, intSol.Latency)
+	}
+}
+
+func TestTwoDevicesNeverCollide(t *testing.T) {
+	// S = 2: the discovering pair has no interferers, so Q = 1 and the
+	// optimal split is the unconstrained β = η/2α.
+	sol, err := SolveFractional(paperParams, 0.05, 0.0005, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Q != 1 || sol.QFrac != 0 {
+		t.Errorf("S=2 should need no redundancy: %+v", sol)
+	}
+	if sol.Pc != 0 || sol.Pf != 0 {
+		t.Errorf("S=2 collision stats nonzero: %+v", sol)
+	}
+	// L′ should approach the symmetric bound 4αω/η².
+	want := paperParams.Symmetric(0.05)
+	if math.Abs(sol.Latency-want)/want > 0.01 {
+		t.Errorf("S=2 latency %v, want ≈ %v", sol.Latency, want)
+	}
+}
+
+func TestMoreContendersNeedMoreRedundancy(t *testing.T) {
+	prevR := 0.0
+	prevL := 0.0
+	for _, s := range []int{3, 10, 50, 200} {
+		sol, err := SolveFractional(paperParams, 0.05, 0.0005, s, 50)
+		if err != nil {
+			t.Fatalf("S=%d: %v", s, err)
+		}
+		if sol.Redundancy() < prevR {
+			t.Errorf("S=%d: redundancy %v decreased from %v", s, sol.Redundancy(), prevR)
+		}
+		if sol.Latency < prevL {
+			t.Errorf("S=%d: latency %v decreased from %v", s, sol.Latency, prevL)
+		}
+		prevR, prevL = sol.Redundancy(), sol.Latency
+	}
+}
+
+func TestTighterFailureBoundCostsLatency(t *testing.T) {
+	loose, err := SolveFractional(paperParams, 0.05, 0.01, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := SolveFractional(paperParams, 0.05, 1e-5, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Latency <= loose.Latency {
+		t.Errorf("tight Pf should cost latency: %v vs %v", tight.Latency, loose.Latency)
+	}
+	if tight.Redundancy() <= loose.Redundancy() {
+		t.Errorf("tight Pf should need more redundancy: %v vs %v",
+			tight.Redundancy(), loose.Redundancy())
+	}
+}
+
+func TestSolveArgsValidation(t *testing.T) {
+	if _, err := SolveIntegerQ(paperParams, 0, 0.01, 3, 5); err == nil {
+		t.Error("η=0 accepted")
+	}
+	if _, err := SolveIntegerQ(paperParams, 0.05, 0, 3, 5); err == nil {
+		t.Error("Pf=0 accepted")
+	}
+	if _, err := SolveIntegerQ(paperParams, 0.05, 0.01, 1, 5); err == nil {
+		t.Error("S=1 accepted")
+	}
+	if _, err := SolveIntegerQ(paperParams, 0.05, 0.01, 3, 0); err == nil {
+		t.Error("maxQ=0 accepted")
+	}
+	if _, err := SolveIntegerQ(core.Params{}, 0.05, 0.01, 3, 5); err == nil {
+		t.Error("invalid radio params accepted")
+	}
+}
+
+func TestInfeasibleBudget(t *testing.T) {
+	// Absurdly tight failure bound with huge contention and tiny maxQ.
+	if _, err := SolveIntegerQ(paperParams, 0.05, 1e-12, 1000, 1); err == nil {
+		t.Error("infeasible configuration should error")
+	}
+}
+
+func TestConstrainedSeriesFigure7Shape(t *testing.T) {
+	// Figure 7: for Pc ≤ 1 %, small duty-cycles are unaffected; beyond the
+	// crossover (marked with circles in the paper) the bound departs from
+	// the unconstrained 4αω/η² curve by orders of magnitude.
+	etas := []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5}
+	for _, s := range []int{10, 100, 1000} {
+		lats, crossover := ConstrainedSeries(paperParams, etas, s, 0.01)
+		if crossover <= 0 {
+			t.Fatalf("S=%d: bad crossover %v", s, crossover)
+		}
+		for i, eta := range etas {
+			unconstrained := paperParams.Symmetric(eta)
+			if eta <= crossover {
+				if math.Abs(lats[i]-unconstrained)/unconstrained > 1e-9 {
+					t.Errorf("S=%d η=%v: below crossover but bound differs", s, eta)
+				}
+			} else if lats[i] <= unconstrained {
+				t.Errorf("S=%d η=%v: above crossover but bound not degraded", s, eta)
+			}
+		}
+	}
+	// More transmitters → lower crossover and (at high η) worse latency.
+	lats10, cross10 := ConstrainedSeries(paperParams, etas, 10, 0.01)
+	lats1000, cross1000 := ConstrainedSeries(paperParams, etas, 1000, 0.01)
+	if cross1000 >= cross10 {
+		t.Errorf("crossover should shrink with S: %v vs %v", cross1000, cross10)
+	}
+	last := len(etas) - 1
+	if lats1000[last] <= lats10[last] {
+		t.Error("S=1000 should pay more latency at high duty-cycle")
+	}
+	// The paper reports degradation "by up to two orders of magnitude".
+	if ratio := lats1000[last] / paperParams.Symmetric(etas[last]); ratio < 50 {
+		t.Errorf("S=1000 at η=0.5: degradation ratio %v, expected ≫ 50", ratio)
+	}
+}
+
+func TestLatencyUnitsAreTicks(t *testing.T) {
+	sol, err := SolveIntegerQ(paperParams, 0.05, 0.0005, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity anchor: L′ must be comparable to the η=5 % symmetric bound
+	// 57600 ticks times the redundancy factor.
+	if sol.Latency < float64(50*timebase.Millisecond) || sol.Latency > float64(500*timebase.Millisecond) {
+		t.Errorf("L′ = %v ticks implausible", sol.Latency)
+	}
+}

@@ -1,0 +1,395 @@
+// Package core implements the paper's primary contribution: the complete
+// family of fundamental lower bounds on the worst-case latency of pairwise
+// deterministic neighbor discovery (Section 5), the slotted-protocol limits
+// derived from them (Section 6), and the relaxed-assumption variants from
+// Appendix A.
+//
+// Conventions:
+//
+//   - Latencies are returned in float64 ticks (microseconds), the same unit
+//     as timebase.Ticks; divide by 1e6 (or use timebase helpers) for seconds.
+//     Formulas produce fractional ticks, so the float type is deliberate.
+//   - Duty cycles β, γ, η and probabilities are dimensionless floats.
+//   - Out-of-domain inputs (non-positive duty cycles, β exceeding η/α, …)
+//     yield NaN, following the math package's convention; use the Valid
+//     methods for upfront validation.
+package core
+
+import (
+	"math"
+
+	"repro/internal/timebase"
+)
+
+// Params carries the radio constants every bound depends on: the packet
+// airtime ω and the transmit/receive power ratio α = Ptx/Prx.
+type Params struct {
+	Omega timebase.Ticks // packet airtime ω, in ticks
+	Alpha float64        // α = Ptx / Prx
+}
+
+// Valid reports whether the parameters are usable.
+func (p Params) Valid() bool {
+	return p.Omega > 0 && p.Alpha > 0 && !math.IsNaN(p.Alpha) && !math.IsInf(p.Alpha, 0)
+}
+
+func (p Params) omega() float64 { return float64(p.Omega) }
+
+func (p Params) nan() float64 { return math.NaN() }
+
+// MinBeacons is Theorem 4.3 (the Beaconing Theorem): the minimum number of
+// beacons M = ⌈TC / Σdk⌉ any beacon sequence needs to achieve deterministic
+// discovery against a reception window sequence with period tc and total
+// window time sumD per period.
+func MinBeacons(tc, sumD timebase.Ticks) int {
+	if tc <= 0 || sumD <= 0 {
+		return 0
+	}
+	return int(timebase.CeilDiv(tc, sumD))
+}
+
+// CoverageBound is Theorem 5.1: the lowest worst-case latency of any
+// (B∞, C∞) tuple, L = ⌈TC/Σdi⌉ · ω/β, in ticks.
+func (p Params) CoverageBound(tc, sumD timebase.Ticks, beta float64) float64 {
+	m := MinBeacons(tc, sumD)
+	if m == 0 || beta <= 0 || !p.Valid() {
+		return p.nan()
+	}
+	return float64(m) * p.omega() / beta
+}
+
+// Unidirectional is Theorem 5.4: the lowest worst-case latency for device F
+// (receive duty-cycle gammaF) to discover device E (transmit duty-cycle
+// betaE): L = ω / (βE · γF).
+func (p Params) Unidirectional(betaE, gammaF float64) float64 {
+	if !p.Valid() || betaE <= 0 || gammaF <= 0 || gammaF > 1 || betaE > 1 {
+		return p.nan()
+	}
+	return p.omega() / (betaE * gammaF)
+}
+
+// OptimalBeta returns the transmit duty-cycle β = η/(2α) that minimizes the
+// worst-case latency for a total duty-cycle η (from the proof of Theorem
+// 5.5). The corresponding receive share is γ = η/2.
+func (p Params) OptimalBeta(eta float64) float64 {
+	if !p.Valid() || eta <= 0 {
+		return p.nan()
+	}
+	return eta / (2 * p.Alpha)
+}
+
+// Symmetric is Theorem 5.5: no bidirectional ND protocol in which both
+// devices run duty-cycle η can guarantee a worst-case latency below
+// L = 4αω/η².
+func (p Params) Symmetric(eta float64) float64 {
+	if !p.Valid() || eta <= 0 || eta > 1+p.Alpha {
+		return p.nan()
+	}
+	return 4 * p.Alpha * p.omega() / (eta * eta)
+}
+
+// Asymmetric is Theorem 5.7: the lowest worst-case two-way latency for
+// devices with duty-cycles ηE and ηF is L = 4αω/(ηE·ηF). With ηE == ηF it
+// reduces to the symmetric bound.
+func (p Params) Asymmetric(etaE, etaF float64) float64 {
+	if !p.Valid() || etaE <= 0 || etaF <= 0 {
+		return p.nan()
+	}
+	return 4 * p.Alpha * p.omega() / (etaE * etaF)
+}
+
+// Constrained is Theorem 5.6: the symmetric bound when the channel
+// utilization must not exceed betaMax. Below the critical duty-cycle
+// η = 2α·βm the constraint is inactive; above it the latency degrades to
+// L = ω/(η·βm − α·βm²).
+func (p Params) Constrained(eta, betaMax float64) float64 {
+	if !p.Valid() || eta <= 0 || betaMax <= 0 {
+		return p.nan()
+	}
+	if eta <= 2*p.Alpha*betaMax {
+		return p.Symmetric(eta)
+	}
+	return p.omega() / (eta*betaMax - p.Alpha*betaMax*betaMax)
+}
+
+// MutualExclusive is Theorem C.1: when the quadruple of sequences exploits
+// the temporal correlation between B∞ and C∞ on each device (Appendix C),
+// one-way discovery (either E discovers F or F discovers E) is guaranteed
+// with L = 2αω/η² — a factor 2 below the symmetric two-way bound. This is
+// the tightest bound for all pairwise deterministic ND protocols.
+func (p Params) MutualExclusive(eta float64) float64 {
+	if !p.Valid() || eta <= 0 {
+		return p.nan()
+	}
+	return 2 * p.Alpha * p.omega() / (eta * eta)
+}
+
+// CollisionProbability is Equation 12 (unslotted ALOHA, following
+// Abramson): the probability that a beacon from a newly arriving sender
+// collides, when s senders each occupy the channel for a fraction beta of
+// the time: Pc = 1 − e^(−2(s−1)β).
+func CollisionProbability(s int, beta float64) float64 {
+	if s < 1 || beta < 0 {
+		return math.NaN()
+	}
+	if s == 1 {
+		return 0
+	}
+	return 1 - math.Exp(-2*float64(s-1)*beta)
+}
+
+// MaxBetaForCollisionRate inverts Equation 12: the largest channel
+// utilization βm such that s simultaneous senders keep the per-beacon
+// collision probability at or below pc.
+func MaxBetaForCollisionRate(s int, pc float64) float64 {
+	if s < 2 {
+		return math.Inf(1) // a lone sender never collides
+	}
+	if pc <= 0 || pc >= 1 {
+		return math.NaN()
+	}
+	return -math.Log(1-pc) / (2 * float64(s-1))
+}
+
+// --- Section 6: previously known protocols and slotted limits ---
+
+// SlottedZhengTime is Equation 18: the latency limit implied by the
+// k ≥ √T bound of Zheng et al. [17,16] once the slot length is pushed to
+// its theoretical minimum I = ω (full-duplex radio):
+// L ≥ ω(1 + 2α + α²)/η². Equals the fundamental symmetric bound iff α = 1.
+func (p Params) SlottedZhengTime(eta float64) float64 {
+	if !p.Valid() || eta <= 0 {
+		return p.nan()
+	}
+	a := p.Alpha
+	return p.omega() * (1 + 2*a + a*a) / (eta * eta)
+}
+
+// SlottedCodeTime is Equation 19: the corresponding limit for the
+// code-based schedules of Meng et al. [6,7], which send two packets per
+// active slot: L ≥ ω(½ + 2α + 2α²)/η². Equals the fundamental bound iff
+// α = ½.
+func (p Params) SlottedCodeTime(eta float64) float64 {
+	if !p.Valid() || eta <= 0 {
+		return p.nan()
+	}
+	a := p.Alpha
+	return p.omega() * (0.5 + 2*a + 2*a*a) / (eta * eta)
+}
+
+// SlottedChannelBound is Equation 21: the latency/duty-cycle/channel-
+// utilization limit of slotted protocols satisfying k ≥ √T, for slot
+// lengths large against ω: L ≥ ω/(ηβ − αβ²). It coincides with the
+// fundamental constrained bound (Theorem 5.6) whenever β ≤ η/(2α).
+func (p Params) SlottedChannelBound(eta, beta float64) float64 {
+	if !p.Valid() || eta <= 0 || beta <= 0 {
+		return p.nan()
+	}
+	den := eta*beta - p.Alpha*beta*beta
+	if den <= 0 {
+		return p.nan()
+	}
+	return p.omega() / den
+}
+
+// SlottedProtocol identifies a protocol row of Table 1.
+type SlottedProtocol int
+
+// The protocols whose worst-case latencies Table 1 reports.
+const (
+	Diffcodes    SlottedProtocol = iota // difference-set schedules, Zheng et al. [17]
+	Disco                               // Dutta & Culler [3]
+	SearchlightS                        // Searchlight-Striped, Bakht et al. [5]
+	UConnect                            // Kandhalu et al. [4]
+)
+
+// String returns the protocol's name as used in the paper.
+func (sp SlottedProtocol) String() string {
+	switch sp {
+	case Diffcodes:
+		return "Diffcodes"
+	case Disco:
+		return "Disco"
+	case SearchlightS:
+		return "Searchlight-S"
+	case UConnect:
+		return "U-Connect"
+	default:
+		return "unknown"
+	}
+}
+
+// Table1Latency evaluates the closed-form worst-case latency dm(β, η) of a
+// slotted protocol from Table 1 of the paper, for large slots (I ≫ ω) with
+// the slot length expressed through the channel utilization β.
+func (p Params) Table1Latency(proto SlottedProtocol, eta, beta float64) float64 {
+	if !p.Valid() || eta <= 0 || beta <= 0 {
+		return p.nan()
+	}
+	den := eta*beta - p.Alpha*beta*beta
+	if den <= 0 {
+		return p.nan()
+	}
+	w := p.omega()
+	switch proto {
+	case Diffcodes:
+		return w / den
+	case Disco:
+		return 8 * w / den
+	case SearchlightS:
+		return 2 * w / den
+	case UConnect:
+		inner := w * w * (8*eta - 8*p.Alpha*beta + 9)
+		if inner < 0 {
+			return p.nan()
+		}
+		num := 3*w + math.Sqrt(inner)
+		return num * num / (8 * w * den)
+	default:
+		return p.nan()
+	}
+}
+
+// --- Appendix A: relaxed assumptions ---
+
+// RadioOverheads models a non-ideal radio (Appendix A.2/A.5): effective
+// additional active durations for switching between sleep, transmit and
+// receive states, already weighted by the relative power draw of the
+// switching phase.
+type RadioOverheads struct {
+	DoTx   timebase.Ticks // sleep → transmit → sleep
+	DoRx   timebase.Ticks // sleep → receive → sleep
+	DoTxRx timebase.Ticks // transmit → receive
+	DoRxTx timebase.Ticks // receive → transmit
+}
+
+// OverheadBound is Equation 27 (Appendix A.2): the unidirectional bound for
+// a radio with switching overheads and a single reception window of length
+// d1 per period: L = (1/γ)·(1 + doRx/d1)·(ω + doTx)/β. Single-window
+// sequences minimize the overhead term, so this is the tightest non-ideal
+// bound.
+func (p Params) OverheadBound(o RadioOverheads, d1 timebase.Ticks, beta, gamma float64) float64 {
+	if !p.Valid() || beta <= 0 || gamma <= 0 || d1 <= 0 || o.DoRx < 0 || o.DoTx < 0 {
+		return p.nan()
+	}
+	return (1 / gamma) * (1 + float64(o.DoRx)/float64(d1)) * (p.omega() + float64(o.DoTx)) / beta
+}
+
+// TruncatedBound is Equation 28 (Appendix A.3): the coverage bound when
+// packets starting within the last ω of a window are lost, so each window
+// contributes only dk − ω of coverage: L = ⌈TC/Σ(dk−ω)⌉ · ω/β.
+func (p Params) TruncatedBound(tc timebase.Ticks, windows []timebase.Ticks, beta float64) float64 {
+	if !p.Valid() || tc <= 0 || beta <= 0 || len(windows) == 0 {
+		return p.nan()
+	}
+	var useful timebase.Ticks
+	for _, d := range windows {
+		if d <= p.Omega {
+			return p.nan() // a window shorter than ω can never receive
+		}
+		useful += d - p.Omega
+	}
+	return float64(timebase.CeilDiv(tc, useful)) * p.omega() / beta
+}
+
+// TruncatedBoundLimit is Equation 30: the limit of the truncated bound as
+// TC → ∞ with nC = 1, which recovers ω/(βγ) — Theorem 5.4 is therefore
+// unaffected by the truncation assumption.
+func (p Params) TruncatedBoundLimit(beta, gamma float64) float64 {
+	return p.Unidirectional(beta, gamma)
+}
+
+// WithLastPacket adds the airtime of the final, successful packet to a
+// latency bound (Appendix A.4): every bound grows by exactly ω and the
+// optimal β/γ split is unchanged.
+func (p Params) WithLastPacket(latency float64) float64 {
+	if math.IsNaN(latency) {
+		return latency
+	}
+	return latency + p.omega()
+}
+
+// SelfBlockingFailure is Equation 31 (Appendix A.5): when one device runs
+// both an optimal B∞ and C∞, exactly one of its own beacons overlaps one of
+// its reception windows per worst-case period, blocking
+// doTxRx + doRxTx + da of listening time; the resulting probability that a
+// remote packet is missed is that blocked time over the total listening
+// time M·Σdi per worst-case latency.
+func SelfBlockingFailure(o RadioOverheads, da timebase.Ticks, m int, sumD timebase.Ticks) float64 {
+	if m <= 0 || sumD <= 0 || da < 0 || o.DoTxRx < 0 || o.DoRxTx < 0 {
+		return math.NaN()
+	}
+	blocked := float64(o.DoTxRx + o.DoRxTx + da)
+	return blocked / (float64(m) * float64(sumD))
+}
+
+// --- Appendix B: redundant coverage under collisions ---
+
+// RedundantFailureRate is Equation 32: the probability that discovery is
+// not achieved within L′ when a fraction q of offsets is covered Q+1 times
+// and the rest Q times, each beacon colliding independently with
+// probability Pc = 1 − e^(−2(S−2)β):
+//
+//	Pf = (1−q)·Pc^Q + q·Pc^(Q+1)
+//
+// S−2 senders interfere because the two devices discovering each other
+// never collide with themselves.
+func RedundantFailureRate(q float64, bigQ int, s int, beta float64) float64 {
+	if bigQ < 1 || q < 0 || q > 1 || s < 2 || beta < 0 {
+		return math.NaN()
+	}
+	pc := 0.0
+	if s > 2 {
+		pc = 1 - math.Exp(-2*float64(s-2)*beta)
+	}
+	return (1-q)*math.Pow(pc, float64(bigQ)) + q*math.Pow(pc, float64(bigQ+1))
+}
+
+// RedundantLatency is Equation 33: the worst-case latency of a schedule
+// that covers every offset Q times, L(Pf) = ⌈Q·TC/Σdi⌉·ω/β. With a
+// single-window sequence (TC/Σd = 1/γ) this is ⌈Q/γ⌉·ω/β.
+func (p Params) RedundantLatency(bigQ int, gamma, beta float64) float64 {
+	if !p.Valid() || bigQ < 1 || gamma <= 0 || gamma > 1 || beta <= 0 {
+		return p.nan()
+	}
+	m := math.Ceil(float64(bigQ) / gamma)
+	return m * p.omega() / beta
+}
+
+// EtaForLatency inverts Theorem 5.5: the minimum symmetric duty-cycle
+// that admits a worst-case latency of l ticks, η = √(4αω/l).
+func (p Params) EtaForLatency(l float64) float64 {
+	if !p.Valid() || l <= 0 {
+		return p.nan()
+	}
+	return math.Sqrt(4 * p.Alpha * p.omega() / l)
+}
+
+// EtaProductForLatency inverts Theorem 5.7: the required product ηE·ηF for
+// a two-way worst case of l ticks. Any split of the product meets the
+// latency; the split determines who pays (see Figure 6).
+func (p Params) EtaProductForLatency(l float64) float64 {
+	if !p.Valid() || l <= 0 {
+		return p.nan()
+	}
+	return 4 * p.Alpha * p.omega() / l
+}
+
+// EtaForLatencyMutualExclusive inverts Theorem C.1: the minimum duty-cycle
+// for one-way mutual-exclusive discovery within l ticks, η = √(2αω/l).
+func (p Params) EtaForLatencyMutualExclusive(l float64) float64 {
+	if !p.Valid() || l <= 0 {
+		return p.nan()
+	}
+	return math.Sqrt(2 * p.Alpha * p.omega() / l)
+}
+
+// OptimalityRatio compares a protocol's measured worst-case latency to the
+// relevant fundamental bound; 1.0 means the protocol is optimal. Both
+// inputs are in ticks.
+func OptimalityRatio(measured, bound float64) float64 {
+	if bound <= 0 || math.IsNaN(bound) || math.IsNaN(measured) {
+		return math.NaN()
+	}
+	return measured / bound
+}

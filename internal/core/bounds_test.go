@@ -1,0 +1,449 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timebase"
+)
+
+// stdParams matches the paper's evaluation setup (ω = 36 µs, α = 1).
+var stdParams = Params{Omega: 36, Alpha: 1}
+
+func TestParamsValid(t *testing.T) {
+	if !stdParams.Valid() {
+		t.Error("standard params invalid")
+	}
+	bad := []Params{
+		{Omega: 0, Alpha: 1},
+		{Omega: 36, Alpha: 0},
+		{Omega: 36, Alpha: -1},
+		{Omega: 36, Alpha: math.NaN()},
+		{Omega: 36, Alpha: math.Inf(1)},
+	}
+	for i, p := range bad {
+		if p.Valid() {
+			t.Errorf("params %d should be invalid: %+v", i, p)
+		}
+	}
+}
+
+func TestMinBeacons(t *testing.T) {
+	cases := []struct {
+		tc, sumD timebase.Ticks
+		want     int
+	}{
+		{40, 10, 4},
+		{40, 12, 4},  // ⌈40/12⌉ = 4
+		{40, 13, 4},  // ⌈40/13⌉ = 4
+		{40, 14, 3},  // ⌈40/14⌉ = 3
+		{40, 40, 1},  // full-period window
+		{40, 100, 1}, // more listening than period still needs 1 beacon
+		{0, 10, 0},   // degenerate
+		{40, 0, 0},   // degenerate
+	}
+	for _, c := range cases {
+		if got := MinBeacons(c.tc, c.sumD); got != c.want {
+			t.Errorf("MinBeacons(%d, %d) = %d, want %d", c.tc, c.sumD, got, c.want)
+		}
+	}
+}
+
+func TestCoverageBound(t *testing.T) {
+	// TC=40, Σd=10 → M=4; β = ω/λ with λ=30, ω=36? Use direct numbers:
+	// β = 0.01 → L = 4·36/0.01 = 14400 ticks.
+	got := stdParams.CoverageBound(40, 10, 0.01)
+	if got != 14400 {
+		t.Errorf("CoverageBound = %v, want 14400", got)
+	}
+	if !math.IsNaN(stdParams.CoverageBound(40, 10, 0)) {
+		t.Error("β=0 should give NaN")
+	}
+}
+
+func TestUnidirectionalBound(t *testing.T) {
+	// L = ω/(β·γ): 36/(0.01·0.025) = 144000 ticks = 0.144 s.
+	got := stdParams.Unidirectional(0.01, 0.025)
+	if !almost(got, 144000) {
+		t.Errorf("Unidirectional = %v, want 144000", got)
+	}
+	for _, bad := range [][2]float64{{0, 0.1}, {0.1, 0}, {-0.1, 0.1}, {1.5, 0.5}, {0.5, 1.5}} {
+		if !math.IsNaN(stdParams.Unidirectional(bad[0], bad[1])) {
+			t.Errorf("Unidirectional(%v, %v) should be NaN", bad[0], bad[1])
+		}
+	}
+}
+
+func TestSymmetricBound(t *testing.T) {
+	// Thm 5.5: L = 4αω/η². η=5%, ω=36µs, α=1 → 4·36/0.0025 = 57600 µs.
+	got := stdParams.Symmetric(0.05)
+	if !almost(got, 57600) {
+		t.Errorf("Symmetric(0.05) = %v, want 57600", got)
+	}
+	// Symmetric bound equals Unidirectional at the optimal split β=η/2α, γ=η/2.
+	eta := 0.03
+	beta := stdParams.OptimalBeta(eta)
+	gamma := eta / 2
+	if !almostRel(stdParams.Symmetric(eta), stdParams.Unidirectional(beta, gamma), 1e-12) {
+		t.Error("Symmetric != Unidirectional at optimal split")
+	}
+}
+
+func TestOptimalBetaMinimizesUnidirectional(t *testing.T) {
+	// The split β = η/2α must beat any perturbed split for several α.
+	for _, alpha := range []float64{0.5, 1, 2, 5} {
+		p := Params{Omega: 36, Alpha: alpha}
+		eta := 0.04
+		best := p.OptimalBeta(eta)
+		lBest := p.Unidirectional(best, eta-alpha*best)
+		for _, f := range []float64{0.5, 0.8, 1.2, 1.5} {
+			b := best * f
+			gamma := eta - alpha*b
+			if gamma <= 0 {
+				continue
+			}
+			if l := p.Unidirectional(b, gamma); l < lBest-1e-9 {
+				t.Errorf("α=%v: perturbed split β=%v gives L=%v < optimal %v", alpha, b, l, lBest)
+			}
+		}
+	}
+}
+
+func TestAsymmetricBound(t *testing.T) {
+	// Thm 5.7: L = 4αω/(ηE·ηF); reduces to symmetric when equal.
+	if !almostRel(stdParams.Asymmetric(0.05, 0.05), stdParams.Symmetric(0.05), 1e-12) {
+		t.Error("Asymmetric(η,η) != Symmetric(η)")
+	}
+	got := stdParams.Asymmetric(0.08, 0.02)
+	want := 4.0 * 36 / (0.08 * 0.02)
+	if !almostRel(got, want, 1e-12) {
+		t.Errorf("Asymmetric = %v, want %v", got, want)
+	}
+	// Invariant: L · ηE · ηF = 4αω regardless of the split.
+	for _, pair := range [][2]float64{{0.01, 0.09}, {0.03, 0.07}, {0.05, 0.05}} {
+		l := stdParams.Asymmetric(pair[0], pair[1])
+		if !almostRel(l*pair[0]*pair[1], 4*36, 1e-9) {
+			t.Errorf("L·ηE·ηF invariant violated for %v", pair)
+		}
+	}
+}
+
+func TestConstrainedBound(t *testing.T) {
+	eta := 0.05
+	// Unconstrained regime: βm ≥ η/2α keeps the symmetric bound.
+	if got := stdParams.Constrained(eta, 0.025); !almostRel(got, stdParams.Symmetric(eta), 1e-12) {
+		t.Errorf("inactive constraint changed the bound: %v", got)
+	}
+	if got := stdParams.Constrained(eta, 0.5); !almostRel(got, stdParams.Symmetric(eta), 1e-12) {
+		t.Errorf("slack constraint changed the bound: %v", got)
+	}
+	// Active regime: βm < η/2α.
+	bm := 0.01
+	want := 36.0 / (eta*bm - 1*bm*bm)
+	if got := stdParams.Constrained(eta, bm); !almostRel(got, want, 1e-12) {
+		t.Errorf("Constrained = %v, want %v", got, want)
+	}
+	// The constrained bound is never better than the symmetric bound.
+	for _, bm := range []float64{0.001, 0.005, 0.01, 0.02, 0.025, 0.1} {
+		if stdParams.Constrained(eta, bm) < stdParams.Symmetric(eta)-1e-9 {
+			t.Errorf("constraint βm=%v improved the bound", bm)
+		}
+	}
+	// Continuity at the crossover η = 2αβm.
+	bm = 0.01
+	etaCross := 2 * stdParams.Alpha * bm
+	lo := stdParams.Constrained(etaCross*(1-1e-9), bm)
+	hi := stdParams.Constrained(etaCross*(1+1e-9), bm)
+	if !almostRel(lo, hi, 1e-6) {
+		t.Errorf("discontinuity at crossover: %v vs %v", lo, hi)
+	}
+}
+
+func TestMutualExclusiveBound(t *testing.T) {
+	// Thm C.1: exactly half the symmetric bound.
+	eta := 0.04
+	if !almostRel(stdParams.MutualExclusive(eta)*2, stdParams.Symmetric(eta), 1e-12) {
+		t.Error("MutualExclusive != Symmetric/2")
+	}
+}
+
+func TestCollisionProbability(t *testing.T) {
+	if got := CollisionProbability(1, 0.5); got != 0 {
+		t.Errorf("single sender Pc = %v, want 0", got)
+	}
+	if got := CollisionProbability(2, 0); got != 0 {
+		t.Errorf("zero utilization Pc = %v, want 0", got)
+	}
+	// Eq 12 sanity: S=3, β=0.0414 → Pc ≈ 7.9 % (the Appendix B example,
+	// with S−1=2 senders interfering).
+	got := CollisionProbability(3, 0.02067)
+	if math.Abs(got-0.0794) > 0.002 {
+		t.Errorf("Pc = %v, want ≈0.079", got)
+	}
+	// Monotone in both arguments.
+	if CollisionProbability(10, 0.01) <= CollisionProbability(5, 0.01) {
+		t.Error("Pc not increasing in S")
+	}
+	if CollisionProbability(5, 0.02) <= CollisionProbability(5, 0.01) {
+		t.Error("Pc not increasing in β")
+	}
+}
+
+func TestMaxBetaForCollisionRateInverts(t *testing.T) {
+	for _, s := range []int{2, 3, 10, 100} {
+		for _, pc := range []float64{0.001, 0.01, 0.1, 0.5} {
+			beta := MaxBetaForCollisionRate(s, pc)
+			if back := CollisionProbability(s, beta); !almostRel(back, pc, 1e-9) {
+				t.Errorf("S=%d pc=%v: round trip gave %v", s, pc, back)
+			}
+		}
+	}
+	if !math.IsInf(MaxBetaForCollisionRate(1, 0.01), 1) {
+		t.Error("single sender should allow unbounded β")
+	}
+}
+
+func TestSlottedZhengTime(t *testing.T) {
+	// Eq 18 equals the fundamental bound exactly at α=1 and exceeds it
+	// elsewhere.
+	eta := 0.05
+	p1 := Params{Omega: 36, Alpha: 1}
+	if !almostRel(p1.SlottedZhengTime(eta), p1.Symmetric(eta), 1e-12) {
+		t.Error("Eq 18 != fundamental bound at α=1")
+	}
+	for _, alpha := range []float64{0.2, 0.5, 2, 5} {
+		p := Params{Omega: 36, Alpha: alpha}
+		if p.SlottedZhengTime(eta) <= p.Symmetric(eta) {
+			t.Errorf("α=%v: Eq 18 should exceed the fundamental bound", alpha)
+		}
+	}
+}
+
+func TestSlottedCodeTime(t *testing.T) {
+	// Eq 19 is minimized (and equals the fundamental bound) at α = 1/2.
+	eta := 0.05
+	pHalf := Params{Omega: 36, Alpha: 0.5}
+	if !almostRel(pHalf.SlottedCodeTime(eta), pHalf.Symmetric(eta), 1e-12) {
+		t.Error("Eq 19 != fundamental bound at α=1/2")
+	}
+	for _, alpha := range []float64{0.1, 0.3, 1, 2} {
+		p := Params{Omega: 36, Alpha: alpha}
+		if p.SlottedCodeTime(eta) < p.Symmetric(eta)-1e-9 {
+			t.Errorf("α=%v: Eq 19 beat the fundamental bound", alpha)
+		}
+	}
+}
+
+func TestSlottedChannelBoundMatchesConstrained(t *testing.T) {
+	// Eq 21 coincides with Theorem 5.6 for β ≤ η/2α (paper, §6.1.2).
+	eta := 0.05
+	for _, beta := range []float64{0.005, 0.01, 0.02, 0.025} {
+		if !almostRel(stdParams.SlottedChannelBound(eta, beta), stdParams.Constrained(eta, beta), 1e-12) {
+			t.Errorf("β=%v: Eq 21 %v != Thm 5.6 %v", beta,
+				stdParams.SlottedChannelBound(eta, beta), stdParams.Constrained(eta, beta))
+		}
+	}
+	// Above the optimum the slotted bound exceeds the fundamental one.
+	beta := 0.04
+	if stdParams.SlottedChannelBound(eta, beta) <= stdParams.Constrained(eta, beta) {
+		t.Error("β > η/2α: slotted bound should be worse than Thm 5.6")
+	}
+}
+
+func TestTable1Ordering(t *testing.T) {
+	// At any operating point: Diffcodes < Searchlight-S < Disco, and
+	// Diffcodes matches Eq 21 exactly (it is the optimal slotted design).
+	eta, beta := 0.05, 0.01
+	l := func(sp SlottedProtocol) float64 { return stdParams.Table1Latency(sp, eta, beta) }
+	if !almostRel(l(Diffcodes), stdParams.SlottedChannelBound(eta, beta), 1e-12) {
+		t.Error("Diffcodes row != Eq 21")
+	}
+	if !almostRel(l(SearchlightS), 2*l(Diffcodes), 1e-12) {
+		t.Error("Searchlight-S != 2× Diffcodes")
+	}
+	if !almostRel(l(Disco), 8*l(Diffcodes), 1e-12) {
+		t.Error("Disco != 8× Diffcodes")
+	}
+	u := l(UConnect)
+	if u <= l(Diffcodes) || u >= l(Disco) {
+		t.Errorf("U-Connect %v not between Diffcodes %v and Disco %v", u, l(Diffcodes), l(Disco))
+	}
+	if s := UConnect.String(); s != "U-Connect" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestUConnectFormula(t *testing.T) {
+	// Spot-check the U-Connect row against a hand-computed value.
+	eta, beta := 0.05, 0.01
+	w := 36.0
+	inner := w * w * (8*eta - 8*beta + 9)
+	want := math.Pow(3*w+math.Sqrt(inner), 2) / (8 * w * (eta*beta - beta*beta))
+	if got := stdParams.Table1Latency(UConnect, eta, beta); !almostRel(got, want, 1e-12) {
+		t.Errorf("UConnect = %v, want %v", got, want)
+	}
+}
+
+func TestOverheadBound(t *testing.T) {
+	// Zero overheads reduce Eq 27 to Theorem 5.4.
+	o := RadioOverheads{}
+	beta, gamma := 0.01, 0.025
+	if !almostRel(stdParams.OverheadBound(o, 1000, beta, gamma), stdParams.Unidirectional(beta, gamma), 1e-12) {
+		t.Error("zero overheads != ideal bound")
+	}
+	// Overheads strictly increase the bound; larger windows amortize doRx.
+	o = RadioOverheads{DoTx: 10, DoRx: 100}
+	small := stdParams.OverheadBound(o, 500, beta, gamma)
+	large := stdParams.OverheadBound(o, 5000, beta, gamma)
+	ideal := stdParams.Unidirectional(beta, gamma)
+	if small <= ideal || large <= ideal {
+		t.Error("overheads did not increase the bound")
+	}
+	if large >= small {
+		t.Error("larger window should amortize the receive overhead")
+	}
+}
+
+func TestTruncatedBound(t *testing.T) {
+	// Eq 28 with one window: ⌈TC/(d1−ω)⌉·ω/β.
+	beta := 0.01
+	got := stdParams.TruncatedBound(4000, []timebase.Ticks{1036}, beta)
+	want := float64(timebase.CeilDiv(4000, 1000)) * 36 / beta
+	if !almostRel(got, want, 1e-12) {
+		t.Errorf("TruncatedBound = %v, want %v", got, want)
+	}
+	// Window shorter than ω is impossible.
+	if !math.IsNaN(stdParams.TruncatedBound(4000, []timebase.Ticks{36}, beta)) {
+		t.Error("window == ω should be NaN")
+	}
+	// Eq 29/30: as TC grows (k·(d1−ω) with d1 fixed), the bound approaches
+	// ω/(βγ) from above.
+	d1 := timebase.Ticks(1036)
+	prev := math.Inf(1)
+	for _, k := range []timebase.Ticks{2, 8, 64, 1024} {
+		tc := k * (d1 - 36)
+		gamma := float64(d1) / float64(tc)
+		l := stdParams.TruncatedBound(tc, []timebase.Ticks{d1}, beta)
+		limit := stdParams.TruncatedBoundLimit(beta, gamma)
+		if l < limit-1e-6 {
+			t.Errorf("k=%d: truncated bound %v below its limit %v", k, l, limit)
+		}
+		ratio := l / limit
+		if ratio > prev+1e-9 {
+			t.Errorf("k=%d: ratio to limit not shrinking (%v after %v)", k, ratio, prev)
+		}
+		prev = ratio
+	}
+}
+
+func TestWithLastPacket(t *testing.T) {
+	if got := stdParams.WithLastPacket(1000); got != 1036 {
+		t.Errorf("WithLastPacket = %v, want 1036", got)
+	}
+	if !math.IsNaN(stdParams.WithLastPacket(math.NaN())) {
+		t.Error("NaN should pass through")
+	}
+}
+
+func TestSelfBlockingFailure(t *testing.T) {
+	// Eq 31: Pfail = (doTxRx+doRxTx+da)/(M·Σd).
+	o := RadioOverheads{DoTxRx: 20, DoRxTx: 30}
+	got := SelfBlockingFailure(o, 50, 10, 1000)
+	if !almostRel(got, 100.0/10000, 1e-12) {
+		t.Errorf("SelfBlockingFailure = %v, want 0.01", got)
+	}
+	if !math.IsNaN(SelfBlockingFailure(o, 50, 0, 1000)) {
+		t.Error("M=0 should be NaN")
+	}
+}
+
+func TestRedundantFailureRate(t *testing.T) {
+	// q=0 reduces to Pc^Q.
+	s, beta := 5, 0.02
+	pc := 1 - math.Exp(-2*float64(s-2)*beta)
+	for q := 1; q <= 4; q++ {
+		got := RedundantFailureRate(0, q, s, beta)
+		if !almostRel(got, math.Pow(pc, float64(q)), 1e-12) {
+			t.Errorf("Q=%d: Pf = %v, want Pc^Q", q, got)
+		}
+	}
+	// q interpolates between Q and Q+1.
+	lo := RedundantFailureRate(0, 3, s, beta)
+	hi := RedundantFailureRate(0, 4, s, beta)
+	mid := RedundantFailureRate(0.5, 3, s, beta)
+	if !(hi < mid && mid < lo) {
+		t.Errorf("interpolation broken: %v %v %v", lo, mid, hi)
+	}
+	// Two devices alone (S=2) never fail.
+	if got := RedundantFailureRate(0, 2, 2, 0.5); got != 0 {
+		t.Errorf("S=2 should have Pf=0, got %v", got)
+	}
+}
+
+func TestRedundantLatency(t *testing.T) {
+	// Q=1 with γ=1/k reduces to the coverage bound M·ω/β.
+	gamma, beta := 0.025, 0.02
+	got := stdParams.RedundantLatency(1, gamma, beta)
+	want := 40 * 36.0 / beta
+	if !almostRel(got, want, 1e-12) {
+		t.Errorf("RedundantLatency(1) = %v, want %v", got, want)
+	}
+	// Latency scales linearly in Q for 1/γ integer.
+	if !almostRel(stdParams.RedundantLatency(3, gamma, beta), 3*want, 1e-12) {
+		t.Error("RedundantLatency not linear in Q")
+	}
+}
+
+func TestOptimalityRatio(t *testing.T) {
+	if got := OptimalityRatio(200, 100); got != 2 {
+		t.Errorf("ratio = %v, want 2", got)
+	}
+	if !math.IsNaN(OptimalityRatio(100, 0)) {
+		t.Error("zero bound should be NaN")
+	}
+}
+
+// Property: the asymmetric bound is symmetric in its arguments and
+// monotonically decreasing in each duty-cycle.
+func TestAsymmetricProperties(t *testing.T) {
+	f := func(a, b uint8) bool {
+		etaE := float64(a%99+1) / 100
+		etaF := float64(b%99+1) / 100
+		l1 := stdParams.Asymmetric(etaE, etaF)
+		l2 := stdParams.Asymmetric(etaF, etaE)
+		if !almostRel(l1, l2, 1e-12) {
+			return false
+		}
+		return stdParams.Asymmetric(etaE*1.1, etaF) < l1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for every η, the constrained bound as a function of βm is
+// minimized at or above βm = η/2α and equals the symmetric bound there.
+func TestConstrainedMinimumAtOptimalBeta(t *testing.T) {
+	f := func(e uint8) bool {
+		eta := float64(e%50+1) / 100
+		best := stdParams.Constrained(eta, stdParams.OptimalBeta(eta))
+		return almostRel(best, stdParams.Symmetric(eta), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func almostRel(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return true
+	}
+	return math.Abs(a-b)/den < tol
+}

@@ -1,0 +1,560 @@
+// Package coverage turns Section 4 of the paper into an executable,
+// exact analysis engine for neighbor-discovery protocols.
+//
+// The paper's key construction is the coverage map (Section 4.1): for a
+// beacon sequence B′ = b1, b2, … paired with an infinite periodic reception
+// window sequence C∞, the set Ωi of initial offsets Φ1 ∈ [0, TC) for which
+// beacon bi lands inside a reception window is the set of windows translated
+// left by the accumulated beacon gaps (Equation 3). The tuple (B′, C∞) is
+// deterministic iff ∪Ωi covers the circle [0, TC) (Definition 4.1), and the
+// worst-case packet-to-packet latency l* is the maximum over offsets of the
+// earliest covering beacon (Section 4.1, "Packet-to-packet discovery
+// latency").
+//
+// This package computes all of that exactly, in integer ticks, with an
+// O(n log n) interval sweep — no discretized offset loops. The same engine
+// therefore serves as the repository's reference "simulator" for two
+// periodic devices: analyses are exact rather than sampled. A deliberately
+// naive brute-force evaluator is provided for cross-validation and for the
+// ablation benchmark.
+package coverage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/interval"
+	"repro/internal/schedule"
+	"repro/internal/timebase"
+)
+
+// Options control the analysis.
+type Options struct {
+	// MaxBeacons caps the number of beacons examined per starting position
+	// before the pair is declared non-deterministic. Zero means "one full
+	// hyperperiod", which is exact for periodic pairs: beacon images on the
+	// circle repeat after lcm(TB, TC), so a pair that has not achieved
+	// coverage within the hyperperiod never will.
+	MaxBeacons int
+
+	// CountLastPacket adds the airtime ω of the successful packet to all
+	// reported latencies (Appendix A.4). The paper neglects it; enabling
+	// this reproduces the "+ω" variants of the bounds.
+	CountLastPacket bool
+
+	// TruncatedWindows models the fact that a packet must start no later
+	// than ω before the end of a reception window to be received in full
+	// (Section 3.2, Appendix A.3): each window's useful length shrinks by
+	// the packet airtime.
+	TruncatedWindows bool
+}
+
+// Result is the outcome of analyzing a (B∞, C∞) pair.
+type Result struct {
+	// Deterministic reports whether every initial offset leads to discovery
+	// (Definition 4.1).
+	Deterministic bool
+
+	// CoveredFraction is the fraction of offsets in [0, TC) covered at
+	// least once; 1.0 for deterministic pairs.
+	CoveredFraction float64
+
+	// WorstLatency is the supremum of the discovery latency over all
+	// initial conditions, measured from the instant both devices come into
+	// range (Definition 3.4): the largest beacon gap preceding a first
+	// in-range beacon plus that beacon's worst packet-to-packet latency.
+	// Valid only if Deterministic.
+	WorstLatency timebase.Ticks
+
+	// WorstPacketLatency is the worst l*: latency measured from the first
+	// beacon in range to the successful one (start-to-start unless
+	// Options.CountLastPacket). Valid only if Deterministic.
+	WorstPacketLatency timebase.Ticks
+
+	// MeanLatency is the expected discovery latency for a uniformly random
+	// range-entry instant and independent uniform offset Φ1, in ticks.
+	// Valid only if Deterministic.
+	MeanLatency float64
+
+	// MinimalPrefix is the paper's M for this pair: the number of beacons,
+	// starting from beacon 0, needed before all offsets are covered.
+	// Valid only if Deterministic.
+	MinimalPrefix int
+
+	// Redundant and Disjoint classify the minimal deterministic prefix per
+	// Definition 4.2: redundant iff some offset is covered by more than one
+	// of its beacons.
+	Redundant bool
+	Disjoint  bool
+
+	// MinMultiplicity and MaxMultiplicity are the extremes, over offsets,
+	// of how many beacons of one beacon period cover the offset. For the
+	// optimal constructions (where TB is a multiple of TC) these equal the
+	// redundancy degree: 1/1 for disjoint-optimal, Q/Q+1 for Appendix-B
+	// schedules.
+	MinMultiplicity, MaxMultiplicity int
+}
+
+// Analyze performs exact coverage analysis of the pair (b, c): device E runs
+// the beacon sequence b, device F the reception window sequence c, and we
+// measure F discovering E.
+func Analyze(b schedule.BeaconSeq, c schedule.WindowSeq, opt Options) (Result, error) {
+	if err := b.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if b.Empty() {
+		return Result{}, errors.New("coverage: beacon sequence is empty")
+	}
+	if c.Empty() {
+		return Result{}, errors.New("coverage: window sequence is empty")
+	}
+
+	windows, err := usefulWindows(c, opt, maxOmega(b))
+	if err != nil {
+		return Result{}, err
+	}
+
+	horizon := horizonBeacons(b, c, opt)
+
+	// Absolute beacon times for one hyperperiod starting at beacon 0,
+	// plus enough wrap context for every starting beacon.
+	gaps := b.Gaps()
+	mB := b.MB()
+
+	var res Result
+
+	// Pass 1: start at beacon 0; determine determinism, minimal prefix,
+	// and the label sweep reused for multiplicity.
+	items0, times0 := coverageItems(b, windows, c.Period, 0, horizon)
+	segs, covered := interval.SweepMin(c.Period, items0)
+	res.Deterministic = covered
+	res.CoveredFraction = coveredFraction(segs, c.Period)
+	if !covered {
+		// Redundant/Disjoint are properties of a deterministic prefix
+		// (Definition 4.2) and stay false for non-deterministic pairs.
+		res.MinMultiplicity, res.MaxMultiplicity = multiplicityPerPeriod(b, windows, c.Period)
+		return res, nil
+	}
+
+	// Minimal deterministic prefix: smallest m such that the first m
+	// beacons cover the circle. Binary search over prefix length.
+	res.MinimalPrefix = minimalPrefix(c.Period, items0, times0)
+
+	prefixItems := items0[:prefixItemCount(items0, times0, res.MinimalPrefix)]
+	res.Redundant, res.Disjoint = classifyPrefix(prefixItems, c.Period)
+	res.MinMultiplicity, res.MaxMultiplicity = multiplicityPerPeriod(b, windows, c.Period)
+
+	// Pass 2: worst and mean latency over every starting beacon j. The
+	// entry instant falls in the gap before beacon j (length gaps[j-1]),
+	// and Φ1 is independent of it.
+	extra := timebase.Ticks(0)
+	if opt.CountLastPacket {
+		extra = maxOmega(b)
+	}
+	var worst timebase.Ticks
+	var worstPacket timebase.Ticks
+	var meanNum float64 // Σ_j λ_{j-1} · (E_Φ[l*_j] + λ_{j-1}/2)
+	for j := 0; j < mB; j++ {
+		items, _ := coverageItems(b, windows, c.Period, j, horizon)
+		sj, cov := interval.SweepMin(c.Period, items)
+		if !cov {
+			// Cannot happen for periodic pairs if pass 1 covered, but guard
+			// against pathological inputs.
+			return res, fmt.Errorf("coverage: start beacon %d does not achieve coverage although beacon 0 does", j)
+		}
+		var lMax timebase.Ticks
+		var lSum float64
+		for _, seg := range sj {
+			l := timebase.Ticks(seg.Label) + extra
+			if l > lMax {
+				lMax = l
+			}
+			lSum += float64(l) * float64(seg.Iv.Len())
+		}
+		gapBefore := gaps[(j-1+mB)%mB]
+		if lMax > worstPacket {
+			worstPacket = lMax
+		}
+		if gapBefore+lMax > worst {
+			worst = gapBefore + lMax
+		}
+		lMean := lSum / float64(c.Period)
+		meanNum += float64(gapBefore) * (lMean + float64(gapBefore)/2)
+	}
+	res.WorstPacketLatency = worstPacket
+	res.WorstLatency = worst
+	res.MeanLatency = meanNum / float64(b.Period)
+	return res, nil
+}
+
+// LatencyProfile returns the exact packet-to-packet discovery latency as a
+// function of the initial offset Φ1, for the beacon sequence starting at
+// beacon startIdx. Segments with Count == 0 are uncovered offsets.
+func LatencyProfile(b schedule.BeaconSeq, c schedule.WindowSeq, startIdx int, opt Options) ([]interval.Segment, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if b.Empty() || c.Empty() {
+		return nil, errors.New("coverage: empty sequence")
+	}
+	windows, err := usefulWindows(c, opt, maxOmega(b))
+	if err != nil {
+		return nil, err
+	}
+	horizon := horizonBeacons(b, c, opt)
+	items, _ := coverageItems(b, windows, c.Period, startIdx%b.MB(), horizon)
+	segs, _ := interval.SweepMin(c.Period, items)
+	return segs, nil
+}
+
+// QWorstLatency computes the worst-case latency until an offset has been
+// covered by q distinct beacons — the Appendix B redundancy metric L(Pf):
+// a schedule that covers every offset q times gives each discovery attempt
+// q independent chances against collisions. Returns ok=false if some offset
+// is not covered q times within the hyperperiod horizon.
+func QWorstLatency(b schedule.BeaconSeq, c schedule.WindowSeq, q int, opt Options) (timebase.Ticks, bool, error) {
+	if q < 1 {
+		return 0, false, fmt.Errorf("coverage: q=%d must be ≥ 1", q)
+	}
+	if err := b.Validate(); err != nil {
+		return 0, false, err
+	}
+	if err := c.Validate(); err != nil {
+		return 0, false, err
+	}
+	if b.Empty() || c.Empty() {
+		return 0, false, errors.New("coverage: empty sequence")
+	}
+	windows, err := usefulWindows(c, opt, maxOmega(b))
+	if err != nil {
+		return 0, false, err
+	}
+	// The horizon must span q coverings: q hyperperiods always suffice
+	// (each hyperperiod repeats the full image set). An explicit
+	// MaxBeacons cap is honored verbatim.
+	horizon := horizonBeacons(b, c, opt)
+	if opt.MaxBeacons == 0 {
+		horizon *= q
+	}
+	gaps := b.Gaps()
+	mB := b.MB()
+	var worst timebase.Ticks
+	for j := 0; j < mB; j++ {
+		items, _ := coverageItems(b, windows, c.Period, j, horizon)
+		segs, cov := interval.SweepKth(c.Period, items, q)
+		if !cov {
+			return 0, false, nil
+		}
+		var lMax timebase.Ticks
+		for _, seg := range segs {
+			if l := timebase.Ticks(seg.Label); l > lMax {
+				lMax = l
+			}
+		}
+		if l := gaps[(j-1+mB)%mB] + lMax; l > worst {
+			worst = l
+		}
+	}
+	return worst, true, nil
+}
+
+// Map is the explicit coverage map of Section 4.1: one offset-set Ωi per
+// examined beacon. It exists mainly for inspection, rendering and tests;
+// Analyze uses the sweep directly.
+type Map struct {
+	Period timebase.Ticks // TC
+	Omegas []OmegaSet
+}
+
+// OmegaSet is the set of initial offsets covered by one beacon.
+type OmegaSet struct {
+	BeaconIndex int            // i (0-based within B∞ from the start beacon)
+	Delay       timebase.Ticks // τi − τ0, the accumulated beacon gaps
+	Offsets     *interval.Set  // Ωi restricted to [0, TC)
+}
+
+// BuildMap constructs the coverage map of the first numBeacons beacons of
+// b (starting at beacon 0) against c.
+func BuildMap(b schedule.BeaconSeq, c schedule.WindowSeq, numBeacons int, opt Options) (Map, error) {
+	if err := b.Validate(); err != nil {
+		return Map{}, err
+	}
+	if err := c.Validate(); err != nil {
+		return Map{}, err
+	}
+	if b.Empty() || c.Empty() {
+		return Map{}, errors.New("coverage: empty sequence")
+	}
+	if numBeacons <= 0 {
+		return Map{}, fmt.Errorf("coverage: numBeacons %d must be positive", numBeacons)
+	}
+	windows, err := usefulWindows(c, opt, maxOmega(b))
+	if err != nil {
+		return Map{}, err
+	}
+	first := b.Beacons[0].Time
+	horizonEnd := first + timebase.CeilDiv(timebase.Ticks(numBeacons), timebase.Ticks(b.MB()))*b.Period + b.Period
+	beacons := b.BeaconsWithin(first, horizonEnd)
+	if len(beacons) < numBeacons {
+		return Map{}, fmt.Errorf("coverage: internal: got %d beacons, want %d", len(beacons), numBeacons)
+	}
+	m := Map{Period: c.Period}
+	for i := 0; i < numBeacons; i++ {
+		delay := beacons[i].Time - first
+		set := interval.NewSet(c.Period)
+		for _, w := range windows {
+			set.Add(w.Start-delay, w.Len)
+		}
+		m.Omegas = append(m.Omegas, OmegaSet{BeaconIndex: i, Delay: delay, Offsets: set})
+	}
+	return m, nil
+}
+
+// TotalCoverage returns the paper's Λ (Definition 4.3): the multiplicity-
+// weighted measure of covered offsets, i.e. Σi |Ωi|.
+func (m Map) TotalCoverage() timebase.Ticks {
+	var total timebase.Ticks
+	for _, o := range m.Omegas {
+		total += o.Offsets.Measure()
+	}
+	return total
+}
+
+// UnionCoverage returns the set of offsets covered by at least one beacon.
+func (m Map) UnionCoverage() *interval.Set {
+	u := interval.NewSet(m.Period)
+	for _, o := range m.Omegas {
+		u.UnionWith(o.Offsets)
+	}
+	return u
+}
+
+// Deterministic reports whether the mapped beacons cover every offset.
+func (m Map) Deterministic() bool { return m.UnionCoverage().IsFull() }
+
+// BruteForceWorstLatency computes the worst-case discovery latency by
+// directly walking the beacon stream for every integer offset Φ1 ∈ [0, TC)
+// with the given step, for every starting beacon. It exists to cross-check
+// Analyze and to quantify the cost of not having the sweep (the ablation
+// benchmark); it is exact when step == 1.
+//
+// The returned latency matches Result.WorstLatency (a supremum): the grid
+// maximum of the entry wait is λ−1, so the supremum is reconstructed by
+// adding the full preceding gap analytically.
+func BruteForceWorstLatency(b schedule.BeaconSeq, c schedule.WindowSeq, step timebase.Ticks, opt Options) (timebase.Ticks, bool) {
+	if step <= 0 {
+		step = 1
+	}
+	windows, err := usefulWindows(c, opt, maxOmega(b))
+	if err != nil {
+		return 0, false
+	}
+	wset := interval.NewSet(c.Period)
+	for _, w := range windows {
+		wset.Add(w.Start, w.Len)
+	}
+	horizon := horizonBeacons(b, c, opt)
+	gaps := b.Gaps()
+	mB := b.MB()
+	extra := timebase.Ticks(0)
+	if opt.CountLastPacket {
+		extra = maxOmega(b)
+	}
+	var worst timebase.Ticks
+	for j := 0; j < mB; j++ {
+		first := b.Beacons[j].Time
+		end := first + timebase.Ticks(horizon/mB+2)*b.Period
+		beacons := b.BeaconsWithin(first, end)
+		if len(beacons) > horizon {
+			beacons = beacons[:horizon]
+		}
+		var lMax timebase.Ticks
+		found := true
+		for phi := timebase.Ticks(0); phi < c.Period; phi += step {
+			hit := false
+			for _, bc := range beacons {
+				delay := bc.Time - first
+				if wset.Contains(phi + delay) {
+					if l := delay + extra; l > lMax {
+						lMax = l
+					}
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				found = false
+				break
+			}
+		}
+		if !found {
+			return 0, false
+		}
+		if l := gaps[(j-1+mB)%mB] + lMax; l > worst {
+			worst = l
+		}
+	}
+	return worst, true
+}
+
+// --- internals ---
+
+// usefulWindows returns the windows to use for coverage, shrunk by ω when
+// Options.TruncatedWindows is set.
+func usefulWindows(c schedule.WindowSeq, opt Options, omega timebase.Ticks) ([]schedule.Window, error) {
+	if !opt.TruncatedWindows {
+		return c.Windows, nil
+	}
+	out := make([]schedule.Window, 0, len(c.Windows))
+	for _, w := range c.Windows {
+		if w.Len <= omega {
+			return nil, fmt.Errorf("coverage: window of length %d cannot receive packets of airtime %d (Appendix A.3)", w.Len, omega)
+		}
+		out = append(out, schedule.Window{Start: w.Start, Len: w.Len - omega})
+	}
+	return out, nil
+}
+
+func maxOmega(b schedule.BeaconSeq) timebase.Ticks {
+	var m timebase.Ticks
+	for _, bc := range b.Beacons {
+		if bc.Len > m {
+			m = bc.Len
+		}
+	}
+	return m
+}
+
+// horizonBeacons returns how many consecutive beacons to examine: one full
+// hyperperiod's worth (images repeat after lcm(TB, TC)), or the caller's cap.
+func horizonBeacons(b schedule.BeaconSeq, c schedule.WindowSeq, opt Options) int {
+	if opt.MaxBeacons > 0 {
+		return opt.MaxBeacons
+	}
+	hp := timebase.LCM(b.Period, c.Period)
+	n := hp / b.Period * timebase.Ticks(b.MB())
+	const maxHorizon = 4 << 20
+	if n > maxHorizon {
+		return maxHorizon
+	}
+	if n < 1 {
+		return 1
+	}
+	return int(n)
+}
+
+// coverageItems builds the labeled intervals for a beacon sequence starting
+// at beacon startIdx: one item per (beacon, window) pair, labeled with the
+// packet-to-packet delay τi − τstart. It also returns the per-beacon delays.
+func coverageItems(b schedule.BeaconSeq, windows []schedule.Window, tc timebase.Ticks, startIdx int, horizon int) ([]interval.Labeled, []timebase.Ticks) {
+	first := b.Beacons[startIdx].Time
+	end := first + timebase.CeilDiv(timebase.Ticks(horizon), timebase.Ticks(b.MB()))*b.Period + b.Period
+	beacons := b.BeaconsWithin(first, end)
+	if len(beacons) > horizon {
+		beacons = beacons[:horizon]
+	}
+	items := make([]interval.Labeled, 0, len(beacons)*len(windows))
+	delays := make([]timebase.Ticks, len(beacons))
+	for i, bc := range beacons {
+		delay := bc.Time - first
+		delays[i] = delay
+		for _, w := range windows {
+			items = append(items, interval.Labeled{
+				Lo:     w.Start - delay,
+				Length: w.Len,
+				Label:  int64(delay),
+			})
+		}
+	}
+	return items, delays
+}
+
+// minimalPrefix finds the smallest number of beacons whose union covers the
+// circle, assuming the full item list does cover it.
+func minimalPrefix(tc timebase.Ticks, items []interval.Labeled, delays []timebase.Ticks) int {
+	lo, hi := 1, len(delays)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		n := prefixItemCount(items, delays, mid)
+		if _, cov := interval.SweepMin(tc, items[:n]); cov {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// prefixItemCount returns how many leading items belong to the first m
+// beacons. Items are emitted beacon-major by coverageItems, so this is
+// m × windowsPerBeacon.
+func prefixItemCount(items []interval.Labeled, delays []timebase.Ticks, m int) int {
+	if len(delays) == 0 {
+		return 0
+	}
+	perBeacon := len(items) / len(delays)
+	n := m * perBeacon
+	if n > len(items) {
+		n = len(items)
+	}
+	return n
+}
+
+func classifyPrefix(items []interval.Labeled, tc timebase.Ticks) (redundant, disjoint bool) {
+	if len(items) == 0 {
+		return false, true
+	}
+	segs, _ := interval.SweepMin(tc, items)
+	disjoint = true
+	for _, seg := range segs {
+		if seg.Count > 1 {
+			redundant = true
+			disjoint = false
+		}
+	}
+	return redundant, disjoint
+}
+
+// multiplicityPerPeriod reports min/max, over offsets, of the number of
+// beacons within one beacon period TB whose image covers the offset.
+func multiplicityPerPeriod(b schedule.BeaconSeq, windows []schedule.Window, tc timebase.Ticks) (minM, maxM int) {
+	items := make([]interval.Labeled, 0, b.MB()*len(windows))
+	first := b.Beacons[0].Time
+	for _, bc := range b.Beacons {
+		delay := bc.Time - first
+		for _, w := range windows {
+			items = append(items, interval.Labeled{Lo: w.Start - delay, Length: w.Len, Label: int64(delay)})
+		}
+	}
+	segs, _ := interval.SweepMin(tc, items)
+	minM = math.MaxInt
+	for _, seg := range segs {
+		if seg.Count < minM {
+			minM = seg.Count
+		}
+		if seg.Count > maxM {
+			maxM = seg.Count
+		}
+	}
+	if minM == math.MaxInt {
+		minM = 0
+	}
+	return minM, maxM
+}
+
+func coveredFraction(segs []interval.Segment, period timebase.Ticks) float64 {
+	var covered timebase.Ticks
+	for _, seg := range segs {
+		if seg.Count > 0 {
+			covered += seg.Iv.Len()
+		}
+	}
+	return float64(covered) / float64(period)
+}

@@ -1,0 +1,67 @@
+package coverage
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/timebase"
+)
+
+// Render draws the coverage map as ASCII art in the style of the paper's
+// Figure 3b: one row per beacon, showing the offsets Φ1 ∈ [0, TC) that the
+// beacon covers, plus a footer row marking uncovered offsets. width is the
+// number of characters used for the [0, TC) axis (minimum 10).
+//
+//	Ω1  |······································##########|
+//	Ω2  |##########····································|
+//	Ω3  |··········##########··························|
+//	    all offsets covered
+//
+// Each '#' cell is covered by the row's beacon; '·' is not. The rendering
+// is a diagnostic aid for examples and debugging, not part of the analysis
+// path.
+func (m Map) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	cell := float64(m.Period) / float64(width)
+	for _, o := range m.Omegas {
+		b.WriteString(fmt.Sprintf("Ω%-3d %8s |", o.BeaconIndex+1, o.Delay.String()))
+		for c := 0; c < width; c++ {
+			// A cell is drawn covered if its midpoint is covered.
+			mid := timebase.Ticks(cell * (float64(c) + 0.5))
+			if o.Offsets.Contains(mid) {
+				b.WriteByte('#')
+			} else {
+				b.WriteRune('·')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	union := m.UnionCoverage()
+	b.WriteString(fmt.Sprintf("%14s |", "union"))
+	covered := true
+	for c := 0; c < width; c++ {
+		mid := timebase.Ticks(cell * (float64(c) + 0.5))
+		if union.Contains(mid) {
+			b.WriteByte('#')
+		} else {
+			b.WriteByte(' ')
+			covered = false
+		}
+	}
+	b.WriteString("|\n")
+	if m.Deterministic() {
+		b.WriteString("deterministic: every offset in [0, TC) is covered\n")
+	} else {
+		gaps := union.Complement()
+		b.WriteString(fmt.Sprintf("NOT deterministic: %v of %v uncovered",
+			gaps.Measure(), m.Period))
+		if !covered {
+			b.WriteString(" (gaps visible above)")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

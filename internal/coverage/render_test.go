@@ -1,0 +1,61 @@
+package coverage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+func TestRenderDeterministicMap(t *testing.T) {
+	b, c := optimalPair(t, 10, 4, 2)
+	m, err := BuildMap(b, c, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Render(40)
+	if !strings.Contains(out, "deterministic: every offset") {
+		t.Errorf("determinism footer missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 4 Ω rows + union row + footer.
+	if len(lines) != 6 {
+		t.Fatalf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+	// Every Ω row covers exactly d/TC = ¼ of the width.
+	for i := 0; i < 4; i++ {
+		hashes := strings.Count(lines[i], "#")
+		if hashes != 10 {
+			t.Errorf("row %d has %d '#', want 10 (d/TC of width 40):\n%s", i, hashes, out)
+		}
+	}
+	// The union row must be solid.
+	if strings.Count(lines[4], "#") != 40 {
+		t.Errorf("union row not solid:\n%s", out)
+	}
+}
+
+func TestRenderNonDeterministicMap(t *testing.T) {
+	c, _ := schedule.NewUniformWindows(10, 4)
+	b, _ := schedule.NewEqualGapBeacons(2, 40, 2, 0) // images coincide
+	m, err := BuildMap(b, c, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Render(40)
+	if !strings.Contains(out, "NOT deterministic") {
+		t.Errorf("missing non-determinism report:\n%s", out)
+	}
+	if !strings.Contains(out, "30µs of 40µs uncovered") {
+		t.Errorf("uncovered measure missing:\n%s", out)
+	}
+}
+
+func TestRenderMinimumWidth(t *testing.T) {
+	b, c := optimalPair(t, 10, 4, 2)
+	m, _ := BuildMap(b, c, 4, Options{})
+	out := m.Render(1) // clamps to 10
+	if !strings.Contains(out, "Ω1") {
+		t.Errorf("render at tiny width broken:\n%s", out)
+	}
+}

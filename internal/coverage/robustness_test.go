@@ -1,0 +1,152 @@
+package coverage
+
+import (
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/timebase"
+)
+
+// TestMaxBeaconsCapPreventsBlowup: pairs with coprime periods have
+// hyperperiods equal to the product; the MaxBeacons option bounds the work
+// and conservatively reports the coverage achieved within the cap.
+func TestMaxBeaconsCapPreventsBlowup(t *testing.T) {
+	// Periods 9973 and 9967 (both prime): hyperperiod ≈ 9.9e7 ticks,
+	// ≈ 9967 beacon images — fine to compute exactly, but cap it anyway.
+	b, err := schedule.NewEqualGapBeacons(1, 9973, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := schedule.NewWindowsAt([]schedule.Window{{Start: 0, Len: 500}}, 9967)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(b, c, Options{MaxBeacons: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within 50 beacons only ~50·500 of 9967 offsets can be covered.
+	if res.Deterministic {
+		t.Error("capped horizon cannot certify determinism here")
+	}
+	if res.CoveredFraction <= 0 || res.CoveredFraction >= 1 {
+		t.Errorf("covered fraction %v implausible", res.CoveredFraction)
+	}
+	// The uncapped analysis does certify it (images drift by 6 per period
+	// and the window is 500 wide, so coverage completes).
+	full, err := Analyze(b, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Deterministic {
+		t.Error("uncapped analysis should certify determinism")
+	}
+}
+
+// TestAnalyzeManyWindowsPerPeriod exercises nC > 1 listener structures.
+func TestAnalyzeManyWindowsPerPeriod(t *testing.T) {
+	// Three windows of 5 per 60-tick period (γ = 0.25), beacons every 55.
+	c, err := schedule.NewWindowsAt([]schedule.Window{
+		{Start: 5, Len: 5}, {Start: 25, Len: 5}, {Start: 45, Len: 5},
+	}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := schedule.NewEqualGapBeacons(1, 55, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(b, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Fatalf("drifting beacon against 3-window listener should cover (fraction %v)",
+			res.CoveredFraction)
+	}
+	// Cross-validate against brute force.
+	brute, ok := BruteForceWorstLatency(b, c, 1, Options{})
+	if !ok || brute != res.WorstLatency {
+		t.Errorf("brute %v (ok=%v) vs analyze %v", brute, ok, res.WorstLatency)
+	}
+}
+
+// TestQWorstLatencyInsufficientCoverage: requesting more redundancy than
+// the schedule provides must report ok=false, not hang or invent numbers.
+func TestQWorstLatencyInsufficientCoverage(t *testing.T) {
+	c, _ := schedule.NewUniformWindows(10, 4)
+	b, _ := schedule.NewEqualGapBeacons(4, 30, 2, 0)
+	// The pair is exactly 1-covering per hyperperiod... but the infinite
+	// sequence keeps cycling, so Q=3 is reachable within 3 hyperperiods.
+	lat3, ok, err := QWorstLatency(b, c, 3, Options{})
+	if err != nil || !ok {
+		t.Fatalf("Q=3 should be reachable by cycling: ok=%v err=%v", ok, err)
+	}
+	lat1, ok, err := QWorstLatency(b, c, 1, Options{})
+	if err != nil || !ok {
+		t.Fatal("Q=1 failed")
+	}
+	if lat3 != 3*lat1 {
+		t.Errorf("Q=3 latency %v, want 3×%v", lat3, lat1)
+	}
+	// With a capped horizon, the requested redundancy becomes unreachable.
+	_, ok, err = QWorstLatency(b, c, 3, Options{MaxBeacons: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("capped horizon cannot deliver Q=3")
+	}
+}
+
+// TestAnalyzeBeaconLongerThanWindow: packets longer than windows are
+// received under the base model (any overlap → success at start-in-window
+// semantics) but impossible under Appendix A.3 semantics.
+func TestAnalyzeBeaconLongerThanWindow(t *testing.T) {
+	c, _ := schedule.NewUniformWindows(10, 4)
+	b, _ := schedule.NewEqualGapBeacons(4, 30, 15, 0) // ω = 15 > d = 10
+	res, err := Analyze(b, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Error("base model should accept start-in-window receptions")
+	}
+	if _, err := Analyze(b, c, Options{TruncatedWindows: true}); err == nil {
+		t.Error("A.3 semantics must reject ω ≥ d")
+	}
+}
+
+// TestLatencyProfileStartIndexWraps: start indices beyond mB wrap.
+func TestLatencyProfileStartIndexWraps(t *testing.T) {
+	c, _ := schedule.NewUniformWindows(10, 4)
+	b, _ := schedule.NewEqualGapBeacons(4, 30, 2, 0)
+	s0, err := LatencyProfile(b, c, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := LatencyProfile(b, c, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s0) != len(s4) {
+		t.Fatalf("profiles differ in length: %d vs %d", len(s0), len(s4))
+	}
+	for i := range s0 {
+		if s0[i] != s4[i] {
+			t.Errorf("segment %d differs between start 0 and start 4 (mod mB)", i)
+		}
+	}
+}
+
+// TestTickOverflowGuard: large but legal schedules must not overflow the
+// hyperperiod computation silently — LCM panics on overflow by design.
+func TestTickOverflowGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Skip("LCM did not overflow for these inputs")
+		}
+	}()
+	huge := timebase.Ticks(1) << 40
+	_ = timebase.LCM(huge+1, huge+3) // coprime-ish huge periods → overflow panic
+}

@@ -1,0 +1,144 @@
+package coverage
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/schedule"
+	"repro/internal/timebase"
+)
+
+// StreamResult is the bounded-horizon analysis of a possibly aperiodic
+// schedule pair (Appendix A.1 of the paper: reception window sequences
+// that "continuously alter over time" are feasible and obey the same
+// bounds).
+type StreamResult struct {
+	// Deterministic reports whether every examined range-entry instant led
+	// to discovery within the horizon. Unlike the periodic analyzer this
+	// is a statement about the horizon, not about all time.
+	Deterministic bool
+
+	// WorstLatency is the largest observed discovery latency over all
+	// examined entry instants (a supremum over the grid).
+	WorstLatency timebase.Ticks
+
+	// MeanLatency is the average over examined entry instants.
+	MeanLatency float64
+
+	// Entries is the number of range-entry instants examined.
+	Entries int
+}
+
+// AnalyzeStreams measures discovery latency for arbitrary (aperiodic)
+// beacon and window streams by direct evaluation: for every entry instant
+// e on a step-spaced grid within [0, horizon), it finds the first beacon
+// starting at or after e whose start falls inside a listener window, and
+// reports the worst and mean latency.
+//
+// This is the Appendix A.1 evaluator: it makes no periodicity assumptions
+// at all, at the cost of being exhaustive over a grid rather than exact
+// over all reals. With step = 1 it is exact for integer-tick schedules
+// over the horizon.
+func AnalyzeStreams(b schedule.BeaconStream, c schedule.WindowStream, horizon, step timebase.Ticks) (StreamResult, error) {
+	if horizon <= 0 {
+		return StreamResult{}, fmt.Errorf("coverage: horizon %d must be positive", horizon)
+	}
+	if step <= 0 {
+		step = 1
+	}
+	if b == nil || c == nil {
+		return StreamResult{}, errors.New("coverage: nil stream")
+	}
+
+	// Materialize events once: beacons over [0, 2·horizon) so entries near
+	// the horizon still see a full window of beacons, windows likewise
+	// (windows may have started before an entry instant and still count).
+	beacons := b.BeaconsWithin(0, 2*horizon)
+	windows := c.WindowsWithin(-horizon, 2*horizon)
+
+	// Precompute, for each beacon, whether it is received (start inside
+	// any window) — independent of the entry instant.
+	received := make([]bool, len(beacons))
+	wi := 0
+	for i, bc := range beacons {
+		for wi < len(windows) && windows[wi].End() <= bc.Time {
+			wi++
+		}
+		for j := wi; j < len(windows) && windows[j].Start <= bc.Time; j++ {
+			if bc.Time >= windows[j].Start && bc.Time < windows[j].End() {
+				received[i] = true
+				break
+			}
+		}
+	}
+
+	// Sorted list of successful beacon start times.
+	var successes []timebase.Ticks
+	for i, ok := range received {
+		if ok {
+			successes = append(successes, beacons[i].Time)
+		}
+	}
+
+	res := StreamResult{Deterministic: true}
+	var sum float64
+	si := 0
+	for e := timebase.Ticks(0); e < horizon; e += step {
+		for si < len(successes) && successes[si] < e {
+			si++
+		}
+		res.Entries++
+		if si >= len(successes) {
+			res.Deterministic = false
+			continue
+		}
+		lat := successes[si] - e
+		if lat > res.WorstLatency {
+			res.WorstLatency = lat
+		}
+		sum += float64(lat)
+	}
+	if res.Entries > 0 {
+		res.MeanLatency = sum / float64(res.Entries)
+	}
+	return res, nil
+}
+
+// DriftingWindows is an Appendix A.1 example of a non-repetitive reception
+// window sequence: window i starts at i·Base + i·(i−1)/2·Drift — the
+// inter-window spacing grows by Drift each period, so no finite sequence
+// ever repeats. The receive duty-cycle still converges (to 0 for positive
+// drift), and within any finite horizon the Appendix A.1 bound applies
+// with the realized γ.
+type DriftingWindows struct {
+	Len   timebase.Ticks // window length d
+	Base  timebase.Ticks // initial spacing
+	Drift timebase.Ticks // per-period spacing increase
+}
+
+// WindowsWithin implements schedule.WindowStream.
+func (dw DriftingWindows) WindowsWithin(from, to timebase.Ticks) []schedule.Window {
+	if dw.Base <= 0 || dw.Len <= 0 || to <= from {
+		return nil
+	}
+	var out []schedule.Window
+	start := timebase.Ticks(0)
+	spacing := dw.Base
+	for i := 0; ; i++ {
+		if start >= to {
+			break
+		}
+		if start >= from {
+			out = append(out, schedule.Window{Start: start, Len: dw.Len})
+		}
+		start += spacing
+		spacing += dw.Drift
+		if spacing <= 0 {
+			break // defensive: negative drift exhausted
+		}
+	}
+	return out
+}
+
+// Interface check.
+var _ schedule.WindowStream = DriftingWindows{}

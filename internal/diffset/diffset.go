@@ -1,0 +1,227 @@
+// Package diffset constructs and verifies perfect cyclic difference sets.
+//
+// A (n, k, 1) perfect difference set D ⊂ Z_n is a k-element set such that
+// every non-zero residue modulo n arises exactly once as a difference of
+// two elements of D. Zheng, Hou and Sha showed that wake-up schedules built
+// from such sets are optimal slotted neighbor-discovery designs: activating
+// the k = √n·(1+o(1)) slots indexed by D inside every period of n slots
+// guarantees a slot overlap for every phase shift — the k ≥ √T bound the
+// paper discusses in Section 6 ("Diffcodes" in Table 1).
+//
+// Perfect difference sets with λ = 1 exist for n = q² + q + 1 whenever q is
+// a prime power (Singer, 1938). This package provides three sources:
+//
+//   - Singer(q): the projective-plane construction over GF(q³) for prime q,
+//     built on package gf;
+//   - Known(n): a small catalog of classical sets, each re-verified by the
+//     test suite;
+//   - Find(n, k): exhaustive backtracking search for small parameters.
+package diffset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gf"
+)
+
+// Set is a cyclic difference set: Elems ⊂ Z_N, sorted ascending.
+type Set struct {
+	N     int
+	Elems []int
+}
+
+// K returns the set size k.
+func (s Set) K() int { return len(s.Elems) }
+
+// Verify checks the perfect difference property: every non-zero residue
+// modulo N occurs exactly once among the k(k−1) ordered differences.
+func (s Set) Verify() error {
+	if s.N < 3 {
+		return fmt.Errorf("diffset: modulus %d too small", s.N)
+	}
+	k := s.K()
+	if k*(k-1) != s.N-1 {
+		return fmt.Errorf("diffset: k(k−1) = %d does not equal n−1 = %d (cannot be a planar difference set)", k*(k-1), s.N-1)
+	}
+	seen := make([]bool, s.N)
+	for i, a := range s.Elems {
+		if a < 0 || a >= s.N {
+			return fmt.Errorf("diffset: element %d out of range [0, %d)", a, s.N)
+		}
+		if i > 0 && s.Elems[i-1] >= a {
+			return fmt.Errorf("diffset: elements not strictly increasing at index %d", i)
+		}
+		for _, b := range s.Elems {
+			if a == b {
+				continue
+			}
+			d := ((a-b)%s.N + s.N) % s.N
+			if seen[d] {
+				return fmt.Errorf("diffset: difference %d occurs more than once", d)
+			}
+			seen[d] = true
+		}
+	}
+	for d := 1; d < s.N; d++ {
+		if !seen[d] {
+			return fmt.Errorf("diffset: difference %d never occurs", d)
+		}
+	}
+	return nil
+}
+
+// Shift returns the set translated by delta modulo N (translates of a
+// difference set are difference sets).
+func (s Set) Shift(delta int) Set {
+	out := Set{N: s.N, Elems: make([]int, s.K())}
+	for i, e := range s.Elems {
+		out.Elems[i] = ((e+delta)%s.N + s.N) % s.N
+	}
+	sort.Ints(out.Elems)
+	return out
+}
+
+// Singer constructs the (q²+q+1, q+1, 1) difference set for a prime q via
+// the classical projective-plane construction: with θ a primitive element
+// of GF(q³), the exponents i (mod q²+q+1) for which θ^i lies in the
+// 2-dimensional GF(q)-subspace {a + b·x} form a perfect difference set —
+// the points of a line in PG(2, q) under the Singer cycle.
+func Singer(q int) (Set, error) {
+	if !gf.IsPrime(q) {
+		return Set{}, fmt.Errorf("diffset: Singer construction implemented for prime q only; got %d", q)
+	}
+	field, err := gf.NewExt(q)
+	if err != nil {
+		return Set{}, err
+	}
+	n := q*q + q + 1
+	theta := field.Primitive()
+
+	elems := make(map[int]bool)
+	e := field.One()
+	for i := 0; i < field.Order(); i++ {
+		if e[2] == 0 && !e.IsZero() {
+			elems[i%n] = true
+		}
+		e = field.Mul(e, theta)
+	}
+	out := Set{N: n, Elems: make([]int, 0, len(elems))}
+	for i := range elems {
+		out.Elems = append(out.Elems, i)
+	}
+	sort.Ints(out.Elems)
+	if out.K() != q+1 {
+		return Set{}, fmt.Errorf("diffset: Singer construction for q=%d produced k=%d, want %d", q, out.K(), q+1)
+	}
+	if err := out.Verify(); err != nil {
+		return Set{}, fmt.Errorf("diffset: Singer construction for q=%d failed verification: %w", q, err)
+	}
+	return out, nil
+}
+
+// catalog holds classical small sets, including prime-power orders the
+// prime-only Singer construction cannot produce (q = 4 → n = 21). Every
+// entry is re-verified by the test suite.
+var catalog = map[int]Set{
+	7:  {N: 7, Elems: []int{1, 2, 4}},          // q = 2 (Fano plane)
+	13: {N: 13, Elems: []int{0, 1, 3, 9}},      // q = 3
+	21: {N: 21, Elems: []int{3, 6, 7, 12, 14}}, // q = 4
+}
+
+// Known returns a catalog set for modulus n, if one is recorded.
+func Known(n int) (Set, bool) {
+	s, ok := catalog[n]
+	if !ok {
+		return Set{}, false
+	}
+	out := Set{N: s.N, Elems: append([]int(nil), s.Elems...)}
+	return out, true
+}
+
+// Find searches exhaustively (backtracking over sorted candidate sets
+// starting with 0) for an (n, k, 1) difference set. It is intended for
+// small n — the search space grows combinatorially — and returns ok=false
+// if no set exists or parameters are inconsistent.
+func Find(n, k int) (Set, bool) {
+	if n < 3 || k < 2 || k*(k-1) != n-1 {
+		return Set{}, false
+	}
+	elems := make([]int, 1, k)
+	elems[0] = 0
+	used := make([]bool, n) // used[d]: difference d already produced
+	var rec func(next int) bool
+	rec = func(next int) bool {
+		if len(elems) == k {
+			return true
+		}
+		// Elements remaining to place must fit below n.
+		for cand := next; cand <= n-(k-len(elems)); cand++ {
+			// Mark the differences the candidate introduces incrementally,
+			// so collisions between the candidate's own differences (d vs
+			// n−d against different existing elements) are caught too.
+			marks := make([]int, 0, 2*len(elems))
+			ok := true
+			for _, e := range elems {
+				d1 := (cand - e) % n
+				d2 := (e - cand + n) % n
+				if used[d1] || used[d2] || d1 == d2 {
+					ok = false
+					break
+				}
+				used[d1], used[d2] = true, true
+				marks = append(marks, d1, d2)
+			}
+			if !ok {
+				for _, d := range marks {
+					used[d] = false
+				}
+				continue
+			}
+			elems = append(elems, cand)
+			if rec(cand + 1) {
+				return true
+			}
+			elems = elems[:len(elems)-1]
+			for _, d := range marks {
+				used[d] = false
+			}
+		}
+		return false
+	}
+	if !rec(1) {
+		return Set{}, false
+	}
+	out := Set{N: n, Elems: append([]int(nil), elems...)}
+	if err := out.Verify(); err != nil {
+		return Set{}, false
+	}
+	return out, true
+}
+
+// ForOrder returns a (q²+q+1, q+1, 1) set for the given prime-power-ish
+// order q, preferring the catalog and falling back to the Singer
+// construction for primes.
+func ForOrder(q int) (Set, error) {
+	n := q*q + q + 1
+	if s, ok := Known(n); ok {
+		return s, nil
+	}
+	return Singer(q)
+}
+
+// Orders lists the supported orders q up to max, i.e. those for which
+// ForOrder succeeds: catalog entries plus all primes.
+func Orders(max int) []int {
+	var out []int
+	for q := 2; q <= max; q++ {
+		if gf.IsPrime(q) {
+			out = append(out, q)
+			continue
+		}
+		if _, ok := Known(q*q + q + 1); ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package diffset
+
+import (
+	"testing"
+)
+
+func TestVerifyCatalog(t *testing.T) {
+	for n := range catalog {
+		s, ok := Known(n)
+		if !ok {
+			t.Fatalf("Known(%d) missing", n)
+		}
+		if err := s.Verify(); err != nil {
+			t.Errorf("catalog set n=%d fails verification: %v", n, err)
+		}
+	}
+}
+
+func TestKnownReturnsCopy(t *testing.T) {
+	s, _ := Known(7)
+	s.Elems[0] = 99
+	s2, _ := Known(7)
+	if s2.Elems[0] == 99 {
+		t.Error("Known returned shared storage")
+	}
+}
+
+func TestVerifyRejectsBadSets(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Set
+	}{
+		{"wrong k", Set{N: 7, Elems: []int{1, 2}}},
+		{"duplicate difference", Set{N: 7, Elems: []int{0, 1, 2}}},
+		{"out of range", Set{N: 7, Elems: []int{1, 2, 9}}},
+		{"not sorted", Set{N: 7, Elems: []int{2, 1, 4}}},
+		{"tiny modulus", Set{N: 2, Elems: []int{0, 1}}},
+	}
+	for _, c := range cases {
+		if err := c.s.Verify(); err == nil {
+			t.Errorf("%s: Verify accepted %v", c.name, c.s)
+		}
+	}
+}
+
+func TestSingerSmallPrimes(t *testing.T) {
+	for _, q := range []int{2, 3, 5, 7, 11, 13} {
+		s, err := Singer(q)
+		if err != nil {
+			t.Fatalf("Singer(%d): %v", q, err)
+		}
+		if s.N != q*q+q+1 {
+			t.Errorf("Singer(%d): n = %d, want %d", q, s.N, q*q+q+1)
+		}
+		if s.K() != q+1 {
+			t.Errorf("Singer(%d): k = %d, want %d", q, s.K(), q+1)
+		}
+		if err := s.Verify(); err != nil {
+			t.Errorf("Singer(%d) invalid: %v", q, err)
+		}
+	}
+}
+
+func TestSingerRejectsComposite(t *testing.T) {
+	if _, err := Singer(4); err == nil {
+		t.Error("Singer(4) should be rejected (prime-only construction)")
+	}
+	if _, err := Singer(1); err == nil {
+		t.Error("Singer(1) should be rejected")
+	}
+}
+
+func TestShiftPreservesProperty(t *testing.T) {
+	s, _ := Known(13)
+	for _, delta := range []int{1, 5, -3, 13, 26} {
+		sh := s.Shift(delta)
+		if err := sh.Verify(); err != nil {
+			t.Errorf("Shift(%d) broke the difference property: %v", delta, err)
+		}
+	}
+}
+
+func TestFindSmall(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{7, 3},
+		{13, 4},
+		{21, 5},
+		{31, 6},
+	}
+	for _, c := range cases {
+		s, ok := Find(c.n, c.k)
+		if !ok {
+			t.Errorf("Find(%d, %d) found nothing", c.n, c.k)
+			continue
+		}
+		if err := s.Verify(); err != nil {
+			t.Errorf("Find(%d, %d) returned invalid set: %v", c.n, c.k, err)
+		}
+	}
+}
+
+func TestFindRejectsInconsistentParams(t *testing.T) {
+	if _, ok := Find(8, 3); ok {
+		t.Error("Find(8,3) should fail: k(k−1) != n−1")
+	}
+	if _, ok := Find(7, 1); ok {
+		t.Error("Find(7,1) should fail")
+	}
+}
+
+func TestFindAgreesWithSinger(t *testing.T) {
+	// Both construction routes must yield valid sets of identical shape.
+	singer, err := Singer(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, ok := Find(31, 6)
+	if !ok {
+		t.Fatal("Find(31,6) failed")
+	}
+	if singer.N != found.N || singer.K() != found.K() {
+		t.Errorf("shape mismatch: singer (%d,%d) vs found (%d,%d)",
+			singer.N, singer.K(), found.N, found.K())
+	}
+}
+
+func TestForOrder(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 7} {
+		s, err := ForOrder(q)
+		if err != nil {
+			t.Errorf("ForOrder(%d): %v", q, err)
+			continue
+		}
+		if s.N != q*q+q+1 || s.K() != q+1 {
+			t.Errorf("ForOrder(%d) shape (%d, %d)", q, s.N, s.K())
+		}
+	}
+	if _, err := ForOrder(6); err == nil {
+		t.Error("ForOrder(6) should fail: 6 is neither prime nor in catalog (no plane of order 6 exists)")
+	}
+}
+
+func TestOrders(t *testing.T) {
+	got := Orders(13)
+	want := []int{2, 3, 4, 5, 7, 11, 13}
+	if len(got) != len(want) {
+		t.Fatalf("Orders(13) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Orders(13) = %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestDutyCycleScaling(t *testing.T) {
+	// The whole point of difference sets for ND: k/n ≈ 1/√n, matching the
+	// k ≥ √T lower bound for slotted protocols.
+	for _, q := range []int{3, 5, 7, 11} {
+		s, err := ForOrder(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, n := float64(s.K()), float64(s.N)
+		if k*k < n {
+			t.Errorf("q=%d: k² = %v < n = %v violates the √T bound", q, k*k, n)
+		}
+		// And it is tight within one slot: (k−1)² < n.
+		if (k-1)*(k-1) >= n {
+			t.Errorf("q=%d: set is not tight, (k−1)² = %v ≥ n = %v", q, (k-1)*(k-1), n)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package energy converts the paper's duty-cycle abstractions into
+// battery-life numbers for real radios.
+//
+// The bounds trade the total duty-cycle η = α·β + γ against latency; what
+// a deployment actually cares about is "how long does the coin cell last
+// if I want discovery within two seconds". This package closes that gap:
+// a RadioProfile carries the transmit, receive and sleep currents of a
+// concrete radio (which also fixes the paper's α = Ptx/Prx), and the
+// conversion functions map schedules or duty-cycle pairs to average
+// current and lifetime.
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/timebase"
+)
+
+// RadioProfile is a radio's current draw in its three states, in
+// milliamperes at the nominal supply voltage.
+type RadioProfile struct {
+	Name         string
+	TxCurrent    float64 // mA while transmitting
+	RxCurrent    float64 // mA while receiving/listening
+	SleepCurrent float64 // mA asleep
+}
+
+// Well-known profiles (datasheet ballpark figures at 3 V, 0 dBm TX).
+var (
+	// NRF52 approximates a Nordic nRF52832: 5.3 mA TX @ 0 dBm, 5.4 mA RX,
+	// 3 µA system-on sleep.
+	NRF52 = RadioProfile{Name: "nRF52832", TxCurrent: 5.3, RxCurrent: 5.4, SleepCurrent: 0.003}
+	// CC2640 approximates a TI CC2640R2: 6.1 mA TX @ 0 dBm, 5.9 mA RX,
+	// 2.7 µA standby.
+	CC2640 = RadioProfile{Name: "CC2640R2", TxCurrent: 6.1, RxCurrent: 5.9, SleepCurrent: 0.0027}
+	// CR2032 is the usual coin-cell capacity in mAh, exported for
+	// convenience in lifetime calculations.
+	CR2032Capacity = 225.0
+)
+
+// Validate checks the profile.
+func (r RadioProfile) Validate() error {
+	if r.TxCurrent <= 0 || r.RxCurrent <= 0 || r.SleepCurrent < 0 {
+		return fmt.Errorf("energy: implausible currents in profile %q", r.Name)
+	}
+	if r.SleepCurrent >= r.RxCurrent {
+		return fmt.Errorf("energy: sleep current not below receive current in %q", r.Name)
+	}
+	return nil
+}
+
+// Alpha returns the paper's power ratio α = Ptx/Prx for this radio.
+func (r RadioProfile) Alpha() float64 { return r.TxCurrent / r.RxCurrent }
+
+// AverageCurrent returns the long-run average current in mA for a device
+// transmitting a fraction beta and listening a fraction gamma of the time.
+func (r RadioProfile) AverageCurrent(beta, gamma float64) float64 {
+	if beta < 0 || gamma < 0 || beta+gamma > 1 {
+		return math.NaN()
+	}
+	return beta*r.TxCurrent + gamma*r.RxCurrent + (1-beta-gamma)*r.SleepCurrent
+}
+
+// DeviceCurrent returns the average current of a concrete schedule.
+func (r RadioProfile) DeviceCurrent(d schedule.Device) float64 {
+	return r.AverageCurrent(d.B.Beta(), d.C.Gamma())
+}
+
+// LifetimeHours returns how long a battery of the given capacity (mAh)
+// sustains the duty-cycle pair.
+func (r RadioProfile) LifetimeHours(beta, gamma, capacityMAh float64) float64 {
+	i := r.AverageCurrent(beta, gamma)
+	if math.IsNaN(i) || i <= 0 || capacityMAh <= 0 {
+		return math.NaN()
+	}
+	return capacityMAh / i
+}
+
+// PlanPoint is one row of a latency/lifetime plan.
+type PlanPoint struct {
+	LatencySeconds float64 // worst-case discovery target
+	Eta            float64 // minimum duty-cycle admitting it (Thm 5.5)
+	Beta, Gamma    float64 // optimal split at this radio's α
+	CurrentMA      float64
+	LifetimeDays   float64
+}
+
+// Plan computes, for each worst-case latency target (in seconds), the
+// minimum duty-cycle the fundamental bound admits, the optimal
+// transmit/listen split for this radio's α, and the resulting battery
+// life — the deployment-facing form of the paper's Pareto front.
+func Plan(r RadioProfile, omega timebase.Ticks, capacityMAh float64, latencies []float64) ([]PlanPoint, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	p := core.Params{Omega: omega, Alpha: r.Alpha()}
+	if !p.Valid() {
+		return nil, fmt.Errorf("energy: invalid radio params ω=%d", omega)
+	}
+	var out []PlanPoint
+	for _, ls := range latencies {
+		if ls <= 0 {
+			return nil, fmt.Errorf("energy: latency target %v invalid", ls)
+		}
+		lTicks := ls * 1e6
+		eta := p.EtaForLatency(lTicks)
+		if math.IsNaN(eta) || eta > 1 {
+			return nil, fmt.Errorf("energy: latency %v s unreachable (needs η = %v)", ls, eta)
+		}
+		beta := p.OptimalBeta(eta)
+		gamma := eta / 2
+		i := r.AverageCurrent(beta, gamma)
+		out = append(out, PlanPoint{
+			LatencySeconds: ls,
+			Eta:            eta,
+			Beta:           beta,
+			Gamma:          gamma,
+			CurrentMA:      i,
+			LifetimeDays:   capacityMAh / i / 24,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/optimal"
+)
+
+func TestProfilesValid(t *testing.T) {
+	for _, r := range []RadioProfile{NRF52, CC2640} {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+		}
+		// α near 1 for BLE radios, as the paper's evaluation assumes.
+		if a := r.Alpha(); a < 0.7 || a > 1.3 {
+			t.Errorf("%s: α = %v outside BLE-typical range", r.Name, a)
+		}
+	}
+	bad := RadioProfile{Name: "bad", TxCurrent: 1, RxCurrent: 1, SleepCurrent: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("sleep > rx accepted")
+	}
+}
+
+func TestAverageCurrent(t *testing.T) {
+	r := RadioProfile{Name: "t", TxCurrent: 10, RxCurrent: 5, SleepCurrent: 0.001}
+	// 1 % TX, 2 % RX: 0.1 + 0.1 + 0.97·0.001.
+	got := r.AverageCurrent(0.01, 0.02)
+	want := 0.1 + 0.1 + 0.97*0.001
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("AverageCurrent = %v, want %v", got, want)
+	}
+	if !math.IsNaN(r.AverageCurrent(-0.1, 0)) || !math.IsNaN(r.AverageCurrent(0.6, 0.6)) {
+		t.Error("invalid duty cycles accepted")
+	}
+}
+
+func TestDeviceCurrentMatchesDutyCycles(t *testing.T) {
+	pair, err := optimal.NewSymmetric(36, 1, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NRF52.DeviceCurrent(pair.E)
+	want := NRF52.AverageCurrent(pair.E.B.Beta(), pair.E.C.Gamma())
+	if got != want {
+		t.Errorf("DeviceCurrent %v != AverageCurrent %v", got, want)
+	}
+}
+
+func TestLifetimeHours(t *testing.T) {
+	r := RadioProfile{Name: "t", TxCurrent: 10, RxCurrent: 10, SleepCurrent: 0}
+	// η = 1 % → 0.1 mA average → 225 mAh lasts 2250 h.
+	got := r.LifetimeHours(0.005, 0.005, 225)
+	if math.Abs(got-2250) > 1e-9 {
+		t.Errorf("LifetimeHours = %v, want 2250", got)
+	}
+	if !math.IsNaN(r.LifetimeHours(0.005, 0.005, 0)) {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestPlanMonotonicity(t *testing.T) {
+	plan, err := Plan(NRF52, 128, CR2032Capacity, []float64{0.5, 1, 2, 5, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range plan {
+		// η = √(4αω/L): check against core directly.
+		p := core.Params{Omega: 128, Alpha: NRF52.Alpha()}
+		if math.Abs(pt.Eta-p.EtaForLatency(pt.LatencySeconds*1e6)) > 1e-12 {
+			t.Errorf("plan η mismatch at %v s", pt.LatencySeconds)
+		}
+		if i > 0 {
+			prev := plan[i-1]
+			if pt.Eta >= prev.Eta {
+				t.Errorf("longer latency target should need less duty-cycle")
+			}
+			if pt.LifetimeDays <= prev.LifetimeDays {
+				t.Errorf("longer latency target should live longer")
+			}
+		}
+		// Round trip: the bound at the planned η returns the target.
+		p2 := core.Params{Omega: 128, Alpha: NRF52.Alpha()}
+		back := p2.Symmetric(pt.Eta) / 1e6
+		if math.Abs(back-pt.LatencySeconds)/pt.LatencySeconds > 1e-9 {
+			t.Errorf("round trip %v s → η → %v s", pt.LatencySeconds, back)
+		}
+	}
+}
+
+func TestPlanRejectsUnreachableTargets(t *testing.T) {
+	// 1 µs worst case with 128 µs packets needs η > 1.
+	if _, err := Plan(NRF52, 128, CR2032Capacity, []float64{1e-6}); err == nil {
+		t.Error("unreachable latency accepted")
+	}
+	if _, err := Plan(NRF52, 128, CR2032Capacity, []float64{-1}); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := Plan(RadioProfile{}, 128, 225, []float64{1}); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestInverseBoundsInCore(t *testing.T) {
+	p := core.Params{Omega: 36, Alpha: 1}
+	// η(L(η)) = η.
+	for _, eta := range []float64{0.01, 0.05, 0.2} {
+		l := p.Symmetric(eta)
+		if math.Abs(p.EtaForLatency(l)-eta) > 1e-12 {
+			t.Errorf("EtaForLatency(Symmetric(%v)) = %v", eta, p.EtaForLatency(l))
+		}
+		lm := p.MutualExclusive(eta)
+		if math.Abs(p.EtaForLatencyMutualExclusive(lm)-eta) > 1e-12 {
+			t.Errorf("mutual-exclusive inverse broken at η=%v", eta)
+		}
+	}
+	// Product inverse.
+	l := p.Asymmetric(0.02, 0.08)
+	if math.Abs(p.EtaProductForLatency(l)-0.02*0.08) > 1e-12 {
+		t.Errorf("EtaProductForLatency(Asymmetric) = %v", p.EtaProductForLatency(l))
+	}
+	if !math.IsNaN(p.EtaForLatency(0)) {
+		t.Error("L=0 should be NaN")
+	}
+}

@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	tb "repro/internal/timebase"
+)
+
+func TestRunAblations(t *testing.T) {
+	res, err := RunAblations(StdParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both engines must agree exactly.
+	if res.SweepWorst != res.BruteWorst {
+		t.Errorf("sweep %v vs brute %v", res.SweepWorst, res.BruteWorst)
+	}
+	// The sweep should be much faster (allow noisy CI: ≥ 5×).
+	if res.BruteMicros < 5*res.SweepMicros {
+		t.Logf("speedup only ×%.1f (timing noise?)", res.BruteMicros/res.SweepMicros)
+	}
+	// Theorem 5.1 violation inflates latency toward 4/3.
+	if res.PerturbationInflation < 1.2 || res.PerturbationInflation > 1.5 {
+		t.Errorf("perturbation inflation %v, want ≈ 4/3", res.PerturbationInflation)
+	}
+	// Latency ∝ slot length: doubling I doubles L within slot-structure
+	// noise.
+	for i := 1; i < len(res.SlotLatencies); i++ {
+		ratio := float64(res.SlotLatencies[i]) / float64(res.SlotLatencies[i-1])
+		if ratio < 1.8 || ratio > 2.2 {
+			t.Errorf("slot step %d: latency ratio %v, want ≈ 2", i, ratio)
+		}
+	}
+	// L(Q) = Q·L(1) exactly.
+	for q, lat := range res.QLatencies {
+		if lat != res.QLatencies[0]*tb.Ticks(q+1) {
+			t.Errorf("Q=%d: L=%v, want %d×%v", q+1, lat, q+1, res.QLatencies[0])
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Ablations", "speedup", "4/3", "slot length", "L(Q)/L(1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

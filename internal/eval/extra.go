@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/optimal"
+	"repro/internal/protocols"
+	"repro/internal/textplot"
+	"repro/internal/timebase"
+)
+
+// Figure5Row quantifies the slot-alignment coverage loss at one I/ω ratio.
+type Figure5Row struct {
+	SlotLen         timebase.Ticks
+	RatioIOverOmega float64
+	HalfDuplexCov   float64 // covered offset fraction, half-duplex slots
+	FullDuplexCov   float64 // covered offset fraction, full-duplex slots
+	PredictedLoss   float64 // ≈ 2ω/I
+}
+
+// Figure5Result reproduces the paper's Figure 5 observation: with slot
+// length I close to the packet airtime ω, a large fraction of offsets at
+// which two active slots overlap still cannot deliver a packet, because
+// the beacon lands in the other device's transmit/turnaround region. The
+// loss shrinks as ≈ 2ω/I, which is why slotted protocols need I ≫ ω and
+// why their latency (∝ I) cannot approach the slotless bounds.
+type Figure5Result struct {
+	Omega timebase.Ticks
+	Rows  []Figure5Row
+}
+
+// RunFigure5 sweeps the slot length of a Disco(3,5) pair and measures the
+// covered offset fraction under both slot layouts.
+func RunFigure5(p core.Params) (Figure5Result, error) {
+	res := Figure5Result{Omega: p.Omega}
+	for _, slot := range []timebase.Ticks{3 * p.Omega, 4 * p.Omega, 8 * p.Omega, 16 * p.Omega, 64 * p.Omega} {
+		d, err := protocols.NewDisco(3, 5, slot, p.Omega)
+		if err != nil {
+			return res, err
+		}
+		half, err := d.Device()
+		if err != nil {
+			return res, err
+		}
+		resHalf, err := coverage.Analyze(half.B, half.C, coverage.Options{})
+		if err != nil {
+			return res, err
+		}
+		full, err := d.DeviceFullDuplex()
+		if err != nil {
+			return res, err
+		}
+		resFull, err := coverage.Analyze(full.B, full.C, coverage.Options{})
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, Figure5Row{
+			SlotLen:         slot,
+			RatioIOverOmega: float64(slot) / float64(p.Omega),
+			HalfDuplexCov:   resHalf.CoveredFraction,
+			FullDuplexCov:   resFull.CoveredFraction,
+			PredictedLoss:   2 * float64(p.Omega) / float64(slot),
+		})
+	}
+	return res, nil
+}
+
+// Render formats the Figure 5 reproduction.
+func (res Figure5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — coverage loss of slotted protocols near I ≈ ω (Disco(3,5))\n\n")
+	t := textplot.NewTable("I", "I/ω", "covered (half-duplex)", "covered (full-duplex)", "predicted loss ≈ 2ω/I")
+	for _, row := range res.Rows {
+		t.AddF(row.SlotLen.String(), row.RatioIOverOmega,
+			row.HalfDuplexCov, row.FullDuplexCov, row.PredictedLoss)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nHalf-duplex slots lose ≈ 2ω/I of all offsets (the paper's Figure 5);\n")
+	b.WriteString("the full-duplex idealization of §6.1.1 recovers full coverage.\n")
+	return b.String()
+}
+
+// RenderCoverageMap reproduces a Figure-3b-style coverage map for the
+// optimal unidirectional construction, as a live artifact of Section 4.1.
+func RenderCoverageMap(p core.Params) (string, error) {
+	u, err := optimal.NewUnidirectional(p.Omega, 8*p.Omega, 6, 1)
+	if err != nil {
+		return "", err
+	}
+	m, err := coverage.BuildMap(u.Sender, u.Listener, 6, coverage.Options{})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Coverage map (Section 4.1 / Figure 3b) — optimal pair, k = 6\n")
+	b.WriteString(fmt.Sprintf("listener: one %v window per %v; sender: beacon every %v\n\n",
+		u.D, u.Listener.Period, u.Lambda))
+	b.WriteString(m.Render(60))
+	b.WriteString(fmt.Sprintf("\nΛ (total coverage, Def 4.3) = %v = m·Σd = %d·%v (Theorem 4.2)\n",
+		m.TotalCoverage(), len(m.Omegas), u.D))
+	return b.String(), nil
+}
+
+// AssistanceResult compares direct bidirectional discovery against the
+// Appendix C quadruple with mutual assistance (the Griassdi mechanism).
+type AssistanceResult struct {
+	Params core.Params
+	Rows   []AssistanceRow
+}
+
+// AssistanceRow is one duty-cycle operating point.
+type AssistanceRow struct {
+	Eta           float64
+	DirectWorst   timebase.Ticks // optimal direct bidirectional (Thm 5.5)
+	OneWayWorst   timebase.Ticks // quadruple one-way (Thm C.1)
+	AssistedWorst timebase.Ticks // quadruple + assisted reply, two-way
+	AssistedMean  float64
+	WorstPenalty  timebase.Ticks
+}
+
+// RunAssistance evaluates mutual assistance across duty cycles.
+func RunAssistance(p core.Params) (AssistanceResult, error) {
+	res := AssistanceResult{Params: p}
+	for _, eta := range []float64{0.02, 0.05, 0.1} {
+		direct, err := optimal.NewSymmetric(p.Omega, p.Alpha, eta)
+		if err != nil {
+			return res, err
+		}
+		quad, err := optimal.ForEta(p.Omega, p.Alpha, eta)
+		if err != nil {
+			return res, err
+		}
+		covered, oneWay := optimal.VerifyMutualExclusive(quad)
+		if !covered {
+			return res, fmt.Errorf("eval: quadruple at η=%v not covered", eta)
+		}
+		assist := optimal.EvaluateAssistance(quad)
+		res.Rows = append(res.Rows, AssistanceRow{
+			Eta:           eta,
+			DirectWorst:   direct.WorstCase(),
+			OneWayWorst:   oneWay,
+			AssistedWorst: assist.TwoWayWorst,
+			AssistedMean:  assist.TwoWayMean,
+			WorstPenalty:  assist.WorstPenalty,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the mutual-assistance comparison.
+func (res AssistanceResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Appendix C + mutual assistance — two-way discovery strategies\n\n")
+	t := textplot.NewTable("η", "direct 2-way (Thm 5.5)", "quad 1-way (Thm C.1)",
+		"quad+assist 2-way worst", "quad+assist 2-way mean", "worst penalty")
+	for _, row := range res.Rows {
+		t.AddF(row.Eta, row.DirectWorst.String(), row.OneWayWorst.String(),
+			row.AssistedWorst.String(), fmt.Sprintf("%.4gms", row.AssistedMean/1000),
+			row.WorstPenalty.String())
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nThe quadruple discovers one way in half the direct protocol's time;\n")
+	b.WriteString("the assisted reply costs at most one window period, so two-way worst\n")
+	b.WriteString("cases are comparable while the mean improves substantially.\n")
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunFigure5CoverageLoss(t *testing.T) {
+	res, err := RunFigure5(StdParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 4 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	prevLoss := 1.0
+	for _, row := range res.Rows {
+		// Full duplex always covers completely.
+		if row.FullDuplexCov != 1.0 {
+			t.Errorf("I=%v: full-duplex coverage %v != 1", row.SlotLen, row.FullDuplexCov)
+		}
+		// Half duplex loses offsets, tracking ≈ 2ω/I within 2×.
+		loss := 1 - row.HalfDuplexCov
+		if loss <= 0 {
+			t.Errorf("I=%v: half-duplex shows no loss", row.SlotLen)
+		}
+		if loss > 2*row.PredictedLoss || loss < row.PredictedLoss/3 {
+			t.Errorf("I=%v: loss %v far from prediction %v", row.SlotLen, loss, row.PredictedLoss)
+		}
+		// The loss shrinks as slots grow.
+		if loss > prevLoss+1e-9 {
+			t.Errorf("I=%v: loss %v did not shrink from %v", row.SlotLen, loss, prevLoss)
+		}
+		prevLoss = loss
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Figure 5") || strings.Contains(out, "NaN") {
+		t.Errorf("render problem:\n%s", out)
+	}
+}
+
+func TestRenderCoverageMap(t *testing.T) {
+	out, err := RenderCoverageMap(StdParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "deterministic: every offset") {
+		t.Errorf("map should report determinism:\n%s", out)
+	}
+	// One row per mapped beacon (k = 6) plus the union row.
+	if got := strings.Count(out, "Ω"); got != 6 {
+		t.Errorf("expected 6 Ω rows, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "Theorem 4.2") {
+		t.Error("Λ line missing")
+	}
+}
+
+func TestRunAssistanceShape(t *testing.T) {
+	res, err := RunAssistance(StdParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		// One-way quadruple ≈ half the direct two-way worst case.
+		ratio := float64(row.DirectWorst) / float64(row.OneWayWorst)
+		if ratio < 1.7 || ratio > 2.4 {
+			t.Errorf("η=%v: direct/one-way ratio %v, want ≈ 2 (Thm C.1)", row.Eta, ratio)
+		}
+		// Assisted two-way bounded by one-way + one period (paper: the
+		// penalty is at most TC).
+		if row.AssistedWorst < row.OneWayWorst {
+			t.Errorf("η=%v: assisted worst below one-way worst", row.Eta)
+		}
+		if row.AssistedWorst > 2*row.OneWayWorst {
+			t.Errorf("η=%v: assisted worst %v exceeds one-way + T", row.Eta, row.AssistedWorst)
+		}
+		if row.WorstPenalty > row.OneWayWorst {
+			t.Errorf("η=%v: penalty %v exceeds TC bound", row.Eta, row.WorstPenalty)
+		}
+		// Mean well below worst.
+		if row.AssistedMean <= 0 || row.AssistedMean >= float64(row.AssistedWorst) {
+			t.Errorf("η=%v: mean %v out of range", row.Eta, row.AssistedMean)
+		}
+		// Assisted two-way worst is comparable to direct (within ~1.3×):
+		// halving the beacons does not cost two-way determinism.
+		if float64(row.AssistedWorst) > 1.35*float64(row.DirectWorst) {
+			t.Errorf("η=%v: assisted worst %v ≫ direct %v", row.Eta, row.AssistedWorst, row.DirectWorst)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "assist") || strings.Contains(out, "NaN") {
+		t.Errorf("render problem:\n%s", out)
+	}
+}
+
+func TestFigure5LossApproaches2OmegaOverI(t *testing.T) {
+	res, err := RunFigure5(StdParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the largest slot length the relative error to 2ω/I should be
+	// small (the loss is exactly 2ω/I up to slot-structure end effects).
+	last := res.Rows[len(res.Rows)-1]
+	loss := 1 - last.HalfDuplexCov
+	if math.Abs(loss-last.PredictedLoss)/last.PredictedLoss > 0.6 {
+		t.Errorf("asymptotic loss %v vs prediction %v", loss, last.PredictedLoss)
+	}
+}

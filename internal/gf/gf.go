@@ -1,0 +1,220 @@
+// Package gf implements arithmetic in the prime fields GF(p) and their
+// cubic extensions GF(p³).
+//
+// It exists as the substrate for the Singer construction of perfect cyclic
+// difference sets (package diffset): the points of the projective plane
+// PG(2, q) are the orbits of the multiplicative group of GF(q³) under
+// GF(q)*, and a 2-dimensional GF(q)-subspace of GF(q³) cuts out a perfect
+// (q²+q+1, q+1, 1) difference set. Those sets are exactly the optimal
+// slotted wake-up schedules of Zheng et al. that the paper's Table 1 calls
+// "Diffcodes".
+//
+// Only what the construction needs is implemented: modular arithmetic,
+// irreducible-cubic search, extension-field multiplication and primitive
+// element search. Everything is deterministic and exhaustively testable for
+// the small field sizes neighbor discovery uses.
+package gf
+
+import (
+	"fmt"
+)
+
+// IsPrime reports whether n is prime, by trial division. Field sizes in
+// this repository are tiny (q ≤ a few hundred), so no probabilistic
+// machinery is warranted.
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PrimeFactors returns the distinct prime factors of n in increasing order.
+func PrimeFactors(n int) []int {
+	var out []int
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+			for n%d == 0 {
+				n /= d
+			}
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Elem is an element of GF(p³), represented as a polynomial
+// c[0] + c[1]·x + c[2]·x² over GF(p).
+type Elem [3]int64
+
+// IsZero reports whether the element is the additive identity.
+func (e Elem) IsZero() bool { return e[0] == 0 && e[1] == 0 && e[2] == 0 }
+
+// Ext is the extension field GF(p³), realized as GF(p)[x] modulo a monic
+// irreducible cubic x³ + B·x² + C·x + D.
+type Ext struct {
+	P       int   // characteristic (prime)
+	B, C, D int64 // modulus coefficients
+}
+
+// NewExt constructs GF(p³) for a prime p, searching for an irreducible
+// monic cubic deterministically (smallest coefficients first).
+func NewExt(p int) (*Ext, error) {
+	if !IsPrime(p) {
+		return nil, fmt.Errorf("gf: %d is not prime", p)
+	}
+	// A monic cubic over GF(p) is irreducible iff it has no roots in GF(p).
+	for d := int64(1); d < int64(p); d++ {
+		for c := int64(0); c < int64(p); c++ {
+			for b := int64(0); b < int64(p); b++ {
+				if cubicHasNoRoot(p, b, c, d) {
+					return &Ext{P: p, B: b, C: c, D: d}, nil
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("gf: no irreducible cubic over GF(%d) found (impossible)", p)
+}
+
+func cubicHasNoRoot(p int, b, c, d int64) bool {
+	pp := int64(p)
+	for x := int64(0); x < pp; x++ {
+		v := ((x*x%pp)*x + b*x%pp*x + c*x + d) % pp
+		if v%pp == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Order returns the size of the multiplicative group, p³ − 1.
+func (f *Ext) Order() int { return f.P*f.P*f.P - 1 }
+
+// Add returns a + b.
+func (f *Ext) Add(a, b Elem) Elem {
+	p := int64(f.P)
+	return Elem{(a[0] + b[0]) % p, (a[1] + b[1]) % p, (a[2] + b[2]) % p}
+}
+
+// Neg returns −a.
+func (f *Ext) Neg(a Elem) Elem {
+	p := int64(f.P)
+	return Elem{(p - a[0]) % p, (p - a[1]) % p, (p - a[2]) % p}
+}
+
+// ScalarMul returns s·a for s ∈ GF(p).
+func (f *Ext) ScalarMul(s int64, a Elem) Elem {
+	p := int64(f.P)
+	s = ((s % p) + p) % p
+	return Elem{a[0] * s % p, a[1] * s % p, a[2] * s % p}
+}
+
+// Mul returns a · b, reducing modulo the field's cubic.
+func (f *Ext) Mul(a, b Elem) Elem {
+	p := int64(f.P)
+	// Schoolbook product: degree ≤ 4.
+	var prod [5]int64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			prod[i+j] = (prod[i+j] + a[i]*b[j]) % p
+		}
+	}
+	// Reduce x⁴ then x³ using x³ ≡ −(B·x² + C·x + D).
+	for deg := 4; deg >= 3; deg-- {
+		coef := prod[deg]
+		if coef == 0 {
+			continue
+		}
+		prod[deg] = 0
+		// x^deg = x^(deg-3) · x³ ≡ x^(deg-3) · −(B·x² + C·x + D)
+		base := deg - 3
+		prod[base+2] = (prod[base+2] + (p-f.B%p)*coef) % p
+		prod[base+1] = (prod[base+1] + (p-f.C%p)*coef) % p
+		prod[base+0] = (prod[base+0] + (p-f.D%p)*coef) % p
+	}
+	return Elem{prod[0] % p, prod[1] % p, prod[2] % p}
+}
+
+// One returns the multiplicative identity.
+func (f *Ext) One() Elem { return Elem{1, 0, 0} }
+
+// X returns the element x (the adjoined root of the cubic).
+func (f *Ext) X() Elem { return Elem{0, 1, 0} }
+
+// Pow returns a^n for n ≥ 0 by binary exponentiation.
+func (f *Ext) Pow(a Elem, n int) Elem {
+	if n < 0 {
+		panic("gf: negative exponent")
+	}
+	result := f.One()
+	base := a
+	for n > 0 {
+		if n&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		n >>= 1
+	}
+	return result
+}
+
+// ElementOrder returns the multiplicative order of a non-zero element.
+func (f *Ext) ElementOrder(a Elem) int {
+	if a.IsZero() {
+		panic("gf: order of zero")
+	}
+	n := f.Order()
+	order := n
+	for _, q := range PrimeFactors(n) {
+		for order%q == 0 && f.Pow(a, order/q) == f.One() {
+			order /= q
+		}
+	}
+	return order
+}
+
+// Primitive finds a generator of the multiplicative group GF(p³)*, i.e. an
+// element of order p³ − 1. The search is deterministic: candidates are
+// enumerated in a fixed order starting from x, which is primitive for many
+// moduli; otherwise small perturbations are tried.
+func (f *Ext) Primitive() Elem {
+	n := f.Order()
+	factors := PrimeFactors(n)
+	isPrimitive := func(g Elem) bool {
+		if g.IsZero() {
+			return false
+		}
+		for _, q := range factors {
+			if f.Pow(g, n/q) == f.One() {
+				return false
+			}
+		}
+		return true
+	}
+	if g := f.X(); isPrimitive(g) {
+		return g
+	}
+	p := int64(f.P)
+	for c2 := int64(0); c2 < p; c2++ {
+		for c1 := int64(0); c1 < p; c1++ {
+			for c0 := int64(0); c0 < p; c0++ {
+				g := Elem{c0, c1, c2}
+				if isPrimitive(g) {
+					return g
+				}
+			}
+		}
+	}
+	panic("gf: no primitive element found (impossible for a field)")
+}

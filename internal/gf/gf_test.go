@@ -1,0 +1,206 @@
+package gf
+
+import (
+	"testing"
+)
+
+func TestIsPrime(t *testing.T) {
+	primes := []int{2, 3, 5, 7, 11, 13, 97, 101, 997}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false", p)
+		}
+	}
+	composites := []int{-3, 0, 1, 4, 9, 15, 91, 100, 561}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true", c)
+		}
+	}
+}
+
+func TestPrimeFactors(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{2, []int{2}},
+		{12, []int{2, 3}},
+		{7, []int{7}},
+		{360, []int{2, 3, 5}},
+		{26, []int{2, 13}}, // 3³−1
+		{124, []int{2, 31}},
+	}
+	for _, c := range cases {
+		got := PrimeFactors(c.n)
+		if len(got) != len(c.want) {
+			t.Errorf("PrimeFactors(%d) = %v, want %v", c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("PrimeFactors(%d) = %v, want %v", c.n, got, c.want)
+			}
+		}
+	}
+}
+
+func TestNewExtRejectsComposite(t *testing.T) {
+	if _, err := NewExt(4); err == nil {
+		t.Error("NewExt(4) accepted a composite characteristic")
+	}
+	if _, err := NewExt(1); err == nil {
+		t.Error("NewExt(1) accepted")
+	}
+}
+
+func TestExtModulusIsIrreducible(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7, 11, 13} {
+		f, err := NewExt(p)
+		if err != nil {
+			t.Fatalf("NewExt(%d): %v", p, err)
+		}
+		// Re-verify: the stored cubic must have no root in GF(p).
+		pp := int64(p)
+		for x := int64(0); x < pp; x++ {
+			v := (x*x%pp*x + f.B*x%pp*x + f.C*x + f.D) % pp
+			if v == 0 {
+				t.Errorf("GF(%d): modulus x³+%dx²+%dx+%d has root %d", p, f.B, f.C, f.D, x)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsGF2Cubed(t *testing.T) {
+	// GF(8) is small enough to verify the full field axioms exhaustively.
+	f, err := NewExt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elems []Elem
+	for a := int64(0); a < 2; a++ {
+		for b := int64(0); b < 2; b++ {
+			for c := int64(0); c < 2; c++ {
+				elems = append(elems, Elem{a, b, c})
+			}
+		}
+	}
+	if len(elems) != 8 {
+		t.Fatalf("expected 8 elements, got %d", len(elems))
+	}
+	one := f.One()
+	for _, a := range elems {
+		// Additive inverse.
+		if !f.Add(a, f.Neg(a)).IsZero() {
+			t.Errorf("a + (−a) != 0 for %v", a)
+		}
+		// Multiplicative identity.
+		if f.Mul(a, one) != a {
+			t.Errorf("a·1 != a for %v", a)
+		}
+		for _, b := range elems {
+			// Commutativity.
+			if f.Mul(a, b) != f.Mul(b, a) {
+				t.Errorf("a·b != b·a for %v, %v", a, b)
+			}
+			for _, c := range elems {
+				// Associativity and distributivity.
+				if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+					t.Errorf("(ab)c != a(bc) for %v %v %v", a, b, c)
+				}
+				if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+					t.Errorf("a(b+c) != ab+ac for %v %v %v", a, b, c)
+				}
+			}
+		}
+	}
+	// Every non-zero element must be invertible: a^(order) == 1.
+	for _, a := range elems {
+		if a.IsZero() {
+			continue
+		}
+		if f.Pow(a, f.Order()) != one {
+			t.Errorf("a^(p³−1) != 1 for %v", a)
+		}
+	}
+}
+
+func TestPowMatchesIteratedMul(t *testing.T) {
+	f, err := NewExt(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Elem{2, 3, 1}
+	acc := f.One()
+	for n := 0; n < 60; n++ {
+		if got := f.Pow(a, n); got != acc {
+			t.Fatalf("Pow(a, %d) = %v, want %v", n, got, acc)
+		}
+		acc = f.Mul(acc, a)
+	}
+}
+
+func TestPrimitiveGeneratesGroup(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7} {
+		f, err := NewExt(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := f.Primitive()
+		if got := f.ElementOrder(g); got != f.Order() {
+			t.Errorf("GF(%d³): primitive element has order %d, want %d", p, got, f.Order())
+		}
+		// The powers g⁰..g^(order−1) must be pairwise distinct (spot-check
+		// by counting distinct values for small fields).
+		if p <= 3 {
+			seen := map[Elem]bool{}
+			e := f.One()
+			for i := 0; i < f.Order(); i++ {
+				if seen[e] {
+					t.Errorf("GF(%d³): g^%d repeats an earlier power", p, i)
+					break
+				}
+				seen[e] = true
+				e = f.Mul(e, g)
+			}
+			if e != f.One() {
+				t.Errorf("GF(%d³): g^order != 1", p)
+			}
+		}
+	}
+}
+
+func TestScalarMul(t *testing.T) {
+	f, _ := NewExt(7)
+	a := Elem{1, 2, 3}
+	if got := f.ScalarMul(3, a); got != (Elem{3, 6, 2}) {
+		t.Errorf("3·a = %v", got)
+	}
+	if got := f.ScalarMul(-1, a); got != f.Neg(a) {
+		t.Errorf("−1·a = %v, want %v", got, f.Neg(a))
+	}
+	if got := f.ScalarMul(0, a); !got.IsZero() {
+		t.Errorf("0·a = %v", got)
+	}
+}
+
+func TestElementOrderDividesGroupOrder(t *testing.T) {
+	f, _ := NewExt(3)
+	for a := int64(0); a < 3; a++ {
+		for b := int64(0); b < 3; b++ {
+			for c := int64(0); c < 3; c++ {
+				e := Elem{a, b, c}
+				if e.IsZero() {
+					continue
+				}
+				ord := f.ElementOrder(e)
+				if f.Order()%ord != 0 {
+					t.Errorf("order %d of %v does not divide %d", ord, e, f.Order())
+				}
+				if f.Pow(e, ord) != f.One() {
+					t.Errorf("e^ord != 1 for %v", e)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timebase"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{3, 7}
+	if iv.Len() != 4 {
+		t.Errorf("Len = %d, want 4", iv.Len())
+	}
+	if iv.Empty() {
+		t.Error("non-empty interval reported Empty")
+	}
+	if !iv.Contains(3) || iv.Contains(7) || !iv.Contains(6) || iv.Contains(2) {
+		t.Error("Contains violates half-open semantics")
+	}
+	if (Interval{5, 5}).Empty() != true {
+		t.Error("zero-length interval not Empty")
+	}
+}
+
+func TestNewSetPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSet(0) did not panic")
+		}
+	}()
+	NewSet(0)
+}
+
+func TestSetAddSimple(t *testing.T) {
+	s := NewSet(100)
+	s.Add(10, 5)
+	s.Add(20, 5)
+	want := []Interval{{10, 15}, {20, 25}}
+	got := s.Intervals()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Intervals = %v, want %v", got, want)
+	}
+	if s.Measure() != 10 {
+		t.Errorf("Measure = %d, want 10", s.Measure())
+	}
+}
+
+func TestSetAddMergesOverlapping(t *testing.T) {
+	s := NewSet(100)
+	s.Add(10, 10)
+	s.Add(15, 10) // overlaps [10,20)
+	got := s.Intervals()
+	if len(got) != 1 || got[0] != (Interval{10, 25}) {
+		t.Errorf("Intervals = %v, want [[10,25)]", got)
+	}
+}
+
+func TestSetAddMergesAdjacent(t *testing.T) {
+	s := NewSet(100)
+	s.Add(10, 5)
+	s.Add(15, 5) // touches at 15
+	got := s.Intervals()
+	if len(got) != 1 || got[0] != (Interval{10, 20}) {
+		t.Errorf("adjacent intervals not merged: %v", got)
+	}
+}
+
+func TestSetAddWraps(t *testing.T) {
+	s := NewSet(100)
+	s.Add(95, 10) // wraps to [95,100) + [0,5)
+	got := s.Intervals()
+	if len(got) != 2 || got[0] != (Interval{0, 5}) || got[1] != (Interval{95, 100}) {
+		t.Errorf("wrap split wrong: %v", got)
+	}
+	if !s.Contains(97) || !s.Contains(2) || s.Contains(5) || s.Contains(50) {
+		t.Error("Contains wrong after wrap")
+	}
+}
+
+func TestSetAddNegativeStart(t *testing.T) {
+	s := NewSet(100)
+	s.Add(-3, 5) // = [97,100) + [0,2)
+	if !s.Contains(98) || !s.Contains(1) || s.Contains(2) {
+		t.Errorf("negative start handled wrong: %v", s.Intervals())
+	}
+}
+
+func TestSetAddFullCircle(t *testing.T) {
+	s := NewSet(50)
+	s.Add(30, 50)
+	if !s.IsFull() {
+		t.Error("length == period should cover the circle")
+	}
+	s2 := NewSet(50)
+	s2.Add(10, 1000)
+	if !s2.IsFull() {
+		t.Error("length > period should cover the circle")
+	}
+}
+
+func TestSetAddIgnoresNonPositive(t *testing.T) {
+	s := NewSet(50)
+	s.Add(10, 0)
+	s.Add(10, -5)
+	if !s.IsEmpty() {
+		t.Errorf("non-positive lengths should be ignored: %v", s.Intervals())
+	}
+}
+
+func TestSetGaps(t *testing.T) {
+	s := NewSet(100)
+	s.Add(10, 10)
+	s.Add(50, 10)
+	gaps := s.Gaps()
+	want := []Interval{{0, 10}, {20, 50}, {60, 100}}
+	if len(gaps) != len(want) {
+		t.Fatalf("Gaps = %v, want %v", gaps, want)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Errorf("gap %d = %v, want %v", i, gaps[i], want[i])
+		}
+	}
+}
+
+func TestSetGapsEmptyAndFull(t *testing.T) {
+	s := NewSet(100)
+	if g := s.Gaps(); len(g) != 1 || g[0] != (Interval{0, 100}) {
+		t.Errorf("empty set gaps = %v", g)
+	}
+	s.Add(0, 100)
+	if g := s.Gaps(); len(g) != 0 {
+		t.Errorf("full set gaps = %v", g)
+	}
+}
+
+func TestComplementInvolution(t *testing.T) {
+	s := NewSet(100)
+	s.Add(5, 10)
+	s.Add(40, 20)
+	c := s.Complement()
+	if c.Measure() != 100-s.Measure() {
+		t.Errorf("complement measure %d, want %d", c.Measure(), 100-s.Measure())
+	}
+	cc := c.Complement()
+	if !cc.Equal(s) {
+		t.Errorf("double complement %v != original %v", cc, s)
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	a := NewSet(100)
+	a.Add(0, 10)
+	b := NewSet(100)
+	b.Add(5, 20)
+	a.UnionWith(b)
+	got := a.Intervals()
+	if len(got) != 1 || got[0] != (Interval{0, 25}) {
+		t.Errorf("union = %v, want [[0,25)]", got)
+	}
+}
+
+func TestUnionWithMismatchedPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched-period union did not panic")
+		}
+	}()
+	NewSet(10).UnionWith(NewSet(20))
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := NewSet(100)
+	a.Add(0, 10)
+	b := a.Clone()
+	b.Add(50, 10)
+	if a.Measure() != 10 || b.Measure() != 20 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+// Property: Set built from random adds agrees with a brute-force boolean array.
+func TestSetMatchesBruteForce(t *testing.T) {
+	const period = 97
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSet(period)
+		ref := make([]bool, period)
+		for i := 0; i < int(n%24); i++ {
+			lo := timebase.Ticks(rng.Intn(4 * period)).Mod(period)
+			length := timebase.Ticks(rng.Intn(period + 10))
+			s.Add(lo, length)
+			for k := timebase.Ticks(0); k < length && k < period; k++ {
+				ref[(lo+k)%period] = true
+			}
+		}
+		var refMeasure timebase.Ticks
+		for p := timebase.Ticks(0); p < period; p++ {
+			if ref[p] {
+				refMeasure++
+			}
+			if s.Contains(p) != ref[p] {
+				return false
+			}
+		}
+		return s.Measure() == refMeasure
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSweepMinEmpty(t *testing.T) {
+	segs, covered := SweepMin(100, nil)
+	if covered {
+		t.Error("empty input reported covered")
+	}
+	if len(segs) != 1 || segs[0].Count != 0 || segs[0].Iv != (Interval{0, 100}) {
+		t.Errorf("segs = %v", segs)
+	}
+}
+
+func TestSweepMinSingle(t *testing.T) {
+	segs, covered := SweepMin(100, []Labeled{{Lo: 10, Length: 20, Label: 7}})
+	if covered {
+		t.Error("partial coverage reported covered")
+	}
+	// Expect [0,10) uncovered, [10,30) label 7, [30,100) uncovered.
+	if len(segs) != 3 {
+		t.Fatalf("segments: %v", segs)
+	}
+	if segs[1].Label != 7 || segs[1].Count != 1 || segs[1].Iv != (Interval{10, 30}) {
+		t.Errorf("middle segment: %+v", segs[1])
+	}
+}
+
+func TestSweepMinPicksMinimumLabel(t *testing.T) {
+	segs, covered := SweepMin(100, []Labeled{
+		{Lo: 0, Length: 100, Label: 50},
+		{Lo: 20, Length: 10, Label: 5},
+	})
+	if !covered {
+		t.Fatal("full coverage not detected")
+	}
+	for _, seg := range segs {
+		want := int64(50)
+		if seg.Iv.Lo >= 20 && seg.Iv.Hi <= 30 {
+			want = 5
+		}
+		if seg.Label != want {
+			t.Errorf("segment %v label %d, want %d", seg.Iv, seg.Label, want)
+		}
+	}
+}
+
+func TestSweepMinWrapping(t *testing.T) {
+	segs, covered := SweepMin(100, []Labeled{
+		{Lo: 90, Length: 20, Label: 1}, // [90,100) + [0,10)
+		{Lo: 10, Length: 80, Label: 2}, // [10,90)
+	})
+	if !covered {
+		t.Fatal("should be fully covered")
+	}
+	for _, seg := range segs {
+		want := int64(2)
+		if seg.Iv.Hi <= 10 || seg.Iv.Lo >= 90 {
+			want = 1
+		}
+		if seg.Label != want {
+			t.Errorf("segment %v label %d, want %d", seg.Iv, seg.Label, want)
+		}
+	}
+}
+
+func TestSweepMinCounts(t *testing.T) {
+	segs, _ := SweepMin(10, []Labeled{
+		{Lo: 0, Length: 10, Label: 1},
+		{Lo: 0, Length: 10, Label: 2},
+		{Lo: 5, Length: 2, Label: 3},
+	})
+	for _, seg := range segs {
+		want := 2
+		if seg.Iv.Lo >= 5 && seg.Iv.Hi <= 7 {
+			want = 3
+		}
+		if seg.Count != want {
+			t.Errorf("segment %v count %d, want %d", seg.Iv, seg.Count, want)
+		}
+		if seg.Label != 1 {
+			t.Errorf("segment %v label %d, want 1", seg.Iv, seg.Label)
+		}
+	}
+}
+
+func TestSweepMinHalfOpenBoundary(t *testing.T) {
+	// Two intervals meeting at a point must not create a gap or an overlap.
+	segs, covered := SweepMin(10, []Labeled{
+		{Lo: 0, Length: 5, Label: 1},
+		{Lo: 5, Length: 5, Label: 2},
+	})
+	if !covered {
+		t.Fatal("adjacent intervals should cover the circle")
+	}
+	for _, seg := range segs {
+		if seg.Count != 1 {
+			t.Errorf("segment %v count %d, want 1", seg.Iv, seg.Count)
+		}
+	}
+}
+
+// Property: SweepMin agrees with a brute-force per-point evaluation.
+func TestSweepMinMatchesBruteForce(t *testing.T) {
+	const period = 61
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var items []Labeled
+		for i := 0; i < int(n%16); i++ {
+			items = append(items, Labeled{
+				Lo:     timebase.Ticks(rng.Intn(period)),
+				Length: timebase.Ticks(rng.Intn(period + 5)),
+				Label:  int64(rng.Intn(50)),
+			})
+		}
+		segs, covered := SweepMin(period, items)
+
+		// Brute force reference.
+		refCount := make([]int, period)
+		refMin := make([]int64, period)
+		for p := range refMin {
+			refMin[p] = int64(1) << 62
+		}
+		for _, it := range items {
+			if it.Length <= 0 {
+				continue
+			}
+			l := it.Length
+			if l > period {
+				l = period
+			}
+			for k := timebase.Ticks(0); k < l; k++ {
+				p := (it.Lo + k).Mod(period)
+				refCount[p]++
+				if it.Label < refMin[p] {
+					refMin[p] = it.Label
+				}
+			}
+		}
+		refCovered := true
+		for _, c := range refCount {
+			if c == 0 {
+				refCovered = false
+			}
+		}
+		if covered != refCovered {
+			return false
+		}
+		// Segments must tile the circle exactly.
+		var total timebase.Ticks
+		for _, seg := range segs {
+			total += seg.Iv.Len()
+			for p := seg.Iv.Lo; p < seg.Iv.Hi; p++ {
+				if refCount[p] != seg.Count {
+					return false
+				}
+				if seg.Count > 0 && refMin[p] != seg.Label {
+					return false
+				}
+			}
+		}
+		return total == period
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timebase"
+)
+
+func TestSweepKthEqualsSweepMinForK1(t *testing.T) {
+	items := []Labeled{
+		{Lo: 0, Length: 40, Label: 10},
+		{Lo: 20, Length: 40, Label: 3},
+		{Lo: 50, Length: 30, Label: 7},
+	}
+	min1, cov1 := SweepMin(80, items)
+	kth, covK := SweepKth(80, items, 1)
+	if cov1 != covK {
+		t.Fatalf("coverage disagrees: %v vs %v", cov1, covK)
+	}
+	if len(min1) != len(kth) {
+		t.Fatalf("segment counts differ: %d vs %d", len(min1), len(kth))
+	}
+	for i := range min1 {
+		if min1[i].Iv != kth[i].Iv || min1[i].Count != kth[i].Count {
+			t.Errorf("segment %d shape differs", i)
+		}
+		if min1[i].Count > 0 && min1[i].Label != kth[i].Label {
+			t.Errorf("segment %d: min %d vs kth(1) %d", i, min1[i].Label, kth[i].Label)
+		}
+	}
+}
+
+func TestSweepKthSecondCoverage(t *testing.T) {
+	// Two full-circle covers with labels 5 and 9, plus a patch labeled 1.
+	items := []Labeled{
+		{Lo: 0, Length: 100, Label: 5},
+		{Lo: 0, Length: 100, Label: 9},
+		{Lo: 10, Length: 20, Label: 1},
+	}
+	segs, covered := SweepKth(100, items, 2)
+	if !covered {
+		t.Fatal("double coverage not detected")
+	}
+	for _, seg := range segs {
+		want := int64(9)
+		if seg.Iv.Lo >= 10 && seg.Iv.Hi <= 30 {
+			want = 5 // labels there: 1, 5, 9 → 2nd smallest is 5
+		}
+		if seg.Label != want {
+			t.Errorf("segment %v: 2nd label %d, want %d", seg.Iv, seg.Label, want)
+		}
+	}
+	// Third coverage only exists on the patch.
+	_, covered3 := SweepKth(100, items, 3)
+	if covered3 {
+		t.Error("triple coverage reported for a doubly-covered circle")
+	}
+}
+
+func TestSweepKthPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	SweepKth(10, nil, 0)
+}
+
+// Property: SweepKth agrees with brute-force per-point k-th smallest label.
+func TestSweepKthMatchesBruteForce(t *testing.T) {
+	const period = 53
+	f := func(seed int64, n uint8, kk uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kk%3) + 1
+		var items []Labeled
+		for i := 0; i < int(n%12); i++ {
+			items = append(items, Labeled{
+				Lo:     timebase.Ticks(rng.Intn(period)),
+				Length: timebase.Ticks(rng.Intn(period + 5)),
+				Label:  int64(rng.Intn(40)),
+			})
+		}
+		segs, covered := SweepKth(period, items, k)
+
+		// Brute force: per-point sorted labels.
+		perPoint := make([][]int64, period)
+		for _, it := range items {
+			if it.Length <= 0 {
+				continue
+			}
+			l := it.Length
+			if l > period {
+				l = period
+			}
+			for d := timebase.Ticks(0); d < l; d++ {
+				p := (it.Lo + d).Mod(period)
+				perPoint[p] = append(perPoint[p], it.Label)
+			}
+		}
+		refCovered := true
+		for _, labels := range perPoint {
+			if len(labels) < k {
+				refCovered = false
+			}
+		}
+		if covered != refCovered {
+			return false
+		}
+		for _, seg := range segs {
+			for p := seg.Iv.Lo; p < seg.Iv.Hi; p++ {
+				labels := perPoint[p]
+				if len(labels) != seg.Count {
+					return false
+				}
+				if seg.Count >= k {
+					// k-th smallest by insertion sort.
+					sorted := append([]int64(nil), labels...)
+					for i := 1; i < len(sorted); i++ {
+						for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+							sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+						}
+					}
+					if sorted[k-1] != seg.Label {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package multichannel models BLE-style multi-channel neighbor discovery.
+//
+// The paper (like most of the ND literature) assumes a single channel.
+// Real BLE advertises each event on three advertising channels (37, 38,
+// 39) back to back, while the scanner listens to one channel per scan
+// interval, cycling through the three. A beacon is received only if its
+// channel matches the scanner's current channel and the timing overlaps —
+// so the effective discovery problem is the union of three phase-locked
+// single-channel problems.
+//
+// This package computes the exact worst-case multi-channel discovery
+// latency with the same interval-sweep technique as package coverage: the
+// scanner's channel schedule repeats with period channels·Ts (the
+// analysis circle), every advertising event contributes one offset
+// interval per (PDU, matching window) pair, and the labeled sweep yields
+// the per-offset first-success delay.
+package multichannel
+
+import (
+	"fmt"
+
+	"repro/internal/interval"
+	"repro/internal/timebase"
+)
+
+// Config describes a BLE-like advertiser/scanner pair.
+type Config struct {
+	// Advertiser: every Ta, one PDU of airtime Omega per channel, spaced
+	// IFS apart (start to start: Omega + IFS).
+	Ta    timebase.Ticks
+	Omega timebase.Ticks
+	IFS   timebase.Ticks
+
+	// Scanner: listens Ds at the end of every scan interval Ts, on one
+	// channel per interval, cycling through Channels channels.
+	Ts timebase.Ticks
+	Ds timebase.Ticks
+
+	// Channels is the number of advertising channels (BLE: 3).
+	Channels int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Channels < 1 {
+		return fmt.Errorf("multichannel: %d channels invalid", c.Channels)
+	}
+	if c.Omega <= 0 {
+		return fmt.Errorf("multichannel: airtime %d invalid", c.Omega)
+	}
+	if c.IFS < 0 {
+		return fmt.Errorf("multichannel: negative inter-frame space")
+	}
+	eventLen := timebase.Ticks(c.Channels)*(c.Omega+c.IFS) - c.IFS
+	if c.Ta <= eventLen {
+		return fmt.Errorf("multichannel: advertising interval %d must exceed the %d-channel event length %d", c.Ta, c.Channels, eventLen)
+	}
+	if c.Ds <= 0 || c.Ds > c.Ts {
+		return fmt.Errorf("multichannel: scan window %d / interval %d invalid", c.Ds, c.Ts)
+	}
+	return nil
+}
+
+// Result is the exact multi-channel analysis outcome.
+type Result struct {
+	// Deterministic reports whether every initial offset leads to
+	// discovery.
+	Deterministic bool
+
+	// CoveredFraction is the fraction of offsets that ever discover.
+	CoveredFraction float64
+
+	// WorstLatency is the supremum discovery latency from range entry
+	// (valid only if Deterministic).
+	WorstLatency timebase.Ticks
+
+	// MeanLatency is the expectation over uniform entry and offset.
+	MeanLatency float64
+}
+
+// pdu is one advertising PDU within the repeating event.
+type pdu struct {
+	channel int
+	offset  timebase.Ticks // start relative to the event start
+}
+
+// Analyze computes the exact worst-case discovery latency of the
+// configuration, sweeping all relative phases between advertiser and
+// scanner.
+func Analyze(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	circle := timebase.Ticks(cfg.Channels) * cfg.Ts // scanner channel cycle
+
+	// PDUs within one advertising event.
+	pdus := make([]pdu, cfg.Channels)
+	for i := range pdus {
+		pdus[i] = pdu{channel: i, offset: timebase.Ticks(i) * (cfg.Omega + cfg.IFS)}
+	}
+
+	// Scanner window for channel c sits at the end of interval c within
+	// the cycle: [c·Ts + Ts − Ds, (c+1)·Ts).
+	winStart := func(ch int) timebase.Ticks {
+		return timebase.Ticks(ch)*cfg.Ts + cfg.Ts - cfg.Ds
+	}
+
+	// Beacon occurrences repeat with period Ta; their images on the
+	// circle repeat after the hyperperiod.
+	hyper := timebase.LCM(cfg.Ta, circle)
+	events := int(hyper / cfg.Ta)
+	if events < 1 {
+		events = 1
+	}
+
+	var (
+		worst     timebase.Ticks
+		meanNum   float64
+		coveredOK = true
+		covered   timebase.Ticks
+	)
+	// Starting PDU j: range entry can fall anywhere in the gap before it.
+	// Gaps within an event are IFS-scale; the gap before PDU 0 spans back
+	// to the previous event's last PDU.
+	for j := 0; j < cfg.Channels; j++ {
+		var items []interval.Labeled
+		start := pdus[j].offset
+		for e := 0; e < events+1; e++ {
+			for _, p := range pdus {
+				at := timebase.Ticks(e)*cfg.Ta + p.offset
+				if at < start {
+					continue
+				}
+				delay := at - start
+				items = append(items, interval.Labeled{
+					Lo:     winStart(p.channel) - delay,
+					Length: cfg.Ds,
+					Label:  int64(delay),
+				})
+			}
+		}
+		segs, cov := interval.SweepMin(circle, items)
+		if !cov {
+			coveredOK = false
+		}
+		var lMax timebase.Ticks
+		var lSum float64
+		var covSum timebase.Ticks
+		for _, seg := range segs {
+			if seg.Count == 0 {
+				continue
+			}
+			covSum += seg.Iv.Len()
+			if l := timebase.Ticks(seg.Label); l > lMax {
+				lMax = l
+			}
+			lSum += float64(seg.Label) * float64(seg.Iv.Len())
+		}
+		if j == 0 {
+			covered = covSum
+		}
+		gapBefore := gapBeforePDU(cfg, pdus, j)
+		if cov {
+			if l := gapBefore + lMax; l > worst {
+				worst = l
+			}
+			meanNum += float64(gapBefore) * (lSum/float64(circle) + float64(gapBefore)/2)
+		}
+	}
+	res := Result{
+		Deterministic:   coveredOK,
+		CoveredFraction: float64(covered) / float64(circle),
+	}
+	if coveredOK {
+		res.WorstLatency = worst
+		res.MeanLatency = meanNum / float64(cfg.Ta)
+	}
+	return res, nil
+}
+
+// gapBeforePDU returns the transmission gap preceding PDU j (start to
+// start), across the event boundary for j == 0.
+func gapBeforePDU(cfg Config, pdus []pdu, j int) timebase.Ticks {
+	if j > 0 {
+		return pdus[j].offset - pdus[j-1].offset
+	}
+	return cfg.Ta - pdus[len(pdus)-1].offset
+}
+
+// BLE returns the standard 3-channel configuration for the given
+// advertising and scanning parameters, with the 150 µs BLE inter-frame
+// space.
+func BLE(ta, omega, ts, ds timebase.Ticks) Config {
+	return Config{Ta: ta, Omega: omega, IFS: 150, Ts: ts, Ds: ds, Channels: 3}
+}

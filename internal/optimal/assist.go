@@ -1,0 +1,126 @@
+package optimal
+
+import (
+	"repro/internal/timebase"
+)
+
+// AssistResult is the outcome of evaluating mutual assistance (the
+// technique closing Appendix C, introduced by Griassdi [13]): after one-way
+// discovery, the received beacon carries the sender's next reception-window
+// time, and the discovering device schedules one extra packet there to
+// complete two-way discovery. The price is the distance from the received
+// beacon to the sender's next window — at most one period TC.
+type AssistResult struct {
+	// OneWayWorst is the worst-case latency until either direction
+	// succeeds (Theorem C.1's metric), equal to the quadruple's period.
+	OneWayWorst timebase.Ticks
+
+	// TwoWayWorst is the worst-case latency until both devices know each
+	// other when the first discovery is followed by an assisted reply.
+	TwoWayWorst timebase.Ticks
+
+	// TwoWayMean is the mean over all offsets and uniform entry instants.
+	TwoWayMean float64
+
+	// WorstPenalty is the largest beacon-to-next-window distance actually
+	// incurred; the paper upper-bounds it by TC.
+	WorstPenalty timebase.Ticks
+}
+
+// EvaluateAssistance exhaustively evaluates two-way discovery with mutual
+// assistance for an Appendix C quadruple, at tick resolution.
+//
+// For every initial offset Φ of device F against device E, the first
+// discovery happens at some instant s in one direction; the assisted reply
+// lands in the original sender's next reception window, after a penalty of
+// (next window start − s) mod T. The worst case over entry instants for a
+// given Φ is the largest cyclic gap before a success instant plus that
+// instant's penalty.
+func EvaluateAssistance(q Quadruple) AssistResult {
+	t := q.T
+	window := q.Device.C.Windows[0]
+	a, w := window.Start, window.Len
+	beacons := q.Device.B.Beacons
+
+	inWindow := func(x timebase.Ticks) bool {
+		x = x.Mod(t)
+		return x >= a && x < a+w
+	}
+
+	res := AssistResult{OneWayWorst: q.WorstCase}
+	var meanNum float64
+	for phi := timebase.Ticks(0); phi < t; phi++ {
+		var succ []assistSuccess
+		for _, bc := range beacons {
+			// F's beacon lands in E's window: E replies in F's next
+			// window. F's windows sit at (a + phi) mod t.
+			if at := (bc.Time + phi).Mod(t); inWindow(at) {
+				pen := (a + phi - at).Mod(t)
+				succ = append(succ, assistSuccess{at: at, penalty: pen})
+			}
+			// E's beacon lands in F's window: F replies in E's next
+			// window, which sits at a mod t.
+			if inWindow(bc.Time - phi) {
+				at := bc.Time.Mod(t)
+				pen := (a - at).Mod(t)
+				succ = append(succ, assistSuccess{at: at, penalty: pen})
+			}
+		}
+		if len(succ) == 0 {
+			continue // offset uncovered; quadruple invalid — caller checks
+		}
+		sortSuccesses(succ)
+		// Merge successes at the same instant, keeping the smaller
+		// penalty: if both directions succeed simultaneously, the faster
+		// reply (or none at all) governs completion.
+		merged := succ[:0]
+		for _, s := range succ {
+			if n := len(merged); n > 0 && merged[n-1].at == s.at {
+				if s.penalty < merged[n-1].penalty {
+					merged[n-1].penalty = s.penalty
+				}
+				continue
+			}
+			merged = append(merged, s)
+		}
+		succ = merged
+		// For each success instant: entries in the cyclic gap before it
+		// complete two-way at its instant + penalty.
+		for i, s := range succ {
+			prev := succ[(i-1+len(succ))%len(succ)].at
+			gap := (s.at - prev).Mod(t)
+			if gap == 0 && len(succ) > 1 {
+				continue
+			}
+			if len(succ) == 1 {
+				gap = t
+			}
+			total := gap + s.penalty
+			if total > res.TwoWayWorst {
+				res.TwoWayWorst = total
+			}
+			if s.penalty > res.WorstPenalty {
+				res.WorstPenalty = s.penalty
+			}
+			// Entries uniform in the gap: mean wait gap/2, then penalty.
+			meanNum += float64(gap) * (float64(gap)/2 + float64(s.penalty))
+		}
+	}
+	res.TwoWayMean = meanNum / float64(t) / float64(t)
+	return res
+}
+
+// assistSuccess is one first-direction reception instant with the wait
+// until the assisted reply lands.
+type assistSuccess struct {
+	at      timebase.Ticks
+	penalty timebase.Ticks
+}
+
+func sortSuccesses(xs []assistSuccess) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j].at < xs[j-1].at; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package optimal
+
+import (
+	"testing"
+
+	"repro/internal/timebase"
+)
+
+func TestEvaluateAssistanceBounds(t *testing.T) {
+	for _, tc := range []struct {
+		u timebase.Ticks
+		m int
+	}{
+		{10, 3},
+		{36, 5},
+		{50, 10},
+	} {
+		q, err := NewMutualExclusive(2, tc.u, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := EvaluateAssistance(q)
+		if res.OneWayWorst != q.T {
+			t.Errorf("u=%d m=%d: one-way %v != T %v", tc.u, tc.m, res.OneWayWorst, q.T)
+		}
+		// The paper's bound: the assistance penalty is at most TC (= T).
+		if res.WorstPenalty >= q.T {
+			t.Errorf("u=%d m=%d: penalty %v ≥ T", tc.u, tc.m, res.WorstPenalty)
+		}
+		if res.TwoWayWorst < res.OneWayWorst || res.TwoWayWorst > 2*q.T {
+			t.Errorf("u=%d m=%d: two-way worst %v outside [T, 2T]", tc.u, tc.m, res.TwoWayWorst)
+		}
+		if res.TwoWayMean <= 0 || res.TwoWayMean > float64(res.TwoWayWorst) {
+			t.Errorf("u=%d m=%d: mean %v out of range", tc.u, tc.m, res.TwoWayMean)
+		}
+	}
+}
+
+func TestAssistanceSingleBeaconPeriod(t *testing.T) {
+	// m = 1: the construction places the single beacon at its own window's
+	// start (the temporal correlation ζ), so the assisted reply lands with
+	// zero penalty and the two-way worst equals the one-way worst T.
+	q, err := NewMutualExclusive(2, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, _ := VerifyMutualExclusive(q)
+	if !covered {
+		t.Fatal("m=1 quadruple not covered")
+	}
+	res := EvaluateAssistance(q)
+	if res.WorstPenalty != 0 {
+		t.Errorf("m=1 penalty %v, want 0 (beacon adjacent to own window)", res.WorstPenalty)
+	}
+	if res.TwoWayWorst != q.T {
+		t.Errorf("two-way worst %v, want exactly T=%v", res.TwoWayWorst, q.T)
+	}
+}
+
+func TestAssistanceMeanBelowWorstHalf(t *testing.T) {
+	// With uniform entries the mean should be roughly half the worst for
+	// near-uniform success spacing.
+	q, err := ForEta(36, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := EvaluateAssistance(q)
+	ratio := res.TwoWayMean / float64(res.TwoWayWorst)
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Errorf("mean/worst = %v, want ≈ 0.5", ratio)
+	}
+}

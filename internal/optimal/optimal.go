@@ -1,0 +1,429 @@
+// Package optimal constructs neighbor-discovery schedules that achieve the
+// paper's fundamental bounds with equality, certifying constructively that
+// the bounds of Section 5 and Appendix C are tight.
+//
+// All constructions follow the structure the proofs identify as necessary:
+//
+//   - reception sequences with a single window per period TC = k·d
+//     (Theorem 5.3 with nC = 1: TC must be a multiple of the coverage per
+//     beacon);
+//   - beacon sequences with equal gaps λ ≡ −d (mod TC), so that successive
+//     beacon images tile the circle [0, TC) exactly once (Theorem 5.1 /
+//     Lemma 5.2: every sum of M consecutive gaps must equal M·λ̄);
+//   - for the Appendix C quadruple, per-period beacon positions whose
+//     direct coverage S and reflected coverage −S partition the circle, so
+//     that either device discovers its opposite with half the beacons.
+//
+// Constructions work on integer ticks: requested duty cycles are rounded to
+// the nearest constructible rational, and the achieved values are reported
+// alongside the predicted worst-case latency, which is exact by
+// construction (and re-verified against the coverage engine in the tests).
+package optimal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/timebase"
+)
+
+// Unidirectional is an optimal one-way configuration: a sender beaconing
+// every Lambda ticks and a listener with one window of D ticks every
+// K·D ticks. By construction K·Lambda is the exact worst-case latency.
+type Unidirectional struct {
+	Sender   schedule.BeaconSeq
+	Listener schedule.WindowSeq
+
+	K      int            // windows per covering cycle; γ = 1/K
+	D      timebase.Ticks // window length
+	Lambda timebase.Ticks // beacon gap; β = ω/λ
+
+	// WorstCase is the exact worst-case latency K·Lambda; it equals the
+	// Theorem 5.4 bound ω/(β·γ) for the achieved β and γ.
+	WorstCase timebase.Ticks
+}
+
+// SenderDevice wraps the sender sequence as a transmit-only device.
+func (u Unidirectional) SenderDevice() schedule.Device {
+	return schedule.Device{B: u.Sender}
+}
+
+// ListenerDevice wraps the listener sequence as a receive-only device.
+func (u Unidirectional) ListenerDevice() schedule.Device {
+	return schedule.Device{C: u.Listener}
+}
+
+// Beta returns the achieved transmit duty-cycle ω/λ.
+func (u Unidirectional) Beta() float64 {
+	return float64(u.Sender.Beacons[0].Len) / float64(u.Lambda)
+}
+
+// Gamma returns the achieved receive duty-cycle 1/K.
+func (u Unidirectional) Gamma() float64 { return 1 / float64(u.K) }
+
+// NewUnidirectional builds the optimal one-way pair from exact integer
+// parameters: window length d, listener period k·d, and beacon gap
+// λ = (m·k − 1)·d for a gap multiplier m ≥ 1. Every choice satisfies
+// λ ≡ −d (mod TC), so k consecutive beacon images tile the listener period
+// exactly and the pair is disjoint-deterministic with L = k·λ.
+func NewUnidirectional(omega, d timebase.Ticks, k, m int) (Unidirectional, error) {
+	if k < 2 {
+		return Unidirectional{}, fmt.Errorf("optimal: k=%d must be ≥ 2", k)
+	}
+	if m < 1 {
+		return Unidirectional{}, fmt.Errorf("optimal: gap multiplier m=%d must be ≥ 1", m)
+	}
+	if d <= 0 || omega <= 0 {
+		return Unidirectional{}, fmt.Errorf("optimal: d=%d and ω=%d must be positive", d, omega)
+	}
+	lambda := timebase.Ticks(m*k-1) * d
+	if lambda <= omega {
+		return Unidirectional{}, fmt.Errorf("optimal: beacon gap %d must exceed ω=%d; increase d or k", lambda, omega)
+	}
+	listener, err := schedule.NewUniformWindows(d, k)
+	if err != nil {
+		return Unidirectional{}, err
+	}
+	sender, err := schedule.NewEqualGapBeacons(k, lambda, omega, 0)
+	if err != nil {
+		return Unidirectional{}, err
+	}
+	return Unidirectional{
+		Sender:    sender,
+		Listener:  listener,
+		K:         k,
+		D:         d,
+		Lambda:    lambda,
+		WorstCase: timebase.Ticks(k) * lambda,
+	}, nil
+}
+
+// ForDutyCycles builds the optimal one-way pair closest to the requested
+// transmit share beta (sender) and receive share gamma (listener): k is the
+// nearest integer to 1/γ and d the nearest window length making
+// λ = (k−1)·d ≈ ω/β. Achieved duty cycles are exact rationals close to the
+// request; inspect Beta()/Gamma() for the realized values.
+func ForDutyCycles(omega timebase.Ticks, beta, gamma float64) (Unidirectional, error) {
+	if beta <= 0 || beta >= 1 || gamma <= 0 || gamma > 0.5 {
+		return Unidirectional{}, fmt.Errorf("optimal: duty cycles β=%v, γ=%v out of constructible range", beta, gamma)
+	}
+	k := int(math.Round(1 / gamma))
+	if k < 2 {
+		k = 2
+	}
+	lambdaTarget := float64(omega) / beta
+	d := timebase.Ticks(math.Round(lambdaTarget / float64(k-1)))
+	if d < 1 {
+		d = 1
+	}
+	return NewUnidirectional(omega, d, k, 1)
+}
+
+// Pair is an optimal bidirectional configuration of two devices.
+type Pair struct {
+	E, F schedule.Device
+
+	// WorstCaseEtoF is the exact worst-case latency for F discovering E
+	// (E's beacons against F's windows); WorstCaseFtoE the reverse.
+	WorstCaseEtoF, WorstCaseFtoE timebase.Ticks
+}
+
+// WorstCase returns the two-way worst-case latency max(L_E→F, L_F→E).
+func (p Pair) WorstCase() timebase.Ticks {
+	if p.WorstCaseEtoF > p.WorstCaseFtoE {
+		return p.WorstCaseEtoF
+	}
+	return p.WorstCaseFtoE
+}
+
+// NewSymmetric builds an optimal symmetric bidirectional protocol for total
+// duty-cycle eta: both devices run the same (B∞, C∞) with the latency-
+// optimal split β = η/(2α), γ = η/2 (Theorem 5.5). The realized worst-case
+// latency approaches 4αω/η² up to integer rounding of k = 2/η and d.
+func NewSymmetric(omega timebase.Ticks, alpha, eta float64) (Pair, error) {
+	if alpha <= 0 || eta <= 0 || eta >= 1 {
+		return Pair{}, fmt.Errorf("optimal: invalid α=%v or η=%v", alpha, eta)
+	}
+	beta := eta / (2 * alpha)
+	gamma := eta / 2
+	u, err := ForDutyCycles(omega, beta, gamma)
+	if err != nil {
+		return Pair{}, err
+	}
+	dev := schedule.Device{B: u.Sender, C: u.Listener}
+	if err := dev.Validate(); err != nil {
+		return Pair{}, err
+	}
+	return Pair{
+		E: dev, F: dev,
+		WorstCaseEtoF: u.WorstCase,
+		WorstCaseFtoE: u.WorstCase,
+	}, nil
+}
+
+// NewAsymmetric builds an optimal asymmetric bidirectional protocol for
+// per-device duty-cycles etaE and etaF (Theorem 5.7): each device splits
+// optimally (βX = ηX/2α, γX = ηX/2), E's beacon gap is matched to F's
+// window grid and vice versa, and both one-way latencies equal
+// ≈ 4αω/(ηE·ηF) so that neither direction wastes energy (the proof's
+// LE = LF condition).
+func NewAsymmetric(omega timebase.Ticks, alpha, etaE, etaF float64) (Pair, error) {
+	if alpha <= 0 || etaE <= 0 || etaF <= 0 || etaE >= 1 || etaF >= 1 {
+		return Pair{}, fmt.Errorf("optimal: invalid α=%v, ηE=%v, ηF=%v", alpha, etaE, etaF)
+	}
+	// F discovers E: E's beacons (βE) against F's windows (γF).
+	uEF, err := ForDutyCycles(omega, etaE/(2*alpha), etaF/2)
+	if err != nil {
+		return Pair{}, fmt.Errorf("optimal: E→F side: %w", err)
+	}
+	// E discovers F: F's beacons (βF) against E's windows (γE).
+	uFE, err := ForDutyCycles(omega, etaF/(2*alpha), etaE/2)
+	if err != nil {
+		return Pair{}, fmt.Errorf("optimal: F→E side: %w", err)
+	}
+	devE := schedule.Device{B: uEF.Sender, C: uFE.Listener}
+	devF := schedule.Device{B: uFE.Sender, C: uEF.Listener}
+	if err := devE.Validate(); err != nil {
+		return Pair{}, err
+	}
+	if err := devF.Validate(); err != nil {
+		return Pair{}, err
+	}
+	return Pair{
+		E: devE, F: devF,
+		WorstCaseEtoF: uEF.WorstCase,
+		WorstCaseFtoE: uFE.WorstCase,
+	}, nil
+}
+
+// NewConstrained builds the optimal symmetric protocol under a channel
+// utilization cap betaMax (Theorem 5.6): if the cap is above the optimal
+// η/(2α) it is ignored; otherwise the transmit share is pinned to the cap
+// and the receive share absorbs the rest of the budget, trading latency for
+// collision headroom.
+func NewConstrained(omega timebase.Ticks, alpha, eta, betaMax float64) (Pair, error) {
+	if betaMax <= 0 {
+		return Pair{}, fmt.Errorf("optimal: βmax=%v must be positive", betaMax)
+	}
+	beta := eta / (2 * alpha)
+	if beta > betaMax {
+		beta = betaMax
+	}
+	gamma := eta - alpha*beta
+	if gamma <= 0 {
+		return Pair{}, fmt.Errorf("optimal: η=%v with α=%v leaves no receive budget at β=%v", eta, alpha, beta)
+	}
+	if gamma > 0.5 {
+		gamma = 0.5
+	}
+	u, err := ForDutyCycles(omega, beta, gamma)
+	if err != nil {
+		return Pair{}, err
+	}
+	dev := schedule.Device{B: u.Sender, C: u.Listener}
+	return Pair{
+		E: dev, F: dev,
+		WorstCaseEtoF: u.WorstCase,
+		WorstCaseFtoE: u.WorstCase,
+	}, nil
+}
+
+// Quadruple is the Appendix C construction: both devices run beacon and
+// window sequences with period T whose per-period beacon positions are
+// temporally correlated with the windows, such that for every initial
+// offset either E's beacon falls into F's window or vice versa — one-way
+// discovery with half the beacons of direct bidirectional discovery.
+type Quadruple struct {
+	Device schedule.Device // both devices run this identical schedule
+	T      timebase.Ticks  // common period TC = TB
+	M      int             // beacons per period (= k/2 rounded up by one block)
+	U      timebase.Ticks  // tiling unit: window length minus one tick
+
+	// WorstCase is the exact worst-case one-way latency, equal to T.
+	WorstCase timebase.Ticks
+}
+
+// NewMutualExclusive builds the Appendix C quadruple with m beacons per
+// period and tiling unit u: window length u+1, period T = 2·m·u, beacons at
+// positions (2j−1)·u − 1 for j = 1..m. The direct coverage blocks sit at
+// even multiples of u and the reflected blocks (Equation 34's Φ_E = −Φ_F
+// correlation) at odd multiples, overlapping by one tick at each boundary —
+// together they cover every offset, so either direction succeeds within
+// T = 2·m·u ≈ 2αω/η² (Theorem C.1).
+func NewMutualExclusive(omega, u timebase.Ticks, m int) (Quadruple, error) {
+	if m < 1 {
+		return Quadruple{}, fmt.Errorf("optimal: m=%d beacons per period invalid", m)
+	}
+	if u <= omega {
+		return Quadruple{}, fmt.Errorf("optimal: tiling unit u=%d must exceed ω=%d", u, omega)
+	}
+	t := 2 * timebase.Ticks(m) * u
+	var times []timebase.Ticks
+	for j := 1; j <= m; j++ {
+		times = append(times, timebase.Ticks(2*j-1)*u-1)
+	}
+	b, err := schedule.NewBeaconsAt(times, omega, t)
+	if err != nil {
+		return Quadruple{}, err
+	}
+	c, err := schedule.NewWindowsAt([]schedule.Window{{Start: t - (u + 1), Len: u + 1}}, t)
+	if err != nil {
+		return Quadruple{}, err
+	}
+	dev := schedule.Device{B: b, C: c}
+	if err := dev.Validate(); err != nil {
+		return Quadruple{}, err
+	}
+	return Quadruple{Device: dev, T: t, M: m, U: u, WorstCase: t}, nil
+}
+
+// ForEta sizes a mutual-exclusive quadruple for a total duty-cycle eta with
+// the Theorem C.1-optimal split: u ≈ αω/η·(achieving β = ω/(2u) = η/2α)
+// and m ≈ 1/η (achieving γ ≈ 1/(2m) = η/2).
+func ForEta(omega timebase.Ticks, alpha, eta float64) (Quadruple, error) {
+	if eta <= 0 || eta >= 1 || alpha <= 0 {
+		return Quadruple{}, fmt.Errorf("optimal: invalid η=%v or α=%v", eta, alpha)
+	}
+	u := timebase.Ticks(math.Round(alpha * float64(omega) / eta))
+	m := int(math.Round(1 / eta))
+	if m < 1 {
+		m = 1
+	}
+	return NewMutualExclusive(omega, u, m)
+}
+
+// Eta returns the quadruple's achieved total duty-cycle.
+func (q Quadruple) Eta(alpha float64) float64 { return q.Device.Eta(alpha) }
+
+// VerifyMutualExclusive exhaustively checks the Appendix C property of a
+// quadruple at tick resolution: for every initial offset Φ ∈ [0, T) of
+// device F's schedule against device E's, at least one of the two
+// directions succeeds within one period, and the worst-case one-way latency
+// (the largest cyclic gap between success instants) is returned.
+//
+// The check is brute force by design — it is the independent witness the
+// construction is tested against, so it must not share code with the
+// interval machinery the construction was derived from.
+func VerifyMutualExclusive(q Quadruple) (covered bool, worst timebase.Ticks) {
+	t := q.T
+	window := q.Device.C.Windows[0]
+	a, w := window.Start, window.Len
+	beacons := q.Device.B.Beacons
+
+	inWindow := func(x timebase.Ticks) bool {
+		x = x.Mod(t)
+		return x >= a && x < a+w
+	}
+	covered = true
+	for phi := timebase.Ticks(0); phi < t; phi++ {
+		var instants []timebase.Ticks
+		for _, bc := range beacons {
+			// F's beacon (F-frame position bc.Time) at absolute time
+			// bc.Time+phi in E's frame; success iff inside E's window.
+			if abs := (bc.Time + phi).Mod(t); inWindow(abs) {
+				instants = append(instants, abs)
+			}
+			// E's beacon at absolute bc.Time; position in F's frame is
+			// bc.Time−phi; success iff inside F's window.
+			if inWindow(bc.Time - phi) {
+				instants = append(instants, bc.Time.Mod(t))
+			}
+		}
+		if len(instants) == 0 {
+			return false, 0
+		}
+		if g := maxCyclicGap(instants, t); g > worst {
+			worst = g
+		}
+	}
+	return covered, worst
+}
+
+func maxCyclicGap(instants []timebase.Ticks, period timebase.Ticks) timebase.Ticks {
+	sortTicks(instants)
+	var maxGap timebase.Ticks
+	for i := 1; i < len(instants); i++ {
+		if g := instants[i] - instants[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	if g := period - instants[len(instants)-1] + instants[0]; g > maxGap {
+		maxGap = g
+	}
+	return maxGap
+}
+
+func sortTicks(xs []timebase.Ticks) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Redundant is an Appendix-B style schedule: the disjoint-optimal sender
+// keeps cycling, so after Q covering cycles every offset has been covered
+// by Q distinct beacons; L(Pf) = Q·k·λ is the worst-case time to accumulate
+// Q chances.
+type Redundant struct {
+	Unidirectional
+	Q          int
+	QWorstCase timebase.Ticks // worst-case time to the Q-th covering beacon
+}
+
+// NewRedundant builds the Q-redundant configuration (Equation 33).
+func NewRedundant(omega, d timebase.Ticks, k, q int) (Redundant, error) {
+	if q < 1 {
+		return Redundant{}, fmt.Errorf("optimal: Q=%d must be ≥ 1", q)
+	}
+	u, err := NewUnidirectional(omega, d, k, 1)
+	if err != nil {
+		return Redundant{}, err
+	}
+	return Redundant{
+		Unidirectional: u,
+		Q:              q,
+		QWorstCase:     timebase.Ticks(q) * u.WorstCase,
+	}, nil
+}
+
+// PerturbedBeacons is the ablation counterpart to the equal-gap optimality
+// condition of Theorem 5.1 ("every sum of M consecutive beacon gaps must
+// equal M·λ̄"). It returns a still-deterministic sequence of 2k beacons per
+// period against the standard k-window listener: every gap satisfies
+// λi ≡ −d (mod TC), so any k consecutive beacons tile the circle, but the
+// first k gaps are short (TC − d) and the next k long (2·TC − d). Sums of k
+// consecutive gaps therefore differ across starting positions — exactly the
+// violation the theorem punishes — and the measured worst-case latency
+// exceeds k·λ̄ (the coverage bound for the achieved β) by ≈ a third.
+func PerturbedBeacons(omega, d timebase.Ticks, k int) (schedule.BeaconSeq, error) {
+	if k < 2 {
+		return schedule.BeaconSeq{}, fmt.Errorf("optimal: perturbation requires k ≥ 2, got %d", k)
+	}
+	if d <= omega {
+		return schedule.BeaconSeq{}, fmt.Errorf("optimal: d=%d must exceed ω=%d", d, omega)
+	}
+	tc := timebase.Ticks(k) * d
+	short := tc - d
+	long := 2*tc - d
+	times := make([]timebase.Ticks, 2*k)
+	at := timebase.Ticks(0)
+	for i := 0; i < 2*k; i++ {
+		times[i] = at
+		if i < k {
+			at += short
+		} else {
+			at += long
+		}
+	}
+	return schedule.NewBeaconsAt(times, omega, at)
+}
+
+// PredictedBound evaluates the closed-form bound matching a constructed
+// unidirectional pair, for cross-checking: ω/(β·γ) in ticks.
+func (u Unidirectional) PredictedBound() float64 {
+	p := core.Params{Omega: u.Sender.Beacons[0].Len, Alpha: 1}
+	return p.Unidirectional(u.Beta(), u.Gamma())
+}

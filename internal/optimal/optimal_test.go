@@ -1,0 +1,346 @@
+package optimal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/timebase"
+)
+
+func TestNewUnidirectionalAchievesBound(t *testing.T) {
+	for _, tc := range []struct {
+		d timebase.Ticks
+		k int
+		m int
+	}{
+		{10, 4, 1},
+		{10, 4, 2},
+		{25, 8, 1},
+		{100, 20, 1},
+		{7, 3, 3},
+	} {
+		u, err := NewUnidirectional(2, tc.d, tc.k, tc.m)
+		if err != nil {
+			t.Fatalf("d=%d k=%d m=%d: %v", tc.d, tc.k, tc.m, err)
+		}
+		res, err := coverage.Analyze(u.Sender, u.Listener, coverage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Deterministic {
+			t.Errorf("d=%d k=%d m=%d: not deterministic", tc.d, tc.k, tc.m)
+			continue
+		}
+		if !res.Disjoint {
+			t.Errorf("d=%d k=%d m=%d: optimal construction must be disjoint", tc.d, tc.k, tc.m)
+		}
+		if res.WorstLatency != u.WorstCase {
+			t.Errorf("d=%d k=%d m=%d: measured %d != predicted %d",
+				tc.d, tc.k, tc.m, res.WorstLatency, u.WorstCase)
+		}
+		// The measured latency must equal the Theorem 5.4 bound exactly:
+		// the construction is optimal, not merely close.
+		if bound := u.PredictedBound(); math.Abs(float64(res.WorstLatency)-bound) > 1e-6 {
+			t.Errorf("d=%d k=%d m=%d: measured %d != bound %v (construction must be tight)",
+				tc.d, tc.k, tc.m, res.WorstLatency, bound)
+		}
+	}
+}
+
+func TestNewUnidirectionalRejectsBadParams(t *testing.T) {
+	if _, err := NewUnidirectional(2, 10, 1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := NewUnidirectional(2, 10, 4, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewUnidirectional(0, 10, 4, 1); err == nil {
+		t.Error("ω=0 accepted")
+	}
+	if _, err := NewUnidirectional(50, 10, 4, 1); err == nil {
+		t.Error("λ ≤ ω accepted")
+	}
+}
+
+func TestForDutyCyclesApproximation(t *testing.T) {
+	omega := timebase.Ticks(36)
+	for _, tc := range []struct{ beta, gamma float64 }{
+		{0.01, 0.025},
+		{0.02, 0.02},
+		{0.005, 0.1},
+	} {
+		u, err := ForDutyCycles(omega, tc.beta, tc.gamma)
+		if err != nil {
+			t.Fatalf("β=%v γ=%v: %v", tc.beta, tc.gamma, err)
+		}
+		if rel(u.Beta(), tc.beta) > 0.05 {
+			t.Errorf("β achieved %v, want ≈%v", u.Beta(), tc.beta)
+		}
+		if rel(u.Gamma(), tc.gamma) > 0.05 {
+			t.Errorf("γ achieved %v, want ≈%v", u.Gamma(), tc.gamma)
+		}
+	}
+	if _, err := ForDutyCycles(omega, 0, 0.1); err == nil {
+		t.Error("β=0 accepted")
+	}
+	if _, err := ForDutyCycles(omega, 0.01, 0.9); err == nil {
+		t.Error("γ=0.9 accepted (needs k ≥ 2)")
+	}
+}
+
+func TestNewSymmetricMeetsTheorem55(t *testing.T) {
+	omega := timebase.Ticks(36)
+	for _, eta := range []float64{0.01, 0.02, 0.05, 0.1} {
+		pair, err := NewSymmetric(omega, 1.0, eta)
+		if err != nil {
+			t.Fatalf("η=%v: %v", eta, err)
+		}
+		// Measure both directions with the coverage engine.
+		resEF, err := coverage.Analyze(pair.E.B, pair.F.C, coverage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resEF.Deterministic {
+			t.Fatalf("η=%v: E→F not deterministic", eta)
+		}
+		if resEF.WorstLatency != pair.WorstCaseEtoF {
+			t.Errorf("η=%v: measured %d != predicted %d", eta, resEF.WorstLatency, pair.WorstCaseEtoF)
+		}
+		// Against the bound for the *achieved* duty-cycle: must be exact.
+		etaAch := pair.E.Eta(1.0)
+		bound := (core.Params{Omega: omega, Alpha: 1}).Symmetric(etaAch)
+		ratio := float64(pair.WorstCase()) / bound
+		if ratio < 0.999 {
+			t.Errorf("η=%v: measured beats the bound (ratio %v) — impossible, bug somewhere", eta, ratio)
+		}
+		if ratio > 1.1 {
+			t.Errorf("η=%v: construction misses the bound by %v (should be within rounding)", eta, ratio)
+		}
+	}
+}
+
+func TestNewAsymmetricMeetsTheorem57(t *testing.T) {
+	omega := timebase.Ticks(36)
+	cases := [][2]float64{
+		{0.02, 0.08},
+		{0.05, 0.05},
+		{0.01, 0.10},
+	}
+	for _, c := range cases {
+		pair, err := NewAsymmetric(omega, 1.0, c[0], c[1])
+		if err != nil {
+			t.Fatalf("η=%v: %v", c, err)
+		}
+		resEF, err := coverage.Analyze(pair.E.B, pair.F.C, coverage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resFE, err := coverage.Analyze(pair.F.B, pair.E.C, coverage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resEF.Deterministic || !resFE.Deterministic {
+			t.Fatalf("η=%v: not deterministic both ways", c)
+		}
+		if resEF.WorstLatency != pair.WorstCaseEtoF || resFE.WorstLatency != pair.WorstCaseFtoE {
+			t.Errorf("η=%v: measured (%d, %d) != predicted (%d, %d)", c,
+				resEF.WorstLatency, resFE.WorstLatency, pair.WorstCaseEtoF, pair.WorstCaseFtoE)
+		}
+		// Optimality condition from the proof: LE ≈ LF.
+		if rel(float64(pair.WorstCaseEtoF), float64(pair.WorstCaseFtoE)) > 0.1 {
+			t.Errorf("η=%v: one-way latencies unbalanced: %d vs %d", c,
+				pair.WorstCaseEtoF, pair.WorstCaseFtoE)
+		}
+		// Against Theorem 5.7 for achieved duty cycles.
+		etaE, etaF := pair.E.Eta(1.0), pair.F.Eta(1.0)
+		bound := (core.Params{Omega: omega, Alpha: 1}).Asymmetric(etaE, etaF)
+		ratio := float64(pair.WorstCase()) / bound
+		if ratio < 0.999 || ratio > 1.15 {
+			t.Errorf("η=%v: ratio to Thm 5.7 bound = %v", c, ratio)
+		}
+	}
+}
+
+func TestNewConstrainedRegimes(t *testing.T) {
+	omega := timebase.Ticks(36)
+	eta := 0.05
+	p := core.Params{Omega: omega, Alpha: 1}
+
+	// Slack cap: behaves like the unconstrained optimum.
+	slack, err := NewConstrained(omega, 1.0, eta, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unconstrained, err := NewSymmetric(omega, 1.0, eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slack.WorstCase() != unconstrained.WorstCase() {
+		t.Errorf("slack cap changed the schedule: %d vs %d", slack.WorstCase(), unconstrained.WorstCase())
+	}
+
+	// Tight cap: latency degrades, channel use respects the cap, and the
+	// measured worst case matches Theorem 5.6 for achieved values.
+	bm := 0.005
+	tight, err := NewConstrained(omega, 1.0, eta, bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.WorstCase() <= unconstrained.WorstCase() {
+		t.Error("tight cap should increase latency")
+	}
+	betaAch := tight.E.B.Beta()
+	if betaAch > bm*1.05 {
+		t.Errorf("achieved β=%v exceeds cap %v", betaAch, bm)
+	}
+	res, err := coverage.Analyze(tight.E.B, tight.F.C, coverage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	etaAch := tight.E.Eta(1.0)
+	bound := p.Constrained(etaAch, betaAch)
+	if r := float64(res.WorstLatency) / bound; r < 0.999 || r > 1.1 {
+		t.Errorf("constrained ratio to Thm 5.6 = %v", r)
+	}
+}
+
+func TestMutualExclusiveQuadruple(t *testing.T) {
+	for _, tc := range []struct {
+		u timebase.Ticks
+		m int
+	}{
+		{5, 2},
+		{10, 3},
+		{36, 5},
+		{7, 1},
+	} {
+		q, err := NewMutualExclusive(2, tc.u, tc.m)
+		if err != nil {
+			t.Fatalf("u=%d m=%d: %v", tc.u, tc.m, err)
+		}
+		covered, worst := VerifyMutualExclusive(q)
+		if !covered {
+			t.Errorf("u=%d m=%d: some offset discovers in neither direction", tc.u, tc.m)
+			continue
+		}
+		if worst != q.WorstCase {
+			t.Errorf("u=%d m=%d: verified worst %d != predicted %d", tc.u, tc.m, worst, q.WorstCase)
+		}
+		if q.WorstCase != q.T {
+			t.Errorf("u=%d m=%d: Theorem C.1 predicts L = T, got %d vs %d", tc.u, tc.m, q.WorstCase, q.T)
+		}
+	}
+}
+
+func TestMutualExclusiveHalvesTheBeacons(t *testing.T) {
+	// Same η budget: the quadruple should achieve ≈ half the symmetric
+	// worst case (Theorem C.1 vs Theorem 5.5).
+	omega := timebase.Ticks(36)
+	eta := 0.05
+	q, err := ForEta(omega, 1.0, eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, worst := VerifyMutualExclusive(q)
+	if !covered {
+		t.Fatal("quadruple not covered")
+	}
+	etaAch := q.Eta(1.0)
+	bound := (core.Params{Omega: omega, Alpha: 1}).MutualExclusive(etaAch)
+	ratio := float64(worst) / bound
+	if ratio < 0.95 || ratio > 1.1 {
+		t.Errorf("ratio to Thm C.1 bound = %v (worst %d, bound %v, ηach %v)", ratio, worst, bound, etaAch)
+	}
+}
+
+func TestForEtaSizing(t *testing.T) {
+	q, err := ForEta(36, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel(q.Eta(1.0), 0.1) > 0.1 {
+		t.Errorf("achieved η=%v, want ≈0.1", q.Eta(1.0))
+	}
+	if _, err := ForEta(36, 1.0, 0); err == nil {
+		t.Error("η=0 accepted")
+	}
+}
+
+func TestNewRedundantQLatency(t *testing.T) {
+	r, err := NewRedundant(2, 10, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QWorstCase != 3*r.WorstCase {
+		t.Errorf("QWorstCase = %d, want 3×%d", r.QWorstCase, r.WorstCase)
+	}
+	// The coverage engine's Q-latency must agree exactly.
+	got, ok, err := coverage.QWorstLatency(r.Sender, r.Listener, 3, coverage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Q-coverage not achieved")
+	}
+	if got != r.QWorstCase {
+		t.Errorf("measured Q-latency %d != predicted %d", got, r.QWorstCase)
+	}
+	// Q=1 must coincide with the plain worst case.
+	got1, ok, err := coverage.QWorstLatency(r.Sender, r.Listener, 1, coverage.Options{})
+	if err != nil || !ok {
+		t.Fatalf("Q=1: %v %v", ok, err)
+	}
+	if got1 != r.WorstCase {
+		t.Errorf("Q=1 latency %d != worst case %d", got1, r.WorstCase)
+	}
+}
+
+func TestPerturbedBeaconsInflateLatency(t *testing.T) {
+	// Theorem 5.1 ablation: unequal M-gap sums at identical coverage
+	// structure must cost latency relative to the bound at the achieved β.
+	omega, d, k := timebase.Ticks(2), timebase.Ticks(10), 4
+	b, err := PerturbedBeacons(omega, d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listener, err := NewUnidirectional(omega, d, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coverage.Analyze(b, listener.Listener, coverage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Fatal("perturbed sequence should remain deterministic (every gap ≡ −d mod TC)")
+	}
+	p := core.Params{Omega: omega, Alpha: 1}
+	bound := p.CoverageBound(listener.Listener.Period, d, b.Beta())
+	ratio := float64(res.WorstLatency) / bound
+	if ratio <= 1.2 {
+		t.Errorf("perturbation should inflate latency ≥ 20%% above the bound; ratio = %v", ratio)
+	}
+	// The equal-gap schedule at the same β must sit exactly on the bound:
+	// measured via a fresh construction with gap = mean gap.
+	if ratio > 1.5 {
+		t.Errorf("inflation ratio %v implausibly large; expected ≈ 4/3", ratio)
+	}
+}
+
+func TestPerturbedBeaconsRejectsBadParams(t *testing.T) {
+	if _, err := PerturbedBeacons(2, 10, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := PerturbedBeacons(10, 10, 4); err == nil {
+		t.Error("d ≤ ω accepted")
+	}
+}
+
+func rel(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

@@ -1,0 +1,77 @@
+package protocols
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+)
+
+func TestOptimalPIMeetsBound(t *testing.T) {
+	p := core.Params{Omega: 36, Alpha: 1}
+	for _, eta := range []float64{0.01, 0.02, 0.05} {
+		cfg, err := OptimalPI(p.Omega, p.Alpha, eta)
+		if err != nil {
+			t.Fatalf("η=%v: %v", eta, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("η=%v: invalid PI: %v", eta, err)
+		}
+		// Advertiser vs scanner built purely from the PI parameters.
+		adv, err := (PI{Ta: cfg.Ta, Omega: cfg.Omega}).Device()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan, err := (PI{Ts: cfg.Ts, Ds: cfg.Ds, Omega: cfg.Omega}).Device()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := coverage.Analyze(adv.B, scan.C, coverage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Deterministic {
+			t.Fatalf("η=%v: optimal PI not deterministic", eta)
+		}
+		etaAch := cfg.Eta(p.Alpha)
+		bound := p.Symmetric(etaAch)
+		ratio := float64(res.WorstLatency) / bound
+		if ratio < 0.999 || ratio > 1.1 {
+			t.Errorf("η=%v: BLE-parametrized optimum ratio %v to Thm 5.5", eta, ratio)
+		}
+	}
+}
+
+func TestOptimalPIParameterShape(t *testing.T) {
+	cfg, err := OptimalPI(36, 1, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ts = TC = k·d, Ds = d, Ta = λ = (k−1)·d: the PI triple must satisfy
+	// the Overlap Theorem's divisibility and the gap relation λ ≡ −d
+	// (mod TC) — i.e. Ts = Ta + Ds.
+	if cfg.Ts != cfg.Ta+cfg.Ds {
+		t.Errorf("Ts=%v != Ta+Ds=%v: optimal PI relation broken", cfg.Ts, cfg.Ta+cfg.Ds)
+	}
+	if cfg.Ts%cfg.Ds != 0 {
+		t.Errorf("Ts=%v not a multiple of Ds=%v (Theorem 5.3)", cfg.Ts, cfg.Ds)
+	}
+	// Requested duty-cycle realized within rounding.
+	if got := cfg.Eta(1); math.Abs(got-0.02)/0.02 > 0.05 {
+		t.Errorf("η achieved %v, want ≈ 0.02", got)
+	}
+}
+
+func TestOptimalPIRejectsBadInput(t *testing.T) {
+	if _, err := OptimalPI(36, 1, 0); err == nil {
+		t.Error("η=0 accepted")
+	}
+	if _, err := OptimalPI(36, 0, 0.02); err == nil {
+		t.Error("α=0 accepted")
+	}
+	// Small α pushes β = η/2α above what ω permits: λ = ω/β < ω.
+	if _, err := OptimalPI(36, 0.1, 0.5); err == nil {
+		t.Error("λ ≤ ω configuration accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package protocols
+
+import (
+	"fmt"
+
+	"repro/internal/schedule"
+	"repro/internal/timebase"
+)
+
+// PI is a periodic-interval (slotless) protocol in the style of Bluetooth
+// Low Energy: a device transmits a beacon every Ta (the advertising
+// interval) and listens for a window of Ds every Ts (the scan interval).
+// These are the "three degrees of freedom that can be configured freely"
+// the paper's introduction describes; the paper's bounds answer how well
+// the best parametrization of this family can possibly perform.
+type PI struct {
+	Name  string
+	Ta    timebase.Ticks // advertising interval (0 = no beaconing)
+	Ts    timebase.Ticks // scan interval (0 = no scanning)
+	Ds    timebase.Ticks // scan window length
+	Omega timebase.Ticks // packet airtime ω
+}
+
+// Validate checks the parameter ranges.
+func (p PI) Validate() error {
+	if p.Omega <= 0 {
+		return fmt.Errorf("protocols: PI airtime %d must be positive", p.Omega)
+	}
+	if p.Ta == 0 && p.Ts == 0 {
+		return fmt.Errorf("protocols: PI with neither beaconing nor scanning")
+	}
+	if p.Ta != 0 && p.Ta <= p.Omega {
+		return fmt.Errorf("protocols: advertising interval %d must exceed ω = %d", p.Ta, p.Omega)
+	}
+	if p.Ts != 0 {
+		if p.Ds <= 0 {
+			return fmt.Errorf("protocols: scan window %d must be positive", p.Ds)
+		}
+		if p.Ds > p.Ts {
+			return fmt.Errorf("protocols: scan window %d exceeds scan interval %d", p.Ds, p.Ts)
+		}
+	}
+	return nil
+}
+
+// Device materializes the PI configuration: one beacon per Ta at the start
+// of the advertising interval, one window per Ts at the end of the scan
+// interval (so that the window sequence follows the paper's Definition 3.1
+// convention of the origin sitting at the end of the previous window).
+func (p PI) Device() (schedule.Device, error) {
+	if err := p.Validate(); err != nil {
+		return schedule.Device{}, err
+	}
+	var d schedule.Device
+	if p.Ta > 0 {
+		d.B = schedule.BeaconSeq{
+			Beacons: []schedule.Beacon{{Time: 0, Len: p.Omega}},
+			Period:  p.Ta,
+		}
+	}
+	if p.Ts > 0 {
+		d.C = schedule.WindowSeq{
+			Windows: []schedule.Window{{Start: p.Ts - p.Ds, Len: p.Ds}},
+			Period:  p.Ts,
+		}
+	}
+	return d, d.Validate()
+}
+
+// Beta returns the channel utilization ω/Ta.
+func (p PI) Beta() float64 {
+	if p.Ta == 0 {
+		return 0
+	}
+	return float64(p.Omega) / float64(p.Ta)
+}
+
+// Gamma returns the receive duty-cycle Ds/Ts.
+func (p PI) Gamma() float64 {
+	if p.Ts == 0 {
+		return 0
+	}
+	return float64(p.Ds) / float64(p.Ts)
+}
+
+// Eta returns the total duty-cycle α·β + γ.
+func (p PI) Eta(alpha float64) float64 { return alpha*p.Beta() + p.Gamma() }
+
+// OptimalPI expresses the paper's optimal construction in the PI
+// parameter space: a BLE-like stack configured with these three values —
+// advertising interval Ta = λ, scan interval Ts = TC, scan window Ds = d,
+// with λ = (k−1)·d and k = ⌈2/η⌋ — performs within integer rounding of the
+// Theorem 5.5 bound. This is the constructive answer to the introduction's
+// question of how well periodic-interval protocols can scale: optimally,
+// if parametrized this way.
+func OptimalPI(omega timebase.Ticks, alpha, eta float64) (PI, error) {
+	if eta <= 0 || eta >= 1 || alpha <= 0 {
+		return PI{}, fmt.Errorf("protocols: invalid η=%v or α=%v", eta, alpha)
+	}
+	beta := eta / (2 * alpha)
+	gamma := eta / 2
+	k := int(1/gamma + 0.5)
+	if k < 2 {
+		k = 2
+	}
+	lambdaTarget := float64(omega) / beta
+	d := timebase.Ticks(lambdaTarget/float64(k-1) + 0.5)
+	if d < 1 {
+		d = 1
+	}
+	lambda := timebase.Ticks(k-1) * d
+	if lambda <= omega {
+		return PI{}, fmt.Errorf("protocols: η=%v too large for ω=%d (λ=%d ≤ ω)", eta, omega, lambda)
+	}
+	return PI{
+		Name:  fmt.Sprintf("optimal-PI(η=%g)", eta),
+		Ta:    lambda,
+		Ts:    timebase.Ticks(k) * d,
+		Ds:    d,
+		Omega: omega,
+	}, nil
+}
+
+// BLE advertising/scanning presets, per the Bluetooth 5.0 specification's
+// timing grid (advertising intervals are multiples of 0.625 ms; the values
+// here are common application choices, not mandates).
+var (
+	// BLEFastAdv mirrors a fast advertiser paired with an aggressive
+	// foreground scanner (adv 20 ms, scan 30/30 ms — continuous scanning).
+	BLEFastAdv = PI{
+		Name: "BLE-fast", Ta: 20 * timebase.Millisecond,
+		Ts: 30 * timebase.Millisecond, Ds: 30 * timebase.Millisecond,
+		Omega: 128,
+	}
+	// BLEBalanced mirrors a typical background pairing: adv 152.5 ms,
+	// scan window 30 ms every 300 ms.
+	BLEBalanced = PI{
+		Name: "BLE-balanced", Ta: 152500,
+		Ts: 300 * timebase.Millisecond, Ds: 30 * timebase.Millisecond,
+		Omega: 128,
+	}
+	// BLELowPower mirrors a low-power beacon: adv 1022.5 ms, scan window
+	// 11.25 ms every 1.28 s.
+	BLELowPower = PI{
+		Name: "BLE-low-power", Ta: 1022500,
+		Ts: 1280 * timebase.Millisecond, Ds: 11250,
+		Omega: 128,
+	}
+)

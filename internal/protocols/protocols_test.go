@@ -1,0 +1,401 @@
+package protocols
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/timebase"
+)
+
+func TestSlottedValidate(t *testing.T) {
+	base := Slotted{Name: "x", SlotLen: 100, Omega: 10, Period: 5, Active: []int{0, 2}}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := []Slotted{
+		{SlotLen: 20, Omega: 10, Period: 5, Active: []int{0}},     // I ≤ 2ω
+		{SlotLen: 100, Omega: 0, Period: 5, Active: []int{0}},     // ω = 0
+		{SlotLen: 100, Omega: 10, Period: 0, Active: []int{0}},    // T = 0
+		{SlotLen: 100, Omega: 10, Period: 5, Active: nil},         // no active
+		{SlotLen: 100, Omega: 10, Period: 5, Active: []int{5}},    // out of range
+		{SlotLen: 100, Omega: 10, Period: 5, Active: []int{1, 1}}, // duplicate
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+func TestDiscoConstruction(t *testing.T) {
+	d, err := NewDisco(3, 5, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Period != 15 {
+		t.Errorf("period = %d, want 15", d.Period)
+	}
+	want := []int{0, 3, 5, 6, 9, 10, 12}
+	if len(d.Active) != len(want) {
+		t.Fatalf("active = %v, want %v", d.Active, want)
+	}
+	for i := range want {
+		if d.Active[i] != want[i] {
+			t.Errorf("active = %v, want %v", d.Active, want)
+			break
+		}
+	}
+	// Duty cycle ≈ 1/p1 + 1/p2 − 1/(p1p2) of slots.
+	slotsFrac := float64(len(d.Active)) / float64(d.Period)
+	wantFrac := 1.0/3 + 1.0/5 - 1.0/15
+	if math.Abs(slotsFrac-wantFrac) > 1e-12 {
+		t.Errorf("slot fraction %v, want %v", slotsFrac, wantFrac)
+	}
+	if _, err := NewDisco(4, 5, 100, 10); err == nil {
+		t.Error("composite p1 accepted")
+	}
+	if _, err := NewDisco(5, 3, 100, 10); err == nil {
+		t.Error("p1 ≥ p2 accepted")
+	}
+}
+
+func TestUConnectConstruction(t *testing.T) {
+	p := 5
+	u, err := NewUConnect(p, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Period != p*p {
+		t.Errorf("period = %d, want %d", u.Period, p*p)
+	}
+	// Duty cycle in slots: (3p+1)/(2p²) — here (16)/(50) = 0.32 → slots:
+	// p multiples of p (5) plus (p+1)/2 = 3 hotspot slots, minus overlap of
+	// slot 0 → 5 + 3 − 1 = 7 active slots. (3p+1)/2 = 8 counts slot 0 twice.
+	wantSlots := p + (p+1)/2 - 1
+	if len(u.Active) != wantSlots {
+		t.Errorf("active slots = %d, want %d", len(u.Active), wantSlots)
+	}
+	if _, err := NewUConnect(4, 100, 10); err == nil {
+		t.Error("composite p accepted")
+	}
+	if _, err := NewUConnect(2, 100, 10); err == nil {
+		t.Error("p=2 accepted")
+	}
+}
+
+func TestSearchlightConstruction(t *testing.T) {
+	s, err := NewSearchlight(8, false, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=8: sweep ⌈8/2⌉ = 4 subperiods, 2 active slots each.
+	if s.Period != 32 {
+		t.Errorf("period = %d, want 32", s.Period)
+	}
+	if len(s.Active) != 8 {
+		t.Errorf("active = %v", s.Active)
+	}
+	ss, err := NewSearchlight(8, true, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Period >= s.Period {
+		t.Errorf("striped period %d should be shorter than plain %d", ss.Period, s.Period)
+	}
+	if _, err := NewSearchlight(3, false, 100, 10); err == nil {
+		t.Error("tiny period accepted")
+	}
+}
+
+func TestDiffcodeConstruction(t *testing.T) {
+	d, err := NewDiffcode(3, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Period != 13 || len(d.Active) != 4 {
+		t.Errorf("diffcode shape (%d, %d), want (13, 4)", d.Period, len(d.Active))
+	}
+	// k ≈ √T: the optimal slotted density.
+	if k := len(d.Active); k*k < d.Period {
+		t.Errorf("k² = %d < T = %d", k*k, d.Period)
+	}
+	if _, err := NewDiffcode(6, 100, 10); err == nil {
+		t.Error("order 6 accepted (no projective plane of order 6)")
+	}
+}
+
+func TestSlottedDutyCycles(t *testing.T) {
+	d, _ := NewDisco(3, 5, 100, 10)
+	k := float64(len(d.Active))
+	wantBeta := 2 * k * 10 / (15.0 * 100)
+	wantGamma := k * 80 / (15.0 * 100)
+	if math.Abs(d.Beta()-wantBeta) > 1e-12 {
+		t.Errorf("Beta = %v, want %v", d.Beta(), wantBeta)
+	}
+	if math.Abs(d.Gamma()-wantGamma) > 1e-12 {
+		t.Errorf("Gamma = %v, want %v", d.Gamma(), wantGamma)
+	}
+	if math.Abs(d.Eta(2)-2*wantBeta-wantGamma) > 1e-12 {
+		t.Errorf("Eta = %v", d.Eta(2))
+	}
+}
+
+func TestSlottedDeviceConsistency(t *testing.T) {
+	d, _ := NewDisco(3, 5, 100, 10)
+	dev, err := d.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule-level duty cycles must agree with the formula-level ones.
+	if math.Abs(dev.B.Beta()-d.Beta()) > 1e-12 {
+		t.Errorf("device β %v vs formula %v", dev.B.Beta(), d.Beta())
+	}
+	if math.Abs(dev.C.Gamma()-d.Gamma()) > 1e-12 {
+		t.Errorf("device γ %v vs formula %v", dev.C.Gamma(), d.Gamma())
+	}
+}
+
+// TestHalfDuplexCoverageLoss reproduces the Figure 5 phenomenon: a
+// half-duplex slot layout cannot cover the offsets where a beacon falls
+// into the turnaround region, losing ≈ 2ω/I of all offsets.
+func TestHalfDuplexCoverageLoss(t *testing.T) {
+	d, _ := NewDisco(3, 5, 100, 10)
+	dev, err := d.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coverage.Analyze(dev.B, dev.C, coverage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deterministic {
+		t.Error("half-duplex slotted layout should not be fully deterministic (Figure 5)")
+	}
+	loss := 1 - res.CoveredFraction
+	// Expected loss ≈ 2ω/I = 0.2 (up to slot-structure detail).
+	if loss <= 0 || loss > 0.35 {
+		t.Errorf("coverage loss %v outside plausible range (expected ≈ 2ω/I = 0.2)", loss)
+	}
+}
+
+// TestFullDuplexSlottedGuarantees verifies that, under the paper's §6.1.1
+// full-duplex idealization, each slotted protocol is deterministic and
+// meets its literature worst-case slot bound for every (non-aligned) phase.
+func TestFullDuplexSlottedGuarantees(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Slotted, error)
+	}{
+		{"disco", func() (*Slotted, error) { return NewDisco(3, 5, 100, 10) }},
+		{"disco-larger", func() (*Slotted, error) { return NewDisco(5, 7, 100, 10) }},
+		{"uconnect", func() (*Slotted, error) { return NewUConnect(5, 100, 10) }},
+		{"diffcode3", func() (*Slotted, error) { return NewDiffcode(3, 100, 10) }},
+		{"diffcode4", func() (*Slotted, error) { return NewDiffcode(4, 100, 10) }},
+		{"searchlight", func() (*Slotted, error) { return NewSearchlight(8, false, 100, 10) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev, err := s.DeviceFullDuplex()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := coverage.Analyze(dev.B, dev.C, coverage.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Deterministic {
+				t.Fatalf("%s not deterministic under full duplex (covered %v)", s.Name, res.CoveredFraction)
+			}
+			bound := s.WorstCaseTime() + s.SlotLen // +I: phase can waste up to one slot
+			if res.WorstLatency > bound {
+				t.Errorf("%s: measured worst %v exceeds slot bound %v", s.Name, res.WorstLatency, bound)
+			}
+			// The bound should also be reasonably tight (within 3×).
+			if float64(res.WorstLatency) < float64(bound)/3 {
+				t.Errorf("%s: measured worst %v suspiciously far below bound %v", s.Name, res.WorstLatency, bound)
+			}
+		})
+	}
+}
+
+// TestStripedSearchlightNeedsExtension reproduces the Searchlight-S design
+// point: striped probing alone leaves coverage gaps; the half-slot listen
+// extension closes them, at roughly half the plain variant's latency.
+func TestStripedSearchlightNeedsExtension(t *testing.T) {
+	for _, tt := range []int{8, 10, 16} {
+		striped, err := NewSearchlight(tt, true, 100, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With the extension (set by the constructor): deterministic.
+		dev, err := striped.DeviceFullDuplex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := coverage.Analyze(dev.B, dev.C, coverage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Deterministic {
+			t.Errorf("t=%d: extended striped Searchlight not deterministic (covered %v)",
+				tt, res.CoveredFraction)
+		}
+		// Without the extension: gaps appear.
+		bare := *striped
+		bare.ExtendListen = 0
+		devBare, err := bare.DeviceFullDuplex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resBare, err := coverage.Analyze(devBare.B, devBare.C, coverage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resBare.Deterministic {
+			t.Errorf("t=%d: bare striping should leave gaps", tt)
+		}
+		// And the striped variant beats the plain one in latency at
+		// comparable settings.
+		plain, err := NewSearchlight(tt, false, 100, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devPlain, err := plain.DeviceFullDuplex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resPlain, err := coverage.Analyze(devPlain.B, devPlain.C, coverage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resPlain.Deterministic && res.WorstLatency >= resPlain.WorstLatency {
+			t.Errorf("t=%d: striped worst %v not below plain %v",
+				tt, res.WorstLatency, resPlain.WorstLatency)
+		}
+	}
+}
+
+func TestSlotLenForBeta(t *testing.T) {
+	// β = 2kω/(I·T) → round trip.
+	k, tt := 7, 15
+	omega := timebase.Ticks(10)
+	i, err := SlotLenForBeta(k, tt, omega, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBeta := float64(2*k) * float64(omega) / (float64(i) * float64(tt))
+	if math.Abs(gotBeta-0.01) > 0.001 {
+		t.Errorf("round-trip β = %v, want 0.01", gotBeta)
+	}
+	if _, err := SlotLenForBeta(k, tt, omega, 0.9); err == nil {
+		t.Error("absurd β accepted")
+	}
+	if _, err := SlotLenForBeta(0, tt, omega, 0.01); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestPIValidate(t *testing.T) {
+	good := PI{Ta: 1000, Ts: 5000, Ds: 500, Omega: 36}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid PI rejected: %v", err)
+	}
+	bad := []PI{
+		{Ta: 1000, Ts: 5000, Ds: 500, Omega: 0},
+		{Omega: 36},                     // nothing configured
+		{Ta: 30, Omega: 36},             // Ta ≤ ω
+		{Ts: 5000, Ds: 0, Omega: 36},    // no window
+		{Ts: 5000, Ds: 6000, Omega: 36}, // window > interval
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad PI %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestPIDevice(t *testing.T) {
+	p := PI{Ta: 1000, Ts: 4000, Ds: 500, Omega: 36}
+	dev, err := p.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dev.B.Beta()-p.Beta()) > 1e-12 || math.Abs(p.Beta()-0.036) > 1e-12 {
+		t.Errorf("β mismatch: device %v formula %v", dev.B.Beta(), p.Beta())
+	}
+	if math.Abs(dev.C.Gamma()-p.Gamma()) > 1e-12 || math.Abs(p.Gamma()-0.125) > 1e-12 {
+		t.Errorf("γ mismatch: device %v formula %v", dev.C.Gamma(), p.Gamma())
+	}
+	// Window anchored at the end of the scan interval (Definition 3.1).
+	if dev.C.Windows[0].End() != p.Ts {
+		t.Errorf("window ends at %d, want %d", dev.C.Windows[0].End(), p.Ts)
+	}
+}
+
+func TestPITransmitOnlyAndScanOnly(t *testing.T) {
+	tx := PI{Ta: 1000, Omega: 36}
+	dev, err := tx.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dev.C.Empty() || dev.B.Empty() {
+		t.Error("transmit-only device misshaped")
+	}
+	rx := PI{Ts: 4000, Ds: 400, Omega: 36}
+	dev, err = rx.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dev.B.Empty() || dev.C.Empty() {
+		t.Error("scan-only device misshaped")
+	}
+	if rx.Beta() != 0 || tx.Gamma() != 0 {
+		t.Error("duty cycles of missing roles should be zero")
+	}
+}
+
+func TestBLEPresetsValid(t *testing.T) {
+	for _, p := range []PI{BLEFastAdv, BLEBalanced, BLELowPower} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if _, err := p.Device(); err != nil {
+			t.Errorf("%s: Device: %v", p.Name, err)
+		}
+	}
+	// Sanity: presets are ordered fast → slow in duty cycle.
+	if !(BLEFastAdv.Eta(1) > BLEBalanced.Eta(1) && BLEBalanced.Eta(1) > BLELowPower.Eta(1)) {
+		t.Errorf("preset duty cycles out of order: %v %v %v",
+			BLEFastAdv.Eta(1), BLEBalanced.Eta(1), BLELowPower.Eta(1))
+	}
+}
+
+// TestBLEPairDiscovery checks a realistic BLE pairing (fast advertiser vs
+// continuous scanner) discovers deterministically and quickly.
+func TestBLEPairDiscovery(t *testing.T) {
+	adv, err := (PI{Ta: BLEFastAdv.Ta, Omega: BLEFastAdv.Omega}).Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := (PI{Ts: BLEFastAdv.Ts, Ds: BLEFastAdv.Ds, Omega: BLEFastAdv.Omega}).Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coverage.Analyze(adv.B, scan.C, coverage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Fatal("continuous scanning must discover deterministically")
+	}
+	// With a continuous scanner, discovery happens within one advertising
+	// interval plus change.
+	if res.WorstLatency > 2*BLEFastAdv.Ta {
+		t.Errorf("worst latency %v exceeds 2·Ta", res.WorstLatency)
+	}
+}

@@ -1,0 +1,309 @@
+// Package protocols implements the neighbor-discovery protocols the paper
+// compares against its fundamental bounds (Section 6 / Table 1), plus the
+// periodic-interval (PI / BLE-like) protocol family.
+//
+// Slotted protocols subdivide time into slots of length I. In an active
+// slot a device transmits a beacon at the beginning and at the end of the
+// slot and listens in between (the classic Disco slot layout); discovery is
+// guaranteed once two active slots of different devices overlap by at least
+// one packet airtime ω. Each protocol here is generated as a real
+// (B∞, C∞) schedule so that the same coverage engine that certifies the
+// optimal constructions re-measures the comparison protocols — no formula
+// is trusted without a measured counterpart.
+package protocols
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/diffset"
+	"repro/internal/gf"
+	"repro/internal/interval"
+	"repro/internal/schedule"
+	"repro/internal/timebase"
+)
+
+// Slotted is a slotted ND protocol: a period of Period slots of length
+// SlotLen, of which the sorted Active indices are active.
+type Slotted struct {
+	Name       string
+	SlotLen    timebase.Ticks // the slot length I
+	Omega      timebase.Ticks // packet airtime ω
+	Period     int            // schedule period T, in slots
+	Active     []int          // active slot indices within [0, Period)
+	WorstSlots int            // literature worst-case bound in slots (0 = unknown)
+
+	// ExtendListen prolongs every active slot's listening by this amount
+	// beyond the slot end (overlapping extensions merge). Searchlight-S
+	// relies on such slot extension: striped probing alone leaves a small
+	// fraction of offsets uncovered, which the overlap closes.
+	ExtendListen timebase.Ticks
+}
+
+// Validate checks the structural invariants.
+func (s *Slotted) Validate() error {
+	if s.SlotLen <= 2*s.Omega {
+		return fmt.Errorf("protocols: slot length %d must exceed 2ω = %d (beacon at each slot edge)", s.SlotLen, 2*s.Omega)
+	}
+	if s.Omega <= 0 {
+		return fmt.Errorf("protocols: packet airtime %d must be positive", s.Omega)
+	}
+	if s.Period < 1 {
+		return fmt.Errorf("protocols: period %d slots invalid", s.Period)
+	}
+	if len(s.Active) == 0 {
+		return fmt.Errorf("protocols: no active slots")
+	}
+	prev := -1
+	for _, a := range s.Active {
+		if a < 0 || a >= s.Period {
+			return fmt.Errorf("protocols: active slot %d outside [0, %d)", a, s.Period)
+		}
+		if a <= prev {
+			return fmt.Errorf("protocols: active slots not strictly increasing at %d", a)
+		}
+		prev = a
+	}
+	return nil
+}
+
+// Device materializes the slotted schedule as beacon and window sequences:
+// per active slot s, beacons at s·I and (s+1)·I − ω, and a reception window
+// spanning the time between them.
+func (s *Slotted) Device() (schedule.Device, error) {
+	if err := s.Validate(); err != nil {
+		return schedule.Device{}, err
+	}
+	period := timebase.Ticks(s.Period) * s.SlotLen
+	var beacons []schedule.Beacon
+	var windows []schedule.Window
+	for _, a := range s.Active {
+		start := timebase.Ticks(a) * s.SlotLen
+		beacons = append(beacons,
+			schedule.Beacon{Time: start, Len: s.Omega},
+			schedule.Beacon{Time: start + s.SlotLen - s.Omega, Len: s.Omega},
+		)
+		windows = append(windows, schedule.Window{
+			Start: start + s.Omega,
+			Len:   s.SlotLen - 2*s.Omega,
+		})
+	}
+	d := schedule.Device{
+		B: schedule.BeaconSeq{Beacons: beacons, Period: period},
+		C: schedule.WindowSeq{Windows: windows, Period: period},
+	}
+	return d, d.Validate()
+}
+
+// DeviceFullDuplex materializes the schedule under the full-duplex
+// idealization the paper itself uses to derive the slotted latency limit
+// (Section 6.1.1): the device listens during the whole of every active
+// slot, including while transmitting its edge beacons. Runs of consecutive
+// active slots merge into single windows. This layout makes the slot-count
+// guarantees exact under arbitrary (non-slot-aligned) phase offsets,
+// whereas the half-duplex layout of Device loses the 2ω/I offset fraction
+// illustrated by the paper's Figure 5.
+func (s *Slotted) DeviceFullDuplex() (schedule.Device, error) {
+	if err := s.Validate(); err != nil {
+		return schedule.Device{}, err
+	}
+	period := timebase.Ticks(s.Period) * s.SlotLen
+	var beacons []schedule.Beacon
+	for _, a := range s.Active {
+		start := timebase.Ticks(a) * s.SlotLen
+		beacons = append(beacons,
+			schedule.Beacon{Time: start, Len: s.Omega},
+			schedule.Beacon{Time: start + s.SlotLen - s.Omega, Len: s.Omega},
+		)
+	}
+	// Merge the (possibly extended) listening stretches on the circle, so
+	// runs of consecutive slots and overlapping extensions coalesce.
+	set := interval.NewSet(period)
+	for _, a := range s.Active {
+		set.Add(timebase.Ticks(a)*s.SlotLen, s.SlotLen+s.ExtendListen)
+	}
+	var windows []schedule.Window
+	for _, iv := range set.Intervals() {
+		windows = append(windows, schedule.Window{Start: iv.Lo, Len: iv.Len()})
+	}
+	d := schedule.Device{
+		B: schedule.BeaconSeq{Beacons: beacons, Period: period},
+		C: schedule.WindowSeq{Windows: windows, Period: period},
+	}
+	return d, d.Validate()
+}
+
+// Beta returns the channel utilization: two packets per active slot.
+func (s *Slotted) Beta() float64 {
+	return float64(2*len(s.Active)) * float64(s.Omega) / (float64(s.Period) * float64(s.SlotLen))
+}
+
+// Gamma returns the receive duty-cycle: the listening stretch between the
+// two beacons of every active slot.
+func (s *Slotted) Gamma() float64 {
+	return float64(len(s.Active)) * float64(s.SlotLen-2*s.Omega) / (float64(s.Period) * float64(s.SlotLen))
+}
+
+// Eta returns the total duty-cycle α·β + γ.
+func (s *Slotted) Eta(alpha float64) float64 { return alpha*s.Beta() + s.Gamma() }
+
+// WorstCaseTime converts the literature worst-case slot count into time.
+func (s *Slotted) WorstCaseTime() timebase.Ticks {
+	return timebase.Ticks(s.WorstSlots) * s.SlotLen
+}
+
+// SlotLenForBeta inverts Equation 20 of the paper: the slot length I that
+// realizes channel utilization β for a schedule with k active slots (two
+// packets each) in a period of T slots: β = 2kω/(I·T).
+func SlotLenForBeta(k, t int, omega timebase.Ticks, beta float64) (timebase.Ticks, error) {
+	if k <= 0 || t <= 0 || omega <= 0 || beta <= 0 {
+		return 0, fmt.Errorf("protocols: invalid parameters k=%d t=%d ω=%d β=%v", k, t, omega, beta)
+	}
+	i := timebase.Ticks(float64(2*k) * float64(omega) / (beta * float64(t)))
+	if i <= 2*omega {
+		return 0, fmt.Errorf("protocols: requested β=%v needs slot length %d ≤ 2ω; channel utilization too high for this schedule", beta, i)
+	}
+	return i, nil
+}
+
+// NewDiffcode builds the difference-set schedule ("Diffcodes" in Table 1)
+// of order q: T = q²+q+1 slots with the q+1 slots of a perfect difference
+// set active. Guarantees a slot overlap within T slots for every phase
+// shift — the optimal slotted design meeting k = ⌈√T⌉.
+func NewDiffcode(q int, slotLen, omega timebase.Ticks) (*Slotted, error) {
+	ds, err := diffset.ForOrder(q)
+	if err != nil {
+		return nil, err
+	}
+	s := &Slotted{
+		Name:       fmt.Sprintf("Diffcode(q=%d)", q),
+		SlotLen:    slotLen,
+		Omega:      omega,
+		Period:     ds.N,
+		Active:     ds.Elems,
+		WorstSlots: ds.N,
+	}
+	return s, s.Validate()
+}
+
+// NewDisco builds Disco with primes p1 < p2: a device is active in slot i
+// iff i ≡ 0 (mod p1) or i ≡ 0 (mod p2). Two devices running coprime pairs
+// discover each other within p1·p2 slots (CRT); duty-cycle ≈ 1/p1 + 1/p2.
+func NewDisco(p1, p2 int, slotLen, omega timebase.Ticks) (*Slotted, error) {
+	if !gf.IsPrime(p1) || !gf.IsPrime(p2) {
+		return nil, fmt.Errorf("protocols: Disco requires primes, got %d, %d", p1, p2)
+	}
+	if p1 >= p2 {
+		return nil, fmt.Errorf("protocols: Disco requires p1 < p2, got %d ≥ %d", p1, p2)
+	}
+	period := p1 * p2
+	var active []int
+	for i := 0; i < period; i++ {
+		if i%p1 == 0 || i%p2 == 0 {
+			active = append(active, i)
+		}
+	}
+	s := &Slotted{
+		Name:       fmt.Sprintf("Disco(%d,%d)", p1, p2),
+		SlotLen:    slotLen,
+		Omega:      omega,
+		Period:     period,
+		Active:     active,
+		WorstSlots: period,
+	}
+	return s, s.Validate()
+}
+
+// NewUConnect builds U-Connect with prime p: active every p-th slot, plus
+// (p+1)/2 consecutive slots at the start of every p² slots. Worst case p²
+// slots at duty-cycle (3p+1)/(2p²).
+func NewUConnect(p int, slotLen, omega timebase.Ticks) (*Slotted, error) {
+	if !gf.IsPrime(p) || p < 3 {
+		return nil, fmt.Errorf("protocols: U-Connect requires an odd prime, got %d", p)
+	}
+	period := p * p
+	activeSet := make(map[int]bool)
+	for i := 0; i < period; i += p {
+		activeSet[i] = true
+	}
+	for i := 0; i < (p+1)/2; i++ {
+		activeSet[i] = true
+	}
+	active := make([]int, 0, len(activeSet))
+	for i := range activeSet {
+		active = append(active, i)
+	}
+	sort.Ints(active)
+	s := &Slotted{
+		Name:       fmt.Sprintf("U-Connect(%d)", p),
+		SlotLen:    slotLen,
+		Omega:      omega,
+		Period:     period,
+		Active:     active,
+		WorstSlots: period,
+	}
+	return s, s.Validate()
+}
+
+// NewSearchlight builds Searchlight with period t: every subperiod of t
+// slots has an anchor (slot 0) and a probe slot that sweeps positions
+// 1..⌈t/2⌉ across consecutive subperiods (the full pattern period is
+// therefore t·⌈t/2⌉ slots). striped selects Searchlight-S, which probes
+// with stride 2 (odd positions only) and halves the positions to sweep by
+// relying on slot overlap; its worst case is t·⌈t/4⌉ slots here because a
+// probe within one slot of the anchor still overlaps it.
+func NewSearchlight(t int, striped bool, slotLen, omega timebase.Ticks) (*Slotted, error) {
+	if t < 4 {
+		return nil, fmt.Errorf("protocols: Searchlight period %d too small", t)
+	}
+	sweep := (t + 1) / 2 // ⌈t/2⌉ probe positions for the plain variant
+	stride := 1
+	name := fmt.Sprintf("Searchlight(%d)", t)
+	if striped {
+		stride = 2
+		sweep = (sweep + 1) / 2
+		name = fmt.Sprintf("Searchlight-S(%d)", t)
+	}
+	period := t * sweep
+	var active []int
+	for j := 0; j < sweep; j++ {
+		base := j * t
+		probe := 1 + stride*j
+		if probe >= t {
+			probe = probe % (t - 1)
+			if probe == 0 {
+				probe = 1
+			}
+		}
+		active = append(active, base, base+probe)
+	}
+	sort.Ints(active)
+	// Deduplicate (probe may coincide with a later anchor boundary).
+	active = dedupe(active)
+	s := &Slotted{
+		Name:       name,
+		SlotLen:    slotLen,
+		Omega:      omega,
+		Period:     period,
+		Active:     active,
+		WorstSlots: period,
+	}
+	if striped {
+		// Striped probing covers only every other probe position; the
+		// protocol compensates by extending each active slot so adjacent
+		// positions overlap (Bakht et al.). Half a slot of extra
+		// listening closes the gaps.
+		s.ExtendListen = slotLen / 2
+	}
+	return s, s.Validate()
+}
+
+func dedupe(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/timebase"
+)
+
+func TestBetaWithOverheads(t *testing.T) {
+	b := mustBeacons(t, 4, 1000, 36, 0) // β = 4·36/4000 = 0.036
+	if got := b.BetaWithOverheads(0); !almost(got, b.Beta()) {
+		t.Errorf("zero overhead β = %v, want %v", got, b.Beta())
+	}
+	// doTx = 14: β = 4·(36+14)/4000 = 0.05.
+	if got := b.BetaWithOverheads(14); !almost(got, 0.05) {
+		t.Errorf("β with doTx = %v, want 0.05", got)
+	}
+	if got := (BeaconSeq{Period: 100}).BetaWithOverheads(10); got != 0 {
+		t.Errorf("empty sequence β = %v", got)
+	}
+}
+
+func TestGammaWithOverheads(t *testing.T) {
+	c := mustWindows(t, 1000, 40) // γ = 1/40 = 0.025
+	if got := c.GammaWithOverheads(0); !almost(got, c.Gamma()) {
+		t.Errorf("zero overhead γ = %v", got)
+	}
+	// doRx = 200: γ = (1000+200)/40000 = 0.03.
+	if got := c.GammaWithOverheads(200); !almost(got, 0.03) {
+		t.Errorf("γ with doRx = %v, want 0.03", got)
+	}
+	if got := (WindowSeq{Period: 100}).GammaWithOverheads(10); got != 0 {
+		t.Errorf("empty sequence γ = %v", got)
+	}
+}
+
+func TestEtaWithOverheadsComposition(t *testing.T) {
+	d := Device{
+		B: mustBeacons(t, 1, 1000, 10, 0),
+		C: mustWindows(t, 20, 50),
+	}
+	alpha := 2.0
+	var doTx, doRx timebase.Ticks = 5, 10
+	want := alpha*d.B.BetaWithOverheads(doTx) + d.C.GammaWithOverheads(doRx)
+	if got := d.EtaWithOverheads(alpha, doTx, doRx); !almost(got, want) {
+		t.Errorf("EtaWithOverheads = %v, want %v", got, want)
+	}
+	// Overheads strictly increase η.
+	if d.EtaWithOverheads(alpha, doTx, doRx) <= d.Eta(alpha) {
+		t.Error("overheads did not increase η")
+	}
+}
+
+func TestOverheadsDoNotChangeTiming(t *testing.T) {
+	// Appendix A.2's point: overheads change the energy accounting, not
+	// the schedule, so the same latency now costs a larger η. Here: the
+	// overhead-adjusted duty-cycles plugged into Eq 27 reproduce the
+	// schedule's physical worst case k·λ exactly.
+	d1 := timebase.Ticks(1000)
+	k := 8
+	c := mustWindows(t, d1, k)
+	lambda := c.Period - d1
+	b := mustBeacons(t, k, lambda, 36, 0)
+
+	var doTx, doRx timebase.Ticks = 20, 150
+	betaEff := b.BetaWithOverheads(doTx)
+	gammaEff := c.GammaWithOverheads(doRx)
+
+	// Eq 27: L = (1/γ')·(1+doRx/d1)⁻¹… — algebraically
+	// (1/γ')·(1+doRx/d1) · (ω+doTx)/β' = (TC/d1) · λ = k·λ.
+	lhs := (1 / gammaEff) * (1 + float64(doRx)/float64(d1)) * float64(36+doTx) / betaEff
+	want := float64(k) * float64(lambda)
+	if math.Abs(lhs-want)/want > 1e-12 {
+		t.Errorf("Eq 27 at adjusted duty-cycles = %v, want k·λ = %v", lhs, want)
+	}
+}

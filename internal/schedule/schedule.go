@@ -1,0 +1,466 @@
+// Package schedule models the building blocks of neighbor-discovery
+// protocols exactly as the paper defines them in Section 3:
+//
+//   - a reception window sequence C (Definition 3.1) — the time windows
+//     during which a device listens, repeated with period TC;
+//   - a beacon sequence B (Definition 3.2) — the instants at which a device
+//     transmits, with packet airtime ω, repeated with period TB;
+//   - an ND protocol (Definition 3.3) — the pairing of an infinite beacon
+//     sequence on one device with an infinite reception window sequence on
+//     another;
+//   - the duty-cycle metrics (Definition 3.5) — transmit share β (also the
+//     channel utilization), receive share γ, and the weighted total
+//     η = α·β + γ where α = Ptx/Prx.
+//
+// Infinite sequences are represented as finite sequences plus a period
+// (Lemma 3.1); aperiodic sequences (Appendix A.1) are supported through the
+// BeaconStream and WindowStream interfaces, which the periodic types also
+// implement.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/timebase"
+)
+
+// Window is a reception window c = (t, d): the device listens during the
+// half-open interval [Start, Start+Len).
+type Window struct {
+	Start, Len timebase.Ticks
+}
+
+// End returns the first instant after the window, Start + Len.
+func (w Window) End() timebase.Ticks { return w.Start + w.Len }
+
+// Beacon is a transmission b sent at Time with airtime Len (the paper's ω).
+type Beacon struct {
+	Time, Len timebase.Ticks
+}
+
+// End returns the first instant after the transmission.
+func (b Beacon) End() timebase.Ticks { return b.Time + b.Len }
+
+// WindowSeq is a finite reception window sequence C whose infinite
+// concatenation forms C∞ (Definition 3.1). All window times are relative to
+// the instance origin and must satisfy 0 ≤ Start and End ≤ Period, sorted
+// and non-overlapping. Period is the paper's TC.
+type WindowSeq struct {
+	Windows []Window
+	Period  timebase.Ticks
+}
+
+// Validate checks the structural invariants of the sequence.
+func (c WindowSeq) Validate() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("schedule: window sequence period %d is not positive", c.Period)
+	}
+	prevEnd := timebase.Ticks(-1)
+	for i, w := range c.Windows {
+		if w.Len <= 0 {
+			return fmt.Errorf("schedule: window %d has non-positive length %d", i, w.Len)
+		}
+		if w.Start < 0 {
+			return fmt.Errorf("schedule: window %d starts before the instance origin (%d)", i, w.Start)
+		}
+		if w.End() > c.Period {
+			return fmt.Errorf("schedule: window %d ends at %d, beyond the period %d", i, w.End(), c.Period)
+		}
+		if w.Start < prevEnd {
+			return fmt.Errorf("schedule: window %d overlaps its predecessor", i)
+		}
+		if w.Start == prevEnd && i > 0 {
+			return fmt.Errorf("schedule: window %d is adjacent to its predecessor; merge them", i)
+		}
+		prevEnd = w.End()
+	}
+	// The last window of one instance must not collide with the first of the
+	// next: that is guaranteed by End ≤ Period together with Start ≥ 0, except
+	// for the degenerate all-period window, which is fine.
+	return nil
+}
+
+// NC returns nC, the number of windows per period.
+func (c WindowSeq) NC() int { return len(c.Windows) }
+
+// SumD returns Σ di, the total listening time per period.
+func (c WindowSeq) SumD() timebase.Ticks {
+	var s timebase.Ticks
+	for _, w := range c.Windows {
+		s += w.Len
+	}
+	return s
+}
+
+// Gamma returns the reception duty-cycle γ = Σdi / TC (Lemma 3.1).
+func (c WindowSeq) Gamma() float64 {
+	if c.Period <= 0 {
+		return 0
+	}
+	return float64(c.SumD()) / float64(c.Period)
+}
+
+// GammaRatio returns γ as an exact rational.
+func (c WindowSeq) GammaRatio() timebase.Ratio {
+	return timebase.NewRatio(c.SumD(), c.Period)
+}
+
+// Empty reports whether the sequence contains no windows (a transmit-only
+// device).
+func (c WindowSeq) Empty() bool { return len(c.Windows) == 0 }
+
+// WindowsWithin returns all windows of C∞ whose start lies in [from, to),
+// in increasing start order, with absolute times. It implements
+// WindowStream.
+func (c WindowSeq) WindowsWithin(from, to timebase.Ticks) []Window {
+	if c.Period <= 0 || len(c.Windows) == 0 || to <= from {
+		return nil
+	}
+	var out []Window
+	// First instance index whose windows could start at or after from.
+	firstCycle := floorDiv(from-c.Windows[len(c.Windows)-1].Start, c.Period) - 1
+	for cycle := firstCycle; ; cycle++ {
+		base := cycle * c.Period
+		if base > to {
+			break
+		}
+		for _, w := range c.Windows {
+			t := base + w.Start
+			if t < from {
+				continue
+			}
+			if t >= to {
+				break
+			}
+			out = append(out, Window{Start: t, Len: w.Len})
+		}
+	}
+	return out
+}
+
+// BeaconSeq is a finite beacon sequence B whose infinite concatenation forms
+// a repetitive B∞ (Definition 3.2, Lemma 5.2). Times are relative to the
+// instance origin, sorted strictly increasing, with 0 ≤ Time and
+// Time + Len ≤ Period. Period is the paper's TB.
+type BeaconSeq struct {
+	Beacons []Beacon
+	Period  timebase.Ticks
+}
+
+// Validate checks the structural invariants of the sequence.
+func (b BeaconSeq) Validate() error {
+	if b.Period <= 0 {
+		return fmt.Errorf("schedule: beacon sequence period %d is not positive", b.Period)
+	}
+	prevEnd := timebase.Ticks(-1)
+	for i, bc := range b.Beacons {
+		if bc.Len <= 0 {
+			return fmt.Errorf("schedule: beacon %d has non-positive airtime %d", i, bc.Len)
+		}
+		if bc.Time < 0 {
+			return fmt.Errorf("schedule: beacon %d is sent before the instance origin (%d)", i, bc.Time)
+		}
+		if bc.End() > b.Period {
+			return fmt.Errorf("schedule: beacon %d ends at %d, beyond the period %d", i, bc.End(), b.Period)
+		}
+		if bc.Time < prevEnd {
+			return fmt.Errorf("schedule: beacon %d overlaps its predecessor", i)
+		}
+		prevEnd = bc.End()
+	}
+	return nil
+}
+
+// MB returns mB, the number of beacons per period.
+func (b BeaconSeq) MB() int { return len(b.Beacons) }
+
+// SumOmega returns Σ ωi, the total airtime per period.
+func (b BeaconSeq) SumOmega() timebase.Ticks {
+	var s timebase.Ticks
+	for _, bc := range b.Beacons {
+		s += bc.Len
+	}
+	return s
+}
+
+// Beta returns the transmission duty-cycle β = Σωi / TB (Lemma 3.1), which
+// equals the channel utilization.
+func (b BeaconSeq) Beta() float64 {
+	if b.Period <= 0 {
+		return 0
+	}
+	return float64(b.SumOmega()) / float64(b.Period)
+}
+
+// BetaRatio returns β as an exact rational.
+func (b BeaconSeq) BetaRatio() timebase.Ratio {
+	return timebase.NewRatio(b.SumOmega(), b.Period)
+}
+
+// Empty reports whether the sequence contains no beacons (a listen-only
+// device).
+func (b BeaconSeq) Empty() bool { return len(b.Beacons) == 0 }
+
+// Gaps returns the beacon gaps λi between consecutive beacon transmissions,
+// measured start-to-start, including the wrap-around gap from the last
+// beacon of one instance to the first of the next. len(Gaps()) == MB().
+func (b BeaconSeq) Gaps() []timebase.Ticks {
+	m := len(b.Beacons)
+	if m == 0 {
+		return nil
+	}
+	gaps := make([]timebase.Ticks, m)
+	for i := 0; i < m-1; i++ {
+		gaps[i] = b.Beacons[i+1].Time - b.Beacons[i].Time
+	}
+	gaps[m-1] = b.Period - b.Beacons[m-1].Time + b.Beacons[0].Time
+	return gaps
+}
+
+// MeanGap returns the average beacon gap λ̄ = TB / mB as a float.
+func (b BeaconSeq) MeanGap() float64 {
+	if len(b.Beacons) == 0 {
+		return 0
+	}
+	return float64(b.Period) / float64(len(b.Beacons))
+}
+
+// MaxGap returns the largest beacon gap.
+func (b BeaconSeq) MaxGap() timebase.Ticks {
+	var m timebase.Ticks
+	for _, g := range b.Gaps() {
+		if g > m {
+			m = g
+		}
+	}
+	return m
+}
+
+// BeaconsWithin returns all beacons of B∞ sent (started) in [from, to), in
+// increasing time order, with absolute times. It implements BeaconStream.
+func (b BeaconSeq) BeaconsWithin(from, to timebase.Ticks) []Beacon {
+	if b.Period <= 0 || len(b.Beacons) == 0 || to <= from {
+		return nil
+	}
+	var out []Beacon
+	firstCycle := floorDiv(from-b.Beacons[len(b.Beacons)-1].Time, b.Period) - 1
+	for cycle := firstCycle; ; cycle++ {
+		base := cycle * b.Period
+		if base > to {
+			break
+		}
+		for _, bc := range b.Beacons {
+			t := base + bc.Time
+			if t < from {
+				continue
+			}
+			if t >= to {
+				break
+			}
+			out = append(out, Beacon{Time: t, Len: bc.Len})
+		}
+	}
+	return out
+}
+
+// BeaconStream yields the beacons of a (possibly aperiodic) B∞ inside a
+// time range. Implementations must return beacons in increasing time order
+// and be consistent across calls (pure functions of the range).
+type BeaconStream interface {
+	BeaconsWithin(from, to timebase.Ticks) []Beacon
+}
+
+// WindowStream yields the reception windows of a (possibly aperiodic) C∞
+// inside a time range, in increasing start order.
+type WindowStream interface {
+	WindowsWithin(from, to timebase.Ticks) []Window
+}
+
+// Interface checks.
+var (
+	_ BeaconStream = BeaconSeq{}
+	_ WindowStream = WindowSeq{}
+)
+
+// Device couples the beacon and window sequences running on one device
+// (the per-device half of a bidirectional ND protocol).
+type Device struct {
+	B BeaconSeq
+	C WindowSeq
+}
+
+// Validate checks both sequences.
+func (d Device) Validate() error {
+	if !d.B.Empty() {
+		if err := d.B.Validate(); err != nil {
+			return err
+		}
+	}
+	if !d.C.Empty() {
+		if err := d.C.Validate(); err != nil {
+			return err
+		}
+	}
+	if d.B.Empty() && d.C.Empty() {
+		return errors.New("schedule: device has neither beacons nor windows")
+	}
+	return nil
+}
+
+// Eta returns the total duty-cycle η = α·β + γ (Definition 3.5).
+func (d Device) Eta(alpha float64) float64 {
+	return alpha*d.B.Beta() + d.C.Gamma()
+}
+
+// BetaWithOverheads returns the effective transmit duty-cycle of a
+// non-ideal radio (Appendix A.2, Equation 24): every transmission carries
+// an additional doTx of effective active time for switching in and out of
+// the transmit state.
+func (b BeaconSeq) BetaWithOverheads(doTx timebase.Ticks) float64 {
+	if b.Period <= 0 || len(b.Beacons) == 0 {
+		return 0
+	}
+	return float64(b.SumOmega()+timebase.Ticks(len(b.Beacons))*doTx) / float64(b.Period)
+}
+
+// GammaWithOverheads returns the effective receive duty-cycle of a
+// non-ideal radio (Appendix A.2, Equation 25): every reception window
+// carries an additional doRx of switching time.
+func (c WindowSeq) GammaWithOverheads(doRx timebase.Ticks) float64 {
+	if c.Period <= 0 || len(c.Windows) == 0 {
+		return 0
+	}
+	return float64(c.SumD()+timebase.Ticks(len(c.Windows))*doRx) / float64(c.Period)
+}
+
+// EtaWithOverheads returns the effective total duty-cycle of a non-ideal
+// radio: η = α·β(doTx) + γ(doRx). Schedule timing is unchanged — overheads
+// change what a schedule costs, not when it is active — so the same
+// worst-case latency now requires a larger energy budget, which is exactly
+// the content of the Appendix A.2 bound (Equation 27).
+func (d Device) EtaWithOverheads(alpha float64, doTx, doRx timebase.Ticks) float64 {
+	return alpha*d.B.BetaWithOverheads(doTx) + d.C.GammaWithOverheads(doRx)
+}
+
+// SelfOverlap measures, over the joint hyperperiod of B and C, the total
+// time per hyperperiod during which the device is scheduled to transmit
+// while it is also scheduled to listen. Appendix A.5 analyses the
+// consequences of such overlaps: a half-duplex radio must interrupt the
+// reception window, blocking doTxRx + doRxTx + ω of listening time.
+//
+// The second return value is the fraction of total listening time blocked,
+// assuming zero turnaround overheads (pass the result to bounds.SelfBlocking
+// for the non-ideal-radio version).
+func (d Device) SelfOverlap() (perHyperperiod timebase.Ticks, fraction float64) {
+	if d.B.Empty() || d.C.Empty() {
+		return 0, 0
+	}
+	hp := timebase.LCM(d.B.Period, d.C.Period)
+	windows := d.C.WindowsWithin(0, hp)
+	beacons := d.B.BeaconsWithin(-d.B.Period, hp) // include beacons overlapping from before 0
+	var blocked timebase.Ticks
+	for _, w := range windows {
+		for _, bc := range beacons {
+			lo := maxT(w.Start, bc.Time)
+			hi := minT(w.End(), bc.End())
+			if hi > lo {
+				blocked += hi - lo
+			}
+		}
+	}
+	listen := d.C.SumD() * (hp / d.C.Period)
+	if listen == 0 {
+		return blocked, 0
+	}
+	return blocked, float64(blocked) / float64(listen)
+}
+
+// NewUniformWindows builds the canonical optimal reception sequence: a
+// single window of length d per period k·d (Theorem 5.3 with nC = 1). The
+// window is placed at the end of the period so that, per Definition 3.1, the
+// instance origin coincides with the end of the previous instance's window.
+func NewUniformWindows(d timebase.Ticks, k int) (WindowSeq, error) {
+	if d <= 0 {
+		return WindowSeq{}, fmt.Errorf("schedule: window length %d not positive", d)
+	}
+	if k < 1 {
+		return WindowSeq{}, fmt.Errorf("schedule: multiplier k=%d must be ≥ 1", k)
+	}
+	period := timebase.Ticks(k) * d
+	c := WindowSeq{
+		Windows: []Window{{Start: period - d, Len: d}},
+		Period:  period,
+	}
+	return c, c.Validate()
+}
+
+// NewEqualGapBeacons builds a beacon sequence of m beacons with equal gaps
+// λ = gap and airtime omega; the i-th beacon is sent at phase + i·gap. The
+// resulting period is m·gap (Lemma 5.2: optimal sequences are repetitive
+// with every sum of M gaps equal to M·λ̄).
+func NewEqualGapBeacons(m int, gap, omega, phase timebase.Ticks) (BeaconSeq, error) {
+	if m < 1 {
+		return BeaconSeq{}, fmt.Errorf("schedule: beacon count m=%d must be ≥ 1", m)
+	}
+	if gap <= omega {
+		return BeaconSeq{}, fmt.Errorf("schedule: beacon gap %d must exceed airtime %d", gap, omega)
+	}
+	if omega <= 0 {
+		return BeaconSeq{}, fmt.Errorf("schedule: airtime %d must be positive", omega)
+	}
+	if phase < 0 || phase+omega > gap {
+		return BeaconSeq{}, fmt.Errorf("schedule: phase %d must lie in [0, gap−ω]", phase)
+	}
+	beacons := make([]Beacon, m)
+	for i := range beacons {
+		beacons[i] = Beacon{Time: phase + timebase.Ticks(i)*gap, Len: omega}
+	}
+	b := BeaconSeq{Beacons: beacons, Period: timebase.Ticks(m) * gap}
+	return b, b.Validate()
+}
+
+// NewBeaconsAt builds a beacon sequence from explicit relative times, all
+// with the same airtime omega and the given period. Times are sorted.
+func NewBeaconsAt(times []timebase.Ticks, omega, period timebase.Ticks) (BeaconSeq, error) {
+	ts := append([]timebase.Ticks(nil), times...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	beacons := make([]Beacon, len(ts))
+	for i, t := range ts {
+		beacons[i] = Beacon{Time: t, Len: omega}
+	}
+	b := BeaconSeq{Beacons: beacons, Period: period}
+	return b, b.Validate()
+}
+
+// NewWindowsAt builds a window sequence from explicit (start, length) pairs
+// and the given period. Windows are sorted by start.
+func NewWindowsAt(windows []Window, period timebase.Ticks) (WindowSeq, error) {
+	ws := append([]Window(nil), windows...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+	c := WindowSeq{Windows: ws, Period: period}
+	return c, c.Validate()
+}
+
+func floorDiv(a, b timebase.Ticks) timebase.Ticks {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func maxT(a, b timebase.Ticks) timebase.Ticks {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minT(a, b timebase.Ticks) timebase.Ticks {
+	if a < b {
+		return a
+	}
+	return b
+}

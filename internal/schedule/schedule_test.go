@@ -1,0 +1,334 @@
+package schedule
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timebase"
+)
+
+func mustWindows(t *testing.T, d timebase.Ticks, k int) WindowSeq {
+	t.Helper()
+	c, err := NewUniformWindows(d, k)
+	if err != nil {
+		t.Fatalf("NewUniformWindows(%d, %d): %v", d, k, err)
+	}
+	return c
+}
+
+func mustBeacons(t *testing.T, m int, gap, omega, phase timebase.Ticks) BeaconSeq {
+	t.Helper()
+	b, err := NewEqualGapBeacons(m, gap, omega, phase)
+	if err != nil {
+		t.Fatalf("NewEqualGapBeacons(%d, %d, %d, %d): %v", m, gap, omega, phase, err)
+	}
+	return b
+}
+
+func TestWindowSeqValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		c    WindowSeq
+		ok   bool
+	}{
+		{"empty ok", WindowSeq{Period: 100}, true},
+		{"bad period", WindowSeq{Period: 0}, false},
+		{"simple", WindowSeq{Windows: []Window{{0, 10}}, Period: 100}, true},
+		{"full period window", WindowSeq{Windows: []Window{{0, 100}}, Period: 100}, true},
+		{"negative start", WindowSeq{Windows: []Window{{-1, 10}}, Period: 100}, false},
+		{"beyond period", WindowSeq{Windows: []Window{{95, 10}}, Period: 100}, false},
+		{"zero length", WindowSeq{Windows: []Window{{0, 0}}, Period: 100}, false},
+		{"overlapping", WindowSeq{Windows: []Window{{0, 10}, {5, 10}}, Period: 100}, false},
+		{"adjacent", WindowSeq{Windows: []Window{{0, 10}, {10, 10}}, Period: 100}, false},
+		{"two windows", WindowSeq{Windows: []Window{{0, 10}, {50, 10}}, Period: 100}, true},
+	}
+	for _, c := range cases {
+		err := c.c.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestBeaconSeqValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		b    BeaconSeq
+		ok   bool
+	}{
+		{"empty ok", BeaconSeq{Period: 100}, true},
+		{"bad period", BeaconSeq{Period: -5}, false},
+		{"simple", BeaconSeq{Beacons: []Beacon{{0, 5}}, Period: 100}, true},
+		{"zero airtime", BeaconSeq{Beacons: []Beacon{{0, 0}}, Period: 100}, false},
+		{"beyond period", BeaconSeq{Beacons: []Beacon{{98, 5}}, Period: 100}, false},
+		{"overlap", BeaconSeq{Beacons: []Beacon{{0, 5}, {3, 5}}, Period: 100}, false},
+		{"back to back ok", BeaconSeq{Beacons: []Beacon{{0, 5}, {5, 5}}, Period: 100}, true},
+	}
+	for _, c := range cases {
+		err := c.b.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestUniformWindowsDutyCycle(t *testing.T) {
+	c := mustWindows(t, 1000, 40) // 1 ms window every 40 ms
+	if got := c.Gamma(); got != 0.025 {
+		t.Errorf("Gamma = %v, want 0.025", got)
+	}
+	if got := c.GammaRatio(); got != timebase.NewRatio(1, 40) {
+		t.Errorf("GammaRatio = %v, want 1/40", got)
+	}
+	if c.NC() != 1 || c.SumD() != 1000 || c.Period != 40000 {
+		t.Errorf("unexpected shape: %+v", c)
+	}
+	// Window is anchored at the end of the period per Definition 3.1.
+	if c.Windows[0].End() != c.Period {
+		t.Errorf("window ends at %d, want %d", c.Windows[0].End(), c.Period)
+	}
+}
+
+func TestEqualGapBeacons(t *testing.T) {
+	b := mustBeacons(t, 4, 1000, 36, 0)
+	if b.MB() != 4 || b.Period != 4000 {
+		t.Fatalf("unexpected shape: %+v", b)
+	}
+	if got := b.Beta(); got != 4*36.0/4000.0 {
+		t.Errorf("Beta = %v", got)
+	}
+	gaps := b.Gaps()
+	for i, g := range gaps {
+		if g != 1000 {
+			t.Errorf("gap %d = %d, want 1000", i, g)
+		}
+	}
+	if b.MeanGap() != 1000 || b.MaxGap() != 1000 {
+		t.Errorf("MeanGap=%v MaxGap=%v", b.MeanGap(), b.MaxGap())
+	}
+}
+
+func TestEqualGapBeaconsRejectsBadParams(t *testing.T) {
+	if _, err := NewEqualGapBeacons(0, 100, 10, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewEqualGapBeacons(1, 10, 10, 0); err == nil {
+		t.Error("gap == omega accepted")
+	}
+	if _, err := NewEqualGapBeacons(1, 100, 0, 0); err == nil {
+		t.Error("omega=0 accepted")
+	}
+	if _, err := NewEqualGapBeacons(1, 100, 10, 95); err == nil {
+		t.Error("phase pushing beacon over the gap accepted")
+	}
+}
+
+func TestGapsWrapAround(t *testing.T) {
+	b, err := NewBeaconsAt([]timebase.Ticks{10, 30, 90}, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := b.Gaps()
+	want := []timebase.Ticks{20, 60, 20} // 90→10 across the period edge
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Errorf("gap %d = %d, want %d", i, gaps[i], want[i])
+		}
+	}
+	var sum timebase.Ticks
+	for _, g := range gaps {
+		sum += g
+	}
+	if sum != b.Period {
+		t.Errorf("gaps sum to %d, want period %d", sum, b.Period)
+	}
+}
+
+func TestBeaconsWithin(t *testing.T) {
+	b := mustBeacons(t, 2, 50, 5, 10) // beacons at 10, 60 per 100-tick period
+	got := b.BeaconsWithin(0, 250)
+	wantTimes := []timebase.Ticks{10, 60, 110, 160, 210}
+	if len(got) != len(wantTimes) {
+		t.Fatalf("got %d beacons (%v), want %d", len(got), got, len(wantTimes))
+	}
+	for i, bc := range got {
+		if bc.Time != wantTimes[i] || bc.Len != 5 {
+			t.Errorf("beacon %d = %+v, want time %d", i, bc, wantTimes[i])
+		}
+	}
+}
+
+func TestBeaconsWithinNegativeRange(t *testing.T) {
+	b := mustBeacons(t, 1, 100, 5, 20) // beacon at 20 per 100
+	got := b.BeaconsWithin(-250, 50)
+	wantTimes := []timebase.Ticks{-180, -80, 20}
+	if len(got) != len(wantTimes) {
+		t.Fatalf("got %v, want times %v", got, wantTimes)
+	}
+	for i, bc := range got {
+		if bc.Time != wantTimes[i] {
+			t.Errorf("beacon %d at %d, want %d", i, bc.Time, wantTimes[i])
+		}
+	}
+}
+
+func TestWindowsWithin(t *testing.T) {
+	c := mustWindows(t, 10, 4) // window [30,40) per 40-tick period
+	got := c.WindowsWithin(0, 120)
+	wantStarts := []timebase.Ticks{30, 70, 110}
+	if len(got) != len(wantStarts) {
+		t.Fatalf("got %v", got)
+	}
+	for i, w := range got {
+		if w.Start != wantStarts[i] || w.Len != 10 {
+			t.Errorf("window %d = %+v, want start %d", i, w, wantStarts[i])
+		}
+	}
+}
+
+func TestStreamsEmptyRanges(t *testing.T) {
+	b := mustBeacons(t, 1, 100, 5, 0)
+	if got := b.BeaconsWithin(50, 50); got != nil {
+		t.Errorf("empty range returned %v", got)
+	}
+	c := mustWindows(t, 10, 10)
+	if got := c.WindowsWithin(10, 5); got != nil {
+		t.Errorf("inverted range returned %v", got)
+	}
+	if got := (BeaconSeq{Period: 100}).BeaconsWithin(0, 1000); got != nil {
+		t.Errorf("empty sequence returned %v", got)
+	}
+}
+
+// Property: BeaconsWithin is consistent with membership arithmetic — a
+// beacon at absolute time T appears iff T ≡ τi (mod TB) and from ≤ T < to.
+func TestBeaconsWithinMatchesArithmetic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gap := timebase.Ticks(rng.Intn(90) + 10)
+		m := rng.Intn(3) + 1
+		omega := timebase.Ticks(rng.Intn(int(gap)-1) + 1)
+		b, err := NewEqualGapBeacons(m, gap, omega, 0)
+		if err != nil {
+			return true // skip invalid random combos
+		}
+		from := timebase.Ticks(rng.Intn(1000) - 500)
+		to := from + timebase.Ticks(rng.Intn(500))
+		got := b.BeaconsWithin(from, to)
+		// Reference: walk tick by tick.
+		var want []timebase.Ticks
+		for tt := from; tt < to; tt++ {
+			rel := tt.Mod(b.Period)
+			for _, bc := range b.Beacons {
+				if bc.Time == rel {
+					want = append(want, tt)
+				}
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Time != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeviceEta(t *testing.T) {
+	d := Device{
+		B: mustBeacons(t, 1, 1000, 10, 0), // β = 0.01
+		C: mustWindows(t, 20, 50),         // γ = 0.02
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Eta(1.0); !almost(got, 0.03) {
+		t.Errorf("Eta(1) = %v, want 0.03", got)
+	}
+	if got := d.Eta(2.0); !almost(got, 0.04) {
+		t.Errorf("Eta(2) = %v, want 0.04", got)
+	}
+}
+
+func TestDeviceValidateRejectsEmpty(t *testing.T) {
+	err := Device{}.Validate()
+	if err == nil || !strings.Contains(err.Error(), "neither") {
+		t.Errorf("empty device Validate = %v", err)
+	}
+}
+
+func TestSelfOverlapDisjoint(t *testing.T) {
+	// Beacon at [0,10), window [500,600) in a 1000-tick common period:
+	// never overlap.
+	b, _ := NewBeaconsAt([]timebase.Ticks{0}, 10, 1000)
+	c, _ := NewWindowsAt([]Window{{500, 100}}, 1000)
+	d := Device{B: b, C: c}
+	blocked, frac := d.SelfOverlap()
+	if blocked != 0 || frac != 0 {
+		t.Errorf("disjoint schedules blocked=%d frac=%v", blocked, frac)
+	}
+}
+
+func TestSelfOverlapFull(t *testing.T) {
+	// Beacon right inside the window.
+	b, _ := NewBeaconsAt([]timebase.Ticks{550}, 10, 1000)
+	c, _ := NewWindowsAt([]Window{{500, 100}}, 1000)
+	d := Device{B: b, C: c}
+	blocked, frac := d.SelfOverlap()
+	if blocked != 10 {
+		t.Errorf("blocked = %d, want 10", blocked)
+	}
+	if !almost(frac, 0.1) {
+		t.Errorf("fraction = %v, want 0.1", frac)
+	}
+}
+
+func TestSelfOverlapAcrossHyperperiod(t *testing.T) {
+	// B period 300, C period 200 → hyperperiod 600. Beacon at 0 (mod 300),
+	// window [0,50) (mod 200). Overlaps at t=0 (10 ticks) and t=600k... within
+	// one hyperperiod: beacons at 0, 300; windows at [0,50),[200,250),[400,450).
+	// Beacon 0 overlaps window [0,50) by 10; beacon 300 overlaps nothing.
+	b, _ := NewBeaconsAt([]timebase.Ticks{0}, 10, 300)
+	c, _ := NewWindowsAt([]Window{{0, 50}}, 200)
+	d := Device{B: b, C: c}
+	blocked, _ := d.SelfOverlap()
+	if blocked != 10 {
+		t.Errorf("blocked = %d, want 10", blocked)
+	}
+}
+
+func TestNewBeaconsAtSortsInput(t *testing.T) {
+	b, err := NewBeaconsAt([]timebase.Ticks{90, 10, 50}, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Beacons[0].Time != 10 || b.Beacons[1].Time != 50 || b.Beacons[2].Time != 90 {
+		t.Errorf("not sorted: %+v", b.Beacons)
+	}
+}
+
+func TestNewWindowsAtSortsInput(t *testing.T) {
+	c, err := NewWindowsAt([]Window{{60, 10}, {0, 10}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Windows[0].Start != 0 || c.Windows[1].Start != 60 {
+		t.Errorf("not sorted: %+v", c.Windows)
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/optimal"
+	"repro/internal/schedule"
+	"repro/internal/timebase"
+)
+
+func TestNodePresenceGatesTransmissions(t *testing.T) {
+	// Sender present only during [100, 200): beacons at 50, 150, 250 — only
+	// the one at 150 is on air.
+	b, _ := schedule.NewBeaconsAt([]timebase.Ticks{50}, 10, 100)
+	c, _ := schedule.NewWindowsAt([]schedule.Window{{Start: 0, Len: 1000}}, 1000)
+	nodes := []Node{
+		{Device: schedule.Device{B: b}, Arrive: 100, Depart: 200},
+		{Device: schedule.Device{C: c}},
+	}
+	res, err := Run(nodes, Config{Horizon: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transmissions != 1 {
+		t.Errorf("transmissions = %d, want 1 (only the beacon inside presence)", res.Transmissions)
+	}
+	at, ok := res.FirstDiscovery(1, 0)
+	if !ok || at != 160 {
+		t.Errorf("discovery at %v (ok=%v), want 160", at, ok)
+	}
+}
+
+func TestNodePresenceGatesReception(t *testing.T) {
+	// Receiver arrives at 100: the beacon at 50 is missed, the one at 150
+	// received.
+	b, _ := schedule.NewBeaconsAt([]timebase.Ticks{50}, 10, 100)
+	c, _ := schedule.NewWindowsAt([]schedule.Window{{Start: 0, Len: 1000}}, 1000)
+	nodes := []Node{
+		{Device: schedule.Device{B: b}},
+		{Device: schedule.Device{C: c}, Arrive: 100},
+	}
+	res, err := Run(nodes, Config{Horizon: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, ok := res.FirstDiscovery(1, 0)
+	if !ok || at != 160 {
+		t.Errorf("discovery at %v (ok=%v), want 160", at, ok)
+	}
+}
+
+func TestDepartedReceiverHearsNothing(t *testing.T) {
+	b, _ := schedule.NewBeaconsAt([]timebase.Ticks{500}, 10, 1000)
+	c, _ := schedule.NewWindowsAt([]schedule.Window{{Start: 0, Len: 1000}}, 1000)
+	nodes := []Node{
+		{Device: schedule.Device{B: b}},
+		{Device: schedule.Device{C: c}, Depart: 400},
+	}
+	res, err := Run(nodes, Config{Horizon: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.FirstDiscovery(1, 0); ok {
+		t.Error("receiver heard a beacon after departing")
+	}
+}
+
+func TestChurnDiscoveryLongContacts(t *testing.T) {
+	// Contacts much longer than the worst case: every judged pair must
+	// discover, within the analytic worst case of the schedule.
+	pair, err := optimal.NewSymmetric(36, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := pair.WorstCase()
+	stats, err := ChurnDiscovery(pair.E, 4, 20, 0, Config{
+		Horizon: 8 * worst,
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.N == 0 {
+		t.Fatal("no pairs judged")
+	}
+	if stats.Misses != 0 {
+		t.Errorf("%d misses despite unbounded stays", stats.Misses)
+	}
+	if stats.Max > worst+36 {
+		t.Errorf("churn max %v exceeds worst case %v", stats.Max, worst)
+	}
+}
+
+func TestChurnDiscoveryShortContacts(t *testing.T) {
+	// Stays shorter than the worst case must produce some misses: a
+	// bounded contact window cannot guarantee discovery.
+	pair, err := optimal.NewSymmetric(36, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := pair.WorstCase()
+	period := pair.E.B.Period
+	if pair.E.C.Period > period {
+		period = pair.E.C.Period
+	}
+	stay := period + worst/4 // long enough to be judged, short vs worst case
+	stats, err := ChurnDiscovery(pair.E, 6, 30, stay, Config{
+		Horizon: 8 * worst,
+		Seed:    6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.N == 0 {
+		t.Skip("no pairs overlapped long enough; adjust parameters")
+	}
+	if stats.Misses == 0 {
+		t.Errorf("short contacts should miss sometimes (N=%d)", stats.N)
+	}
+	// And the successes must fit inside the contact window.
+	if stats.Max > stay {
+		t.Errorf("latency %v exceeds the stay %v", stats.Max, stay)
+	}
+}
+
+func TestChurnRejectsBadArgs(t *testing.T) {
+	pair, _ := optimal.NewSymmetric(36, 1, 0.05)
+	if _, err := ChurnDiscovery(pair.E, 1, 5, 0, Config{Horizon: 1000}); err == nil {
+		t.Error("s=1 accepted")
+	}
+}

@@ -1,0 +1,496 @@
+// Package sim is a discrete-event simulator for neighbor discovery among S
+// devices sharing one radio channel.
+//
+// The coverage engine (package coverage) answers the two-device question
+// exactly; this simulator answers the questions the closed forms cannot:
+// what happens when many devices discover each other simultaneously, their
+// beacons collide (unslotted ALOHA: any airtime overlap destroys both
+// packets), radios are half-duplex, and schedules are jittered for
+// decorrelation (the BLE advDelay mechanism the paper's conclusion points
+// to). It is the workload generator behind the Figure 7 and Appendix B
+// experiments.
+//
+// Time is integer ticks. Every run is deterministic given its seed.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/schedule"
+	"repro/internal/timebase"
+)
+
+// Node is one simulated device: a schedule plus a phase shift that places
+// the schedule's origin at absolute time Phase. Arrive and Depart bound the
+// node's presence: it transmits and receives only within [Arrive, Depart).
+// The zero values mean "present from the start" and "never departs".
+type Node struct {
+	Device schedule.Device
+	Phase  timebase.Ticks
+	Arrive timebase.Ticks
+	Depart timebase.Ticks // 0 = stays for the whole horizon
+}
+
+func (n Node) departOr(horizon timebase.Ticks) timebase.Ticks {
+	if n.Depart <= 0 {
+		return horizon
+	}
+	return n.Depart
+}
+
+// Config controls channel and radio semantics.
+type Config struct {
+	// Horizon is the simulated duration; events at t ∈ [0, Horizon).
+	Horizon timebase.Ticks
+
+	// Collisions enables the ALOHA channel: a packet overlapping any other
+	// packet in time is destroyed at every receiver.
+	Collisions bool
+
+	// HalfDuplex prevents a device from receiving while it transmits.
+	HalfDuplex bool
+
+	// TruncatedWindows requires a packet to start no later than ω before
+	// the window's end to be received (Appendix A.3 semantics).
+	TruncatedWindows bool
+
+	// Jitter delays each beacon independently by a uniform amount in
+	// [0, Jitter], decorrelating periodic collision patterns (the BLE
+	// advDelay mechanism). Zero disables jitter.
+	Jitter timebase.Ticks
+
+	// Seed feeds the deterministic RNG used for jitter.
+	Seed int64
+}
+
+// transmission is one on-air packet.
+type transmission struct {
+	sender     int
+	start, end timebase.Ticks
+	collided   bool
+}
+
+// Discovery records receiver first hearing sender.
+type Discovery struct {
+	Receiver, Sender int
+	At               timebase.Ticks // completion time of the received packet
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	// First[r][s] is the first time receiver r heard sender s; missing key
+	// means no discovery within the horizon.
+	First map[int]map[int]timebase.Ticks
+
+	// Transmissions and Collided count packets on air and packets
+	// destroyed by the collision channel.
+	Transmissions, Collided int
+}
+
+// CollisionRate returns the fraction of packets destroyed by collisions.
+func (r Result) CollisionRate() float64 {
+	if r.Transmissions == 0 {
+		return 0
+	}
+	return float64(r.Collided) / float64(r.Transmissions)
+}
+
+// FirstDiscovery returns when receiver first heard sender, if ever.
+func (r Result) FirstDiscovery(receiver, sender int) (timebase.Ticks, bool) {
+	m, ok := r.First[receiver]
+	if !ok {
+		return 0, false
+	}
+	t, ok := m[sender]
+	return t, ok
+}
+
+// Run simulates the node set under cfg.
+func Run(nodes []Node, cfg Config) (Result, error) {
+	if cfg.Horizon <= 0 {
+		return Result{}, fmt.Errorf("sim: horizon %d must be positive", cfg.Horizon)
+	}
+	if len(nodes) < 2 {
+		return Result{}, fmt.Errorf("sim: need at least 2 nodes, got %d", len(nodes))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Generate all transmissions, jittered, sorted by start.
+	var txs []transmission
+	for i, n := range nodes {
+		if n.Device.B.Empty() {
+			continue
+		}
+		// Include beacons that started before 0 but might overlap into the
+		// horizon; BeaconsWithin works in schedule-local time.
+		local := n.Device.B.BeaconsWithin(-n.Phase-n.Device.B.Period, cfg.Horizon-n.Phase)
+		depart := n.departOr(cfg.Horizon)
+		for _, bc := range local {
+			start := bc.Time + n.Phase
+			if cfg.Jitter > 0 {
+				start += timebase.Ticks(rng.Int63n(int64(cfg.Jitter) + 1))
+			}
+			end := start + bc.Len
+			if end <= 0 || start >= cfg.Horizon {
+				continue
+			}
+			// A node only transmits while present.
+			if start < n.Arrive || end > depart {
+				continue
+			}
+			txs = append(txs, transmission{sender: i, start: start, end: end})
+		}
+	}
+	sort.Slice(txs, func(a, b int) bool { return txs[a].start < txs[b].start })
+
+	// Mark collisions: a packet is destroyed iff its airtime overlaps any
+	// other packet's. One pass over the start-sorted list with a running
+	// furthest-end suffices: any packet starting before the furthest end
+	// overlaps the packet holding it, and every overlapping pair is
+	// witnessed this way (if X overlaps a later W, then at W's turn the
+	// running maximum either is X or belongs to a packet that overlaps X,
+	// which marked X earlier).
+	if cfg.Collisions {
+		maxEnd := timebase.Ticks(0)
+		maxIdx := -1
+		for i := range txs {
+			if maxIdx >= 0 && txs[i].start < maxEnd {
+				txs[i].collided = true
+				txs[maxIdx].collided = true
+			}
+			if txs[i].end > maxEnd {
+				maxEnd = txs[i].end
+				maxIdx = i
+			}
+		}
+	}
+
+	res := Result{First: make(map[int]map[int]timebase.Ticks)}
+	res.Transmissions = len(txs)
+	for _, tx := range txs {
+		if tx.collided {
+			res.Collided++
+		}
+	}
+
+	starts := make([]timebase.Ticks, len(txs))
+	for i, tx := range txs {
+		starts[i] = tx.start
+	}
+
+	// Reception: walk every receiver's windows. Windows that started
+	// before t = 0 still receive packets sent after t = 0 (the schedule ran
+	// before the devices came into range), so the range extends one period
+	// into the past; packets that started before t = 0, however, were only
+	// partially in range and are never received.
+	for r, n := range nodes {
+		if n.Device.C.Empty() {
+			continue
+		}
+		windows := n.Device.C.WindowsWithin(-n.Phase-n.Device.C.Period, cfg.Horizon-n.Phase)
+		rDepart := n.departOr(cfg.Horizon)
+		for _, w := range windows {
+			wStart := w.Start + n.Phase
+			wEnd := wStart + w.Len
+			// Candidate packets starting inside the window.
+			lo := sort.Search(len(txs), func(i int) bool { return starts[i] >= wStart })
+			for i := lo; i < len(txs) && txs[i].start < wEnd; i++ {
+				tx := txs[i]
+				// Receivable only from other senders, only for packets
+				// sent entirely while the receiver is present (a packet
+				// straddling the receiver's arrival is heard partially
+				// and lost).
+				if tx.sender == r || tx.start < n.Arrive || tx.end > rDepart {
+					continue
+				}
+				if cfg.TruncatedWindows && tx.end > wEnd {
+					continue
+				}
+				if cfg.Collisions && tx.collided {
+					continue
+				}
+				if cfg.HalfDuplex && transmitsDuring(nodes[r], r, tx.start, tx.end) {
+					continue
+				}
+				if m := res.First[r]; m == nil {
+					res.First[r] = map[int]timebase.Ticks{tx.sender: tx.end}
+				} else if _, seen := m[tx.sender]; !seen {
+					m[tx.sender] = tx.end
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// transmitsDuring reports whether node (with index idx) has any own beacon
+// on air overlapping [from, to).
+func transmitsDuring(n Node, idx int, from, to timebase.Ticks) bool {
+	if n.Device.B.Empty() {
+		return false
+	}
+	// A beacon overlaps [from, to) if it starts before to and ends after
+	// from; beacons starting up to one airtime before from qualify.
+	maxLen := timebase.Ticks(0)
+	for _, bc := range n.Device.B.Beacons {
+		if bc.Len > maxLen {
+			maxLen = bc.Len
+		}
+	}
+	local := n.Device.B.BeaconsWithin(from-n.Phase-maxLen, to-n.Phase)
+	for _, bc := range local {
+		s := bc.Time + n.Phase
+		if s < to && s+bc.Len > from {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarizes a latency sample set.
+type Stats struct {
+	N             int
+	Misses        int // trials with no discovery within the horizon
+	Min, Max      timebase.Ticks
+	Mean          float64
+	P50, P95, P99 timebase.Ticks
+}
+
+// Collect computes order statistics over samples; misses counts separately.
+func Collect(samples []timebase.Ticks, misses int) Stats {
+	st := Stats{N: len(samples) + misses, Misses: misses}
+	if len(samples) == 0 {
+		return st
+	}
+	sorted := append([]timebase.Ticks(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	st.Min = sorted[0]
+	st.Max = sorted[len(sorted)-1]
+	var sum float64
+	for _, s := range sorted {
+		sum += float64(s)
+	}
+	st.Mean = sum / float64(len(sorted))
+	st.P50 = quantile(sorted, 0.50)
+	st.P95 = quantile(sorted, 0.95)
+	st.P99 = quantile(sorted, 0.99)
+	return st
+}
+
+func quantile(sorted []timebase.Ticks, q float64) timebase.Ticks {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// FailureRate returns the fraction of trials that missed.
+func (s Stats) FailureRate() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.N)
+}
+
+// PairLatencies Monte-Carlos the one-way discovery latency of receiver
+// device F hearing sender device E: each trial draws independent uniform
+// phases for both schedules and reports the first reception time.
+func PairLatencies(e, f schedule.Device, trials int, cfg Config) (Stats, error) {
+	if trials < 1 {
+		return Stats{}, fmt.Errorf("sim: trials %d must be ≥ 1", trials)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var samples []timebase.Ticks
+	misses := 0
+	for t := 0; t < trials; t++ {
+		nodes := []Node{
+			{Device: e, Phase: randPhase(rng, e)},
+			{Device: f, Phase: randPhase(rng, f)},
+		}
+		runCfg := cfg
+		runCfg.Seed = rng.Int63()
+		res, err := Run(nodes, runCfg)
+		if err != nil {
+			return Stats{}, err
+		}
+		if at, ok := res.FirstDiscovery(1, 0); ok {
+			samples = append(samples, at)
+		} else {
+			misses++
+		}
+	}
+	return Collect(samples, misses), nil
+}
+
+// GroupResult aggregates a many-device experiment.
+type GroupResult struct {
+	Latency       Stats   // over all ordered (receiver, sender) pairs and trials
+	CollisionRate float64 // average per-packet collision fraction
+}
+
+// GroupDiscovery Monte-Carlos S identical devices with random phases and
+// measures pairwise one-way discovery latency and the packet collision
+// rate. horizonMultiple scales the horizon in units of the device's beacon
+// period.
+func GroupDiscovery(dev schedule.Device, s, trials int, cfg Config) (GroupResult, error) {
+	if s < 2 {
+		return GroupResult{}, fmt.Errorf("sim: group size %d must be ≥ 2", s)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var samples []timebase.Ticks
+	misses := 0
+	var collSum float64
+	for t := 0; t < trials; t++ {
+		nodes := make([]Node, s)
+		for i := range nodes {
+			nodes[i] = Node{Device: dev, Phase: randPhase(rng, dev)}
+		}
+		runCfg := cfg
+		runCfg.Seed = rng.Int63()
+		res, err := Run(nodes, runCfg)
+		if err != nil {
+			return GroupResult{}, err
+		}
+		collSum += res.CollisionRate()
+		for r := 0; r < s; r++ {
+			for snd := 0; snd < s; snd++ {
+				if r == snd {
+					continue
+				}
+				if at, ok := res.FirstDiscovery(r, snd); ok {
+					samples = append(samples, at)
+				} else {
+					misses++
+				}
+			}
+		}
+	}
+	return GroupResult{
+		Latency:       Collect(samples, misses),
+		CollisionRate: collSum / float64(trials),
+	}, nil
+}
+
+// ChurnDiscovery simulates a dynamic neighborhood: s identical devices
+// arrive at uniformly random times in the first half of the horizon and
+// stay for stay ticks (0 = until the end). For every ordered pair whose
+// presence overlaps by at least the schedule period, it measures the
+// latency from the moment both are present until first discovery. This is
+// the scenario the paper's introduction motivates: nodes encountering each
+// other on the move, with only a bounded contact window to find each other.
+func ChurnDiscovery(dev schedule.Device, s, trials int, stay timebase.Ticks, cfg Config) (Stats, error) {
+	contacts, err := ChurnContacts(dev, s, trials, stay, cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	var samples []timebase.Ticks
+	misses := 0
+	for _, c := range contacts {
+		if c.Discovered {
+			samples = append(samples, c.Latency)
+		} else {
+			misses++
+		}
+	}
+	return Collect(samples, misses), nil
+}
+
+// Contact is one ordered pair's encounter in a churn simulation: the
+// duration both devices were jointly present, and whether (and when,
+// measured from the joint-presence instant) the receiver discovered the
+// sender.
+type Contact struct {
+	Overlap    timebase.Ticks
+	Discovered bool
+	Latency    timebase.Ticks // valid iff Discovered
+}
+
+// ChurnContacts runs the churn scenario of ChurnDiscovery and returns the
+// raw per-pair contact records, so callers can bin discovery ratios by
+// contact duration — the deployment-planning view: contacts of at least
+// the worst-case bound L are guaranteed, shorter ones are best-effort.
+func ChurnContacts(dev schedule.Device, s, trials int, stay timebase.Ticks, cfg Config) ([]Contact, error) {
+	if s < 2 {
+		return nil, fmt.Errorf("sim: group size %d must be ≥ 2", s)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Judge pairs whose joint presence spans at least one listening period
+	// — long enough that discovery is possible, short enough that bounded
+	// contacts (shorter than the worst case) are still evaluated and can
+	// legitimately miss.
+	minOverlap := dev.C.Period
+	if minOverlap <= 0 {
+		minOverlap = dev.B.Period
+	}
+	var contacts []Contact
+	for t := 0; t < trials; t++ {
+		nodes := make([]Node, s)
+		for i := range nodes {
+			arrive := timebase.Ticks(rng.Int63n(int64(cfg.Horizon / 2)))
+			depart := timebase.Ticks(0)
+			if stay > 0 {
+				depart = arrive + stay
+			}
+			nodes[i] = Node{
+				Device: dev,
+				Phase:  randPhase(rng, dev),
+				Arrive: arrive,
+				Depart: depart,
+			}
+		}
+		runCfg := cfg
+		runCfg.Seed = rng.Int63()
+		res, err := Run(nodes, runCfg)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < s; r++ {
+			for snd := 0; snd < s; snd++ {
+				if r == snd {
+					continue
+				}
+				both := maxTicks(nodes[r].Arrive, nodes[snd].Arrive)
+				until := minTicks(nodes[r].departOr(cfg.Horizon), nodes[snd].departOr(cfg.Horizon))
+				overlap := until - both
+				if overlap < minOverlap {
+					continue // contact too short to judge
+				}
+				c := Contact{Overlap: overlap}
+				if at, ok := res.FirstDiscovery(r, snd); ok && at >= both {
+					c.Discovered = true
+					c.Latency = at - both
+				}
+				contacts = append(contacts, c)
+			}
+		}
+	}
+	return contacts, nil
+}
+
+func maxTicks(a, b timebase.Ticks) timebase.Ticks {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minTicks(a, b timebase.Ticks) timebase.Ticks {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func randPhase(rng *rand.Rand, d schedule.Device) timebase.Ticks {
+	period := d.B.Period
+	if period == 0 || (d.C.Period > 0 && d.C.Period > period) {
+		period = d.C.Period
+	}
+	if period <= 0 {
+		return 0
+	}
+	return timebase.Ticks(rng.Int63n(int64(period)))
+}

@@ -1,0 +1,222 @@
+// Package textplot renders experiment output as aligned text tables and
+// ASCII line plots, so every figure and table of the paper can be
+// regenerated on a terminal with no plotting dependencies.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// Add appends a row; missing cells render empty, extra cells are dropped.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddF appends a row of formatted values: strings pass through, float64
+// render with %.4g, ints with %d.
+func (t *Table) AddF(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.4g", v))
+		case int:
+			row = append(row, fmt.Sprintf("%d", v))
+		case int64:
+			row = append(row, fmt.Sprintf("%d", v))
+		case fmt.Stringer:
+			row = append(row, v.String())
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.Add(row...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if w := len([]rune(cell)); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(cell))))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of a plot.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Plot renders one or more series on a character grid, optionally with
+// logarithmic axes (points with non-positive coordinates are skipped on log
+// axes).
+type Plot struct {
+	Title      string
+	XLabel     string
+	YLabel     string
+	Width      int // plot area width in characters (default 72)
+	Height     int // plot area height in characters (default 20)
+	LogX, LogY bool
+
+	series []Series
+}
+
+// AddSeries appends a series to the plot.
+func (p *Plot) AddSeries(name string, marker rune, x, y []float64) {
+	p.series = append(p.series, Series{Name: name, Marker: marker, X: x, Y: y})
+}
+
+// String renders the plot.
+func (p *Plot) String() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	tx := func(v float64) (float64, bool) { return v, true }
+	ty := tx
+	if p.LogX {
+		tx = logT
+	}
+	if p.LogY {
+		ty = logT
+	}
+	// Collect transformed bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title)
+		b.WriteString("\n")
+	}
+	if math.IsInf(minX, 1) || minX == maxX && minY == maxY && len(p.series) == 0 {
+		b.WriteString("(no plottable points)\n")
+		return b.String()
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", w))
+	}
+	for _, s := range p.series {
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = s.Marker
+			}
+		}
+	}
+	yLo, yHi := p.axisValue(minY, p.LogY), p.axisValue(maxY, p.LogY)
+	b.WriteString(fmt.Sprintf("%10.3g ┤%s\n", yHi, string(grid[0])))
+	for i := 1; i < h-1; i++ {
+		b.WriteString(fmt.Sprintf("%10s │%s\n", "", string(grid[i])))
+	}
+	b.WriteString(fmt.Sprintf("%10.3g ┤%s\n", yLo, string(grid[h-1])))
+	b.WriteString(fmt.Sprintf("%10s └%s\n", "", strings.Repeat("─", w)))
+	xLo, xHi := p.axisValue(minX, p.LogX), p.axisValue(maxX, p.LogX)
+	b.WriteString(fmt.Sprintf("%11s%-.3g%s%.3g\n", "", xLo,
+		strings.Repeat(" ", max(1, w-14)), xHi))
+	if p.XLabel != "" || p.YLabel != "" {
+		b.WriteString(fmt.Sprintf("%11sx: %s   y: %s\n", "", p.XLabel, p.YLabel))
+	}
+	for _, s := range p.series {
+		b.WriteString(fmt.Sprintf("%11s%c %s\n", "", s.Marker, s.Name))
+	}
+	return b.String()
+}
+
+func (p *Plot) axisValue(t float64, log bool) float64 {
+	if log {
+		return math.Pow(10, t)
+	}
+	return t
+}
+
+func logT(v float64) (float64, bool) {
+	if v <= 0 {
+		return 0, false
+	}
+	return math.Log10(v), true
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

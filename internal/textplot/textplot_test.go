@@ -1,0 +1,115 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Add("short", "1")
+	tb.Add("a-much-longer-name", "22222")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// The value column must start at the same offset in every data row.
+	idx1 := strings.Index(lines[2], "1")
+	idx2 := strings.Index(lines[3], "22222")
+	if idx1 != idx2 {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("headers missing:\n%s", out)
+	}
+}
+
+func TestTableAddF(t *testing.T) {
+	tb := NewTable("a", "b", "c", "d")
+	tb.AddF("x", 3.14159, 42, int64(7))
+	out := tb.String()
+	for _, want := range []string{"x", "3.142", "42", "7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMissingAndExtraCells(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.Add("only-one")
+	tb.Add("x", "y", "dropped")
+	out := tb.String()
+	if strings.Contains(out, "dropped") {
+		t.Errorf("extra cell not dropped:\n%s", out)
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	p := Plot{Title: "test plot", XLabel: "x", YLabel: "y", Width: 40, Height: 10}
+	p.AddSeries("linear", '*', []float64{1, 2, 3, 4}, []float64{1, 2, 3, 4})
+	out := p.String()
+	if !strings.Contains(out, "test plot") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no plotted points")
+	}
+	if !strings.Contains(out, "linear") {
+		t.Error("legend missing")
+	}
+	// Monotone series: the first data line (top) should contain the marker
+	// near the right edge, the last near the left.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if pos := strings.IndexRune(top, '*'); pos < len(top)/2 {
+		t.Errorf("increasing series should peak on the right:\n%s", out)
+	}
+}
+
+func TestPlotLogAxes(t *testing.T) {
+	p := Plot{LogX: true, LogY: true, Width: 40, Height: 10}
+	p.AddSeries("decade", 'o', []float64{0.001, 0.01, 0.1, 1}, []float64{1e6, 1e4, 1e2, 1})
+	out := p.String()
+	if !strings.Contains(out, "o") {
+		t.Errorf("no points on log axes:\n%s", out)
+	}
+	// On log-log, 1/x² is a straight line: markers should appear in at
+	// least 4 distinct rows.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.ContainsRune(line, 'o') && !strings.Contains(line, "decade") {
+			rows++
+		}
+	}
+	if rows < 4 {
+		t.Errorf("expected ≥4 marker rows, got %d:\n%s", rows, out)
+	}
+}
+
+func TestPlotSkipsNonPositiveOnLogAxes(t *testing.T) {
+	p := Plot{LogY: true, Width: 30, Height: 8}
+	p.AddSeries("s", 'x', []float64{1, 2, 3}, []float64{0, -5, 10})
+	out := p.String()
+	count := strings.Count(out, "x:")
+	_ = count
+	markers := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "s") || true {
+			markers += strings.Count(line, "x")
+		}
+	}
+	// Only the y=10 point survives (plus the legend line's 'x').
+	if markers > 3 {
+		t.Errorf("non-positive values leaked onto log axis:\n%s", out)
+	}
+}
+
+func TestPlotEmptySeries(t *testing.T) {
+	p := Plot{}
+	out := p.String()
+	if out == "" {
+		t.Error("empty plot should still render something")
+	}
+}

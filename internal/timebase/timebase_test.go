@@ -1,0 +1,276 @@
+package timebase
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTicksDurationRoundTrip(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want Ticks
+	}{
+		{time.Microsecond, 1},
+		{time.Millisecond, 1000},
+		{time.Second, 1000000},
+		{2500 * time.Nanosecond, 2}, // truncates
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := FromDuration(c.d); got != c.want {
+			t.Errorf("FromDuration(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	if got := (Ticks(1500)).Duration(); got != 1500*time.Microsecond {
+		t.Errorf("Duration() = %v, want 1.5ms", got)
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	if got := Second.Seconds(); got != 1.0 {
+		t.Errorf("Second.Seconds() = %v, want 1", got)
+	}
+	if got := FromSeconds(0.05); got != 50*Millisecond {
+		t.Errorf("FromSeconds(0.05) = %v, want 50ms", got)
+	}
+	if got := FromSeconds(1e-6); got != 1 {
+		t.Errorf("FromSeconds(1e-6) = %v, want 1", got)
+	}
+}
+
+func TestTicksString(t *testing.T) {
+	cases := []struct {
+		t    Ticks
+		want string
+	}{
+		{0, "0µs"},
+		{36, "36µs"},
+		{1 * Millisecond, "1ms"},
+		{1500, "1.5ms"},
+		{2 * Second, "2s"},
+		{1500 * Millisecond, "1.5s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Ticks(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestMod(t *testing.T) {
+	cases := []struct {
+		t, p, want Ticks
+	}{
+		{0, 10, 0},
+		{7, 10, 7},
+		{10, 10, 0},
+		{23, 10, 3},
+		{-1, 10, 9},
+		{-10, 10, 0},
+		{-23, 10, 7},
+	}
+	for _, c := range cases {
+		if got := c.t.Mod(c.p); got != c.want {
+			t.Errorf("(%d).Mod(%d) = %d, want %d", c.t, c.p, got, c.want)
+		}
+	}
+}
+
+func TestModPanicsOnNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mod(0) did not panic")
+		}
+	}()
+	Ticks(5).Mod(0)
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want Ticks }{
+		{0, 0, 0},
+		{0, 5, 5},
+		{5, 0, 5},
+		{12, 18, 6},
+		{18, 12, 6},
+		{7, 13, 1},
+		{-12, 18, 6},
+		{12, -18, 6},
+		{1000000, 625, 625},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCM(t *testing.T) {
+	cases := []struct{ a, b, want Ticks }{
+		{0, 5, 0},
+		{5, 0, 0},
+		{4, 6, 12},
+		{7, 13, 91},
+		{-4, 6, 12},
+		{10, 10, 10},
+	}
+	for _, c := range cases {
+		if got := LCM(c.a, c.b); got != c.want {
+			t.Errorf("LCM(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCMOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LCM overflow did not panic")
+		}
+	}()
+	LCM(math.MaxInt64-1, math.MaxInt64-2)
+}
+
+func TestGCDProperties(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := Ticks(a), Ticks(b)
+		g := GCD(x, y)
+		if x == 0 && y == 0 {
+			return g == 0
+		}
+		if g <= 0 {
+			return false
+		}
+		// g divides both and is symmetric.
+		return absT(x)%g == 0 && absT(y)%g == 0 && g == GCD(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCMGCDProduct(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := Ticks(a), Ticks(b)
+		if x == 0 || y == 0 {
+			return LCM(x, y) == 0
+		}
+		return LCM(x, y)*GCD(x, y) == absT(x*y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRatioReduces(t *testing.T) {
+	r := NewRatio(50, 2000)
+	if r.Num != 1 || r.Den != 40 {
+		t.Errorf("NewRatio(50,2000) = %v, want 1/40", r)
+	}
+	if r.String() != "1/40" {
+		t.Errorf("String() = %q", r.String())
+	}
+	if got := r.Float(); got != 0.025 {
+		t.Errorf("Float() = %v, want 0.025", got)
+	}
+}
+
+func TestNewRatioNegativeDenominator(t *testing.T) {
+	// A double negative normalizes to a positive ratio.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRatio(-1, 2) did not panic")
+		}
+	}()
+	NewRatio(-1, 2)
+}
+
+func TestNewRatioZero(t *testing.T) {
+	r := NewRatio(0, 17)
+	if !r.IsZero() || r.Den != 1 {
+		t.Errorf("NewRatio(0,17) = %v, want 0/1", r)
+	}
+}
+
+func TestRatioMul(t *testing.T) {
+	a := NewRatio(1, 40)
+	b := NewRatio(40, 3)
+	got := a.Mul(b)
+	if got.Num != 1 || got.Den != 3 {
+		t.Errorf("1/40 * 40/3 = %v, want 1/3", got)
+	}
+}
+
+func TestApproximateRatioExact(t *testing.T) {
+	cases := []struct {
+		x    float64
+		den  Ticks
+		want Ratio
+	}{
+		{0.025, 1000, Ratio{1, 40}},
+		{0.5, 10, Ratio{1, 2}},
+		{0, 10, Ratio{0, 1}},
+		{3, 10, Ratio{3, 1}},
+		{1.0 / 3.0, 100, Ratio{1, 3}},
+	}
+	for _, c := range cases {
+		got := ApproximateRatio(c.x, c.den)
+		if got != c.want {
+			t.Errorf("ApproximateRatio(%v, %d) = %v, want %v", c.x, c.den, got, c.want)
+		}
+	}
+}
+
+func TestApproximateRatioPi(t *testing.T) {
+	got := ApproximateRatio(math.Pi, 200)
+	// Best rational approximation of π with denominator ≤ 200 is 355/113.
+	if got.Num != 355 || got.Den != 113 {
+		t.Errorf("ApproximateRatio(π, 200) = %v, want 355/113", got)
+	}
+}
+
+func TestApproximateRatioDenominatorBound(t *testing.T) {
+	f := func(num uint16, den uint16) bool {
+		d := Ticks(den%999) + 1
+		x := float64(num%1000) / 1000.0
+		r := ApproximateRatio(x, d)
+		if r.Den > d || r.Den < 1 {
+			return false
+		}
+		// Error must be no worse than the trivial rounding p = round(x*d), q = d.
+		trivial := math.Abs(x - math.Round(x*float64(d))/float64(d))
+		return math.Abs(x-r.Float()) <= trivial+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want Ticks }{
+		{0, 5, 0},
+		{1, 5, 1},
+		{5, 5, 1},
+		{6, 5, 2},
+		{10, 5, 2},
+		{11, 5, 3},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanics(t *testing.T) {
+	for _, c := range []struct{ a, b Ticks }{{1, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CeilDiv(%d, %d) did not panic", c.a, c.b)
+				}
+			}()
+			CeilDiv(c.a, c.b)
+		}()
+	}
+}

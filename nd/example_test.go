@@ -1,0 +1,108 @@
+package nd_test
+
+import (
+	"fmt"
+
+	"repro/nd"
+)
+
+// The fundamental symmetric bound (Theorem 5.5): no protocol in which both
+// devices run a 1 % duty-cycle can guarantee discovery faster than this.
+func ExampleParams_Symmetric() {
+	p := nd.Params{Omega: 36 * nd.Microsecond, Alpha: 1.0}
+	fmt.Printf("%.3f s\n", p.Symmetric(0.01)/1e6)
+	// Output: 1.440 s
+}
+
+// Asymmetric budgets multiply (Theorem 5.7): a 10 % gateway buys a 1 %
+// sensor a 10× faster discovery than another 1 % sensor would.
+func ExampleParams_Asymmetric() {
+	p := nd.Params{Omega: 36 * nd.Microsecond, Alpha: 1.0}
+	fmt.Printf("sensor+sensor:  %.2f s\n", p.Asymmetric(0.01, 0.01)/1e6)
+	fmt.Printf("sensor+gateway: %.2f s\n", p.Asymmetric(0.01, 0.10)/1e6)
+	// Output:
+	// sensor+sensor:  1.44 s
+	// sensor+gateway: 0.14 s
+}
+
+// Building a bound-tight schedule and verifying it exactly.
+func ExampleOptimalSymmetric() {
+	pair, err := nd.OptimalSymmetric(36*nd.Microsecond, 1.0, 0.02)
+	if err != nil {
+		panic(err)
+	}
+	ana, err := nd.Analyze(pair.E.B, pair.F.C, nd.AnalysisOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("deterministic=%v disjoint=%v worst=%v\n",
+		ana.Deterministic, ana.Disjoint, ana.WorstLatency)
+	// Output: deterministic=true disjoint=true worst=356.4ms
+}
+
+// Theorem 4.3: the minimum number of beacons any sequence needs to cover a
+// listener with one 10 ms window per 400 ms period.
+func ExampleMinBeacons() {
+	fmt.Println(nd.MinBeacons(400*nd.Millisecond, 10*nd.Millisecond))
+	// Output: 40
+}
+
+// Equation 12: collision probability among 10 contending devices at 1 %
+// channel utilization.
+func ExampleCollisionProbability() {
+	fmt.Printf("%.3f\n", nd.CollisionProbability(10, 0.01))
+	// Output: 0.165
+}
+
+// The classic Disco schedule analyzed with the exact engine: deterministic
+// under the full-duplex slot idealization, worst case ≈ p1·p2 slots.
+func ExampleNewDisco() {
+	disco, err := nd.NewDisco(3, 5, 1000, 36)
+	if err != nil {
+		panic(err)
+	}
+	dev, err := disco.DeviceFullDuplex()
+	if err != nil {
+		panic(err)
+	}
+	ana, err := nd.Analyze(dev.B, dev.C, nd.AnalysisOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("deterministic=%v worst=%v (period %d slots)\n",
+		ana.Deterministic, ana.WorstLatency, disco.Period)
+	// Output: deterministic=true worst=13.036ms (period 15 slots)
+}
+
+// Configuring a BLE-like stack optimally: the three periodic-interval
+// parameters that realize the Theorem 5.5 bound at a 2 % duty-cycle.
+func ExampleOptimalPI() {
+	cfg, err := nd.OptimalPI(36*nd.Microsecond, 1.0, 0.02)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("advertise every %v, scan %v every %v\n", cfg.Ta, cfg.Ds, cfg.Ts)
+	// Output: advertise every 3.564ms, scan 36µs every 3.6ms
+}
+
+// A Section 4.1 coverage map: each beacon covers the offsets that translate
+// a reception window image onto it; the union covering the circle is the
+// determinism proof, drawn.
+func ExampleBuildCoverageMap() {
+	u, err := nd.Unidirectional(2, 10, 4, 1)
+	if err != nil {
+		panic(err)
+	}
+	m, err := nd.BuildCoverageMap(u.Sender, u.Listener, 4, nd.AnalysisOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(m.Render(20))
+	// Output:
+	// Ω1        0µs |···············#####|
+	// Ω2       30µs |#####···············|
+	// Ω3       60µs |·····#####··········|
+	// Ω4       90µs |··········#####·····|
+	//          union |####################|
+	// deterministic: every offset in [0, TC) is covered
+}
