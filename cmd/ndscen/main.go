@@ -1,0 +1,165 @@
+// Command ndscen is the batch experiment runner: it executes declarative
+// neighbor-discovery scenarios — registry presets, named suites, or specs
+// loaded from a JSON file — sharding Monte-Carlo trials across a worker
+// pool, and reports aggregate results as a text table, optional ASCII CDF
+// plot, and deterministic JSON.
+//
+// Results are bit-identical for any -workers value: every trial runs on
+// its own RNG stream derived from the scenario's identity hash and the
+// trial index, and aggregation happens in trial order.
+//
+// Usage:
+//
+//	ndscen -list
+//	ndscen -suite paper-fig7 -workers 8 -out results.json
+//	ndscen -scenario quickstart,sensornet -plot
+//	ndscen -spec myscenarios.json -trials 100
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func main() {
+	var (
+		suite    = flag.String("suite", "", "run a named suite (see -list)")
+		scenario = flag.String("scenario", "", "run comma-separated presets (see -list)")
+		spec     = flag.String("spec", "", "run scenarios from a JSON file ([]Scenario or {\"scenarios\": [...]})")
+		list     = flag.Bool("list", false, "list presets and suites, then exit")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		trials   = flag.Int("trials", 0, "override every scenario's trial count")
+		out      = flag.String("out", "", "write JSON results to this file (\"-\" = stdout)")
+		plot     = flag.Bool("plot", false, "render the latency CDFs as an ASCII plot")
+		quiet    = flag.Bool("quiet", false, "suppress the text table")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Presets:")
+		for _, n := range engine.Presets() {
+			sc, _ := engine.Preset(n)
+			fmt.Printf("  %-20s %s\n", n, sc.Description)
+		}
+		fmt.Println("\nSuites:")
+		for _, n := range engine.Suites() {
+			scenarios, _ := engine.Suite(n)
+			fmt.Printf("  %-20s %d scenarios\n", n, len(scenarios))
+		}
+		return
+	}
+
+	scenarios, label, err := collect(*suite, *scenario, *spec)
+	if err != nil {
+		fatal(err)
+	}
+	if len(scenarios) == 0 {
+		fatal(fmt.Errorf("nothing to run: pass -suite, -scenario or -spec (or -list)"))
+	}
+
+	opt := engine.Options{Workers: *workers, Trials: *trials}
+	start := time.Now()
+	aggs, err := engine.RunSuite(scenarios, opt)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if !*quiet {
+		fmt.Print(engine.RenderTable(aggs))
+	}
+	if *plot {
+		fmt.Println()
+		fmt.Print(engine.RenderCDF(aggs))
+	}
+	fmt.Fprintf(os.Stderr, "ndscen: %d scenarios, %d trials in %v\n",
+		len(aggs), totalTrials(aggs), elapsed.Round(time.Millisecond))
+
+	if *out != "" {
+		res := engine.SuiteResult{Suite: label, Scenarios: aggs}
+		if *out == "-" {
+			if err := engine.WriteJSON(os.Stdout, res); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := engine.WriteJSON(f, res); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ndscen: wrote %s\n", *out)
+	}
+}
+
+// collect resolves the three scenario sources; exactly one may be used.
+func collect(suite, scenario, spec string) ([]engine.Scenario, string, error) {
+	set := 0
+	for _, s := range []string{suite, scenario, spec} {
+		if s != "" {
+			set++
+		}
+	}
+	if set > 1 {
+		return nil, "", fmt.Errorf("pass only one of -suite, -scenario, -spec")
+	}
+	switch {
+	case suite != "":
+		scenarios, err := engine.Suite(suite)
+		return scenarios, suite, err
+	case scenario != "":
+		var out []engine.Scenario
+		for _, name := range strings.Split(scenario, ",") {
+			sc, err := engine.Preset(strings.TrimSpace(name))
+			if err != nil {
+				return nil, "", err
+			}
+			out = append(out, sc)
+		}
+		return out, scenario, nil
+	case spec != "":
+		blob, err := os.ReadFile(spec)
+		if err != nil {
+			return nil, "", err
+		}
+		// Accept either a bare array or a {"scenarios": [...]} document
+		// (the shape ndscen itself emits, minus the results).
+		var arr []engine.Scenario
+		if err := json.Unmarshal(blob, &arr); err == nil {
+			return arr, spec, nil
+		}
+		var doc struct {
+			Scenarios []engine.Scenario `json:"scenarios"`
+		}
+		if err := json.Unmarshal(blob, &doc); err != nil {
+			return nil, "", fmt.Errorf("parsing %s: %w", spec, err)
+		}
+		return doc.Scenarios, spec, nil
+	}
+	return nil, "", nil
+}
+
+func totalTrials(aggs []engine.Aggregate) int {
+	n := 0
+	for _, a := range aggs {
+		n += a.Trials
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ndscen: %v\n", err)
+	os.Exit(1)
+}

@@ -3,9 +3,10 @@
 //
 // The worst-case bounds answer a deployment question directly: a contact
 // lasting at least L = 4αω/η² is guaranteed to be discovered; shorter
-// contacts can be missed no matter the protocol. This example simulates a
-// population of mobile devices with random arrivals and bins the measured
-// discovery ratio by contact duration relative to L.
+// contacts can be missed no matter the protocol. The registry's
+// "churn-quiet" and "churn-busy" scenarios simulate a mobile population on
+// a quiet and a contended channel; the engine bins the measured discovery
+// ratio by contact duration relative to L.
 //
 // Run with: go run ./examples/churn
 package main
@@ -18,77 +19,44 @@ import (
 )
 
 func main() {
-	p := nd.Params{Omega: 36 * nd.Microsecond, Alpha: 1.0}
-	eta := 0.05
-
-	pair, err := nd.OptimalSymmetric(p.Omega, p.Alpha, eta)
+	quietSc, err := nd.ScenarioPreset("churn-quiet")
 	if err != nil {
 		log.Fatal(err)
 	}
-	worst := pair.WorstCase()
-	fmt.Printf("Optimal schedule at η = %.0f%%: guaranteed discovery within L = %.3f s\n",
-		eta*100, float64(worst)/1e6)
-
-	// Mobile population: devices arrive at random times and stay 2·L, so
-	// pairwise overlaps spread across (0, 2L]. Two channel models: a quiet
-	// channel (pairwise geometry only) and a contended one (10 devices,
-	// ALOHA collisions, half-duplex radios, light jitter).
-	run := func(collisions bool, jitter nd.Ticks) []nd.Contact {
-		contacts, err := nd.ChurnContacts(pair.E, 10, 60, 2*worst, nd.SimConfig{
-			Horizon:    8 * worst,
-			Collisions: collisions,
-			HalfDuplex: collisions,
-			Jitter:     jitter,
-			Seed:       99,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return contacts
+	busySc, err := nd.ScenarioPreset("churn-busy")
+	if err != nil {
+		log.Fatal(err)
 	}
-	// Quiet: pure schedule geometry, no jitter (jitter wider than the
-	// reception window would itself break the deterministic tiling).
-	quiet := run(false, 0)
-	// Busy: collisions, half-duplex, one packet airtime of jitter.
-	busy := run(true, p.Omega)
-
-	type bin struct{ lo, hi float64 }
-	bins := []bin{{0, 0.25}, {0.25, 0.5}, {0.5, 0.75}, {0.75, 1.0}, {1.0, 1.5}, {1.5, 10}}
-	ratio := func(contacts []nd.Contact, b bin) (string, int) {
-		total, found := 0, 0
-		for _, c := range contacts {
-			x := float64(c.Overlap) / float64(worst)
-			if x >= b.lo && x < b.hi {
-				total++
-				if c.Discovered {
-					found++
-				}
-			}
-		}
-		if total == 0 {
-			return "—", 0
-		}
-		return fmt.Sprintf("%5.1f%%", 100*float64(found)/float64(total)), total
+	results, err := nd.RunScenarios([]nd.Scenario{quietSc, busySc}, nd.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
 	}
+	quiet, busy := results[0], results[1]
 
-	fmt.Printf("\n%d contacts among 10 devices over 60 trials:\n\n", len(quiet))
-	fmt.Printf("%-16s %-10s %-14s %-14s\n", "overlap / L", "contacts", "quiet channel", "busy channel")
-	for _, b := range bins {
-		label := fmt.Sprintf("[%.2f, %.2f)", b.lo, b.hi)
-		if b.hi > 2 {
-			label = fmt.Sprintf("≥ %.2f", b.lo)
+	fmt.Printf("Optimal schedule at η = 5%%: guaranteed discovery within L = %.3f s\n",
+		float64(quiet.ExactWorst)/1e6)
+	fmt.Printf("Devices stay 2·L. Contacts judged: quiet %d, busy %d\n",
+		quiet.Pairs, busy.Pairs)
+	fmt.Println("(each channel model draws its own arrival population).")
+
+	fmt.Printf("\n%-16s %-20s %-20s\n", "overlap / L", "quiet channel", "busy channel")
+	for i := range quiet.ContactBins {
+		qb, bb := quiet.ContactBins[i], busy.ContactBins[i]
+		label := fmt.Sprintf("[%.2f, %.2f)", qb.Lo, qb.Hi)
+		if qb.Hi == 0 {
+			label = fmt.Sprintf("≥ %.2f", qb.Lo)
 		}
-		q, n := ratio(quiet, b)
-		bz, _ := ratio(busy, b)
-		fmt.Printf("%-16s %-10d %-14s %-14s\n", label, n, q, bz)
+		fmt.Printf("%-16s %6.1f%% of %-8d %6.1f%% of %-8d\n",
+			label, qb.Ratio()*100, qb.Contacts, bb.Ratio()*100, bb.Contacts)
 	}
+	fmt.Println()
+	fmt.Print(nd.RenderScenarioTable(results))
 
 	fmt.Println("\nReading, quiet channel: a contact of x·L delivers exactly the fraction")
 	fmt.Println("of phase offsets whose latency is below x·L — linear in x, and 100% once")
 	fmt.Println("the contact exceeds L. That is the bound doing deployment planning.")
 	fmt.Println()
 	fmt.Println("Reading, busy channel: the disjoint-optimal schedule offers ONE reception")
-	fmt.Println("chance per L, and each chance collides with probability ≈ Pc — so even")
-	fmt.Println("long contacts miss at ≈ Pc per L. This is precisely Appendix B's case for")
-	fmt.Println("redundant coverage in crowded networks (see examples/busynetwork).")
+	fmt.Println("chance per L, and each chance collides with probability ≈ Pc — Appendix B's")
+	fmt.Println("case for redundant coverage in crowded networks (see examples/busynetwork).")
 }

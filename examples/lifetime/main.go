@@ -4,9 +4,9 @@
 // The paper's central object is the latency/duty-cycle Pareto front. For a
 // product team the question is phrased differently: "we need devices to
 // find each other within X seconds; how long will the coin cell last?"
-// This example inverts Theorem 5.5 for a real radio profile and prints the
-// plan, then sanity-checks one row by building the actual schedule and
-// measuring both its latency and its current draw.
+// This example inverts Theorem 5.5 for a real radio profile, prints the
+// plan, then sanity-checks the 2-second row by running the registry's
+// "lifetime" scenario — the constructive schedule at that row's η.
 //
 // Run with: go run ./examples/lifetime
 package main
@@ -30,7 +30,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
 	fmt.Printf("%-14s %-10s %-22s %-12s %-12s\n",
 		"discover in", "η needed", "split (β / γ)", "avg current", "battery life")
 	for _, pt := range plan {
@@ -39,36 +38,34 @@ func main() {
 			pt.CurrentMA, pt.LifetimeDays)
 	}
 
-	// Sanity-check the 2-second row constructively: build the schedule,
-	// measure its exact worst case and its current.
+	// Constructive check of the 2-second row via the scenario engine:
+	// start from the registry's "lifetime" preset and pin its protocol to
+	// exactly the plan's row — the radio's real α and the row's η.
 	pt := plan[2]
+	sc, err := nd.ScenarioPreset("lifetime")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc.Protocol.Alpha = radio.Alpha()
+	sc.Protocol.Eta = pt.Eta
+	res, err := nd.RunScenario(sc, nd.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nConstructive check of the %.1f s row (α = %.2f, η = %.3f%%):\n",
+		pt.LatencySeconds, radio.Alpha(), res.EtaE*100)
+	fmt.Printf("  built schedule measures %.3f s worst case (target %.1f s); simulated mean %.3f s, p95 %.3f s\n",
+		float64(res.ExactWorst)/1e6, pt.LatencySeconds,
+		res.Latency.Mean/1e6, float64(res.Latency.P95)/1e6)
+
+	// And the energy side of the same row: the schedule's measured
+	// current draw against what the plan promised.
 	pair, err := nd.OptimalSymmetric(omega, radio.Alpha(), pt.Eta)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ana, err := nd.Analyze(pair.E.B, pair.F.C, nd.AnalysisOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
 	current := radio.DeviceCurrent(pair.E)
-	fmt.Printf("\nConstructive check of the %.0f s row:\n", pt.LatencySeconds)
-	fmt.Printf("  built schedule measures %.3f s worst case (target %.1f s)\n",
-		float64(ana.WorstLatency)/1e6, pt.LatencySeconds)
-	fmt.Printf("  measured current %.4f mA → %.0f days (plan said %.0f)\n",
+	fmt.Printf("  measured current %.4f mA → %.0f days (plan said %.0f)\n\n",
 		current, nd.CR2032Capacity/current/24, pt.LifetimeDays)
-
-	// And the multi-channel reality check: the same energy spent BLE-style
-	// across 3 channels.
-	cfg := nd.BLEMultichannel(1022500, omega, 1280000, 11250)
-	res, err := nd.AnalyzeMultichannel(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\n3-channel BLE low-power preset (adv 1.0225 s, scan 11.25 ms/1.28 s):\n")
-	if res.Deterministic {
-		fmt.Printf("  deterministic, worst case %.2f s\n", float64(res.WorstLatency)/1e6)
-	} else {
-		fmt.Printf("  NOT deterministic: %.1f%% of offsets covered — BLE relies on advDelay\n",
-			res.CoveredFraction*100)
-	}
+	fmt.Print(nd.RenderScenarioTable([]nd.ScenarioResult{res}))
 }

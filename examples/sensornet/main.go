@@ -1,12 +1,12 @@
 // sensornet: asymmetric discovery between battery sensors and a powered
 // gateway.
 //
-// A sensor that must last years can only afford η ≈ 0.5 %; the wall-powered
-// gateway can spend 10 %. Theorem 5.7 says the achievable two-way worst
-// case depends only on the product ηE·ηF — so the gateway's budget directly
-// buys down the sensor's latency. This example builds the optimal
-// asymmetric pair, verifies both directions exactly, and shows what the
-// same total energy achieves under a naive equal split.
+// A sensor that must last years can only afford η ≈ 0.5 %; the
+// wall-powered gateway can spend 10 %. Theorem 5.7 says the achievable
+// two-way worst case depends only on the product ηE·ηF — so the gateway's
+// budget directly buys down the sensor's latency. The registry's
+// "sensornet" scenario builds the optimal asymmetric pair and Monte-Carlos
+// the deployment view.
 //
 // Run with: go run ./examples/sensornet
 package main
@@ -21,78 +21,31 @@ import (
 func main() {
 	p := nd.Params{Omega: 36 * nd.Microsecond, Alpha: 1.0}
 
-	etaSensor := 0.005 // 0.5 % — multi-year battery life
-	etaGateway := 0.10 // 10 % — powered
-
-	pair, err := nd.OptimalAsymmetric(p.Omega, p.Alpha, etaSensor, etaGateway)
+	sc, err := nd.ScenarioPreset("sensornet")
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Verify both directions with the exact engine.
-	gwFindsSensor, err := nd.Analyze(pair.E.B, pair.F.C, nd.AnalysisOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	sensorFindsGw, err := nd.Analyze(pair.F.B, pair.E.C, nd.AnalysisOptions{})
+	res, err := nd.RunScenario(sc, nd.EngineOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("Asymmetric sensor/gateway discovery (Theorem 5.7)")
-	fmt.Printf("  sensor:  η = %.2f%% → beacon every %v, listen %v per %v\n",
-		pair.E.Eta(p.Alpha)*100, pair.E.B.Period/nd.Ticks(pair.E.B.MB()),
-		pair.E.C.Windows[0].Len, pair.E.C.Period)
-	fmt.Printf("  gateway: η = %.2f%% → beacon every %v, listen %v per %v\n",
-		pair.F.Eta(p.Alpha)*100, pair.F.B.Period/nd.Ticks(pair.F.B.MB()),
-		pair.F.C.Windows[0].Len, pair.F.C.Period)
-	fmt.Printf("  gateway discovers sensor within %.3f s, sensor discovers gateway within %.3f s\n",
-		float64(gwFindsSensor.WorstLatency)/1e6, float64(sensorFindsGw.WorstLatency)/1e6)
-
-	bound := p.Asymmetric(pair.E.Eta(p.Alpha), pair.F.Eta(p.Alpha))
-	worst := gwFindsSensor.WorstLatency
-	if sensorFindsGw.WorstLatency > worst {
-		worst = sensorFindsGw.WorstLatency
-	}
+	fmt.Printf("  sensor η = %.2f%%, gateway η = %.2f%%\n", res.EtaE*100, res.EtaF*100)
+	fmt.Printf("  two-way worst case (slower direction) %.3f s, exact\n",
+		float64(res.ExactWorst)/1e6)
 	fmt.Printf("  bound 4αω/(ηE·ηF) = %.3f s → optimality ratio %.4f\n",
-		bound/1e6, float64(worst)/bound)
+		res.Bound/1e6, res.BoundRatio)
+	fmt.Printf("\nDeployment view (%d random encounters): mean %.3f s, p95 %.3f s, max %.3f s\n\n",
+		res.Pairs, res.Latency.Mean/1e6, float64(res.Latency.P95)/1e6, float64(res.Latency.Max)/1e6)
+	fmt.Print(nd.RenderScenarioTable([]nd.ScenarioResult{res}))
 
-	// The proof's balance condition in action: neither direction wastes
-	// energy because LE ≈ LF.
-	fmt.Printf("  balance: |L_EF − L_FE| / L = %.2f%% (optimal protocols equalize both directions)\n",
-		100*absDiff(gwFindsSensor.WorstLatency, sensorFindsGw.WorstLatency)/float64(worst))
-
-	// Comparison: same *total* energy, split equally.
-	etaEqual := (etaSensor + etaGateway) / 2
-	eqPair, err := nd.OptimalSymmetric(p.Omega, p.Alpha, etaEqual)
-	if err != nil {
-		log.Fatal(err)
-	}
-	eqAna, err := nd.Analyze(eqPair.E.B, eqPair.F.C, nd.AnalysisOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nEqual split of the same total budget (η = %.2f%% each): worst case %.3f s\n",
-		etaEqual*100, float64(eqAna.WorstLatency)/1e6)
-	fmt.Printf("  Figure 6's message: the equal split is better by ×%.2f — the (1+r)²/4r factor\n",
-		float64(worst)/float64(eqAna.WorstLatency))
-	fmt.Println("  but the sensor alone would then burn 10× its budget; asymmetry is what")
-	fmt.Println("  lets the constrained device stay at 0.5 % while the gateway pays.")
-
-	// Monte-Carlo what a deployment sees: mean latency over random phases.
-	stats, err := nd.PairLatencies(
-		nd.Device{B: pair.E.B}, nd.Device{C: pair.F.C},
-		400, nd.SimConfig{Horizon: 3 * nd.Ticks(worst), Seed: 11})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nDeployment view (400 random encounters): mean %.3f s, p95 %.3f s, max %.3f s\n",
-		stats.Mean/1e6, float64(stats.P95)/1e6, float64(stats.Max)/1e6)
-}
-
-func absDiff(a, b nd.Ticks) float64 {
-	if a > b {
-		return float64(a - b)
-	}
-	return float64(b - a)
+	// Comparison: the same *total* energy split equally needs both devices
+	// at 5.25 % — better latency (Figure 6's (1+r)²/4r factor), but the
+	// sensor alone would then burn 10× its budget.
+	etaEqual := (0.005 + 0.10) / 2
+	fmt.Printf("\nEqual split of the same total budget (η = %.2f%% each) would reach %.3f s,\n",
+		etaEqual*100, p.Symmetric(etaEqual)/1e6)
+	fmt.Println("but the sensor alone would then burn 10× its budget; asymmetry is what")
+	fmt.Println("lets the constrained device stay at 0.5 % while the gateway pays.")
 }

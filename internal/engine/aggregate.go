@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/timebase"
+)
+
+// CDFPoint is one point of the empirical discovery-latency CDF: Fraction
+// of all judged pairs (including misses) discovered within Latency.
+type CDFPoint struct {
+	Latency  timebase.Ticks `json:"latency"`
+	Fraction float64        `json:"fraction"`
+}
+
+// Aggregate is the full result of one scenario: the effective spec, the
+// exact schedule-level facts (analysis and bound), and the Monte-Carlo
+// measurements pooled over all trials. It is the JSON unit ndscen emits.
+type Aggregate struct {
+	Scenario Scenario `json:"scenario"`
+
+	// Schedule-level exact facts, independent of the trials.
+	Deterministic   bool           `json:"deterministic"`
+	CoveredFraction float64        `json:"covered_fraction"`
+	ExactWorst      timebase.Ticks `json:"exact_worst,omitempty"` // 0 when not deterministic
+	ExactMean       float64        `json:"exact_mean,omitempty"`
+	Bound           float64        `json:"bound,omitempty"`       // fundamental bound, ticks
+	BoundRatio      float64        `json:"bound_ratio,omitempty"` // ExactWorst / Bound
+	EtaE            float64        `json:"eta_e"`
+	EtaF            float64        `json:"eta_f"`
+	BetaE           float64        `json:"beta_e"`  // E's transmit channel utilization
+	GammaF          float64        `json:"gamma_f"` // F's receive duty-cycle
+	Horizon         timebase.Ticks `json:"horizon"`
+
+	// Monte-Carlo aggregates over all trials.
+	Trials        int        `json:"trials"`
+	Pairs         int        `json:"pairs"` // judged (receiver, sender) pairs incl. misses
+	Latency       sim.Stats  `json:"latency"`
+	FailureRate   float64    `json:"failure_rate"`
+	CDF           []CDFPoint `json:"cdf,omitempty"`
+	CollisionRate float64    `json:"collision_rate"`
+	Transmissions int        `json:"transmissions"`
+	Collided      int        `json:"collided"`
+
+	// ContactBins, for churn scenarios with a deterministic schedule,
+	// bins the per-contact discovery ratio by contact duration relative
+	// to the exact worst case L — the deployment-planning view: contacts
+	// of at least L are guaranteed, shorter ones are best-effort.
+	ContactBins []ContactBin `json:"contact_bins,omitempty"`
+}
+
+// ContactBin is one row of the churn discovery-ratio histogram: contacts
+// whose joint presence lasted [Lo·L, Hi·L), with Hi = 0 meaning unbounded.
+type ContactBin struct {
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi,omitempty"`
+	Contacts   int     `json:"contacts"`
+	Discovered int     `json:"discovered"`
+}
+
+// Ratio is the discovered fraction of the bin's contacts.
+func (b ContactBin) Ratio() float64 {
+	if b.Contacts == 0 {
+		return 0
+	}
+	return float64(b.Discovered) / float64(b.Contacts)
+}
+
+// contactBinEdges are the bin boundaries in units of the worst case L.
+var contactBinEdges = []float64{0, 0.25, 0.5, 0.75, 1.0, 1.5}
+
+// cdfQuantiles is the fixed grid the empirical CDF is sampled on.
+var cdfQuantiles = []float64{0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99, 1.00}
+
+// aggregate pools the per-trial outputs in trial order, so every sum and
+// sort sees the same sequence regardless of which worker ran which trial.
+func aggregate(sc Scenario, b *built, horizon timebase.Ticks, outputs []trialOutput) Aggregate {
+	var samples []timebase.Ticks
+	misses := 0
+	var collSum float64
+	collTrials := 0
+	transmissions, collided := 0, 0
+	for i := range outputs {
+		samples = append(samples, outputs[i].samples...)
+		misses += outputs[i].misses
+		if outputs[i].transmissions > 0 {
+			collSum += outputs[i].collisionRate
+			collTrials++
+		}
+		transmissions += outputs[i].transmissions
+		collided += outputs[i].collided
+	}
+
+	// One sort of the pooled samples serves both the quantile stats and
+	// the CDF; samples is a local pool, safe to sort in place.
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+	agg := Aggregate{
+		Scenario:        sc,
+		Deterministic:   b.Analysis.Deterministic,
+		CoveredFraction: b.Analysis.CoveredFraction,
+		EtaE:            b.EtaE,
+		EtaF:            b.EtaF,
+		BetaE:           b.E.B.Beta(),
+		GammaF:          b.F.C.Gamma(),
+		Horizon:         horizon,
+		Trials:          sc.Trials,
+		Pairs:           len(samples) + misses,
+		Latency:         sim.Collect(samples, misses),
+		Transmissions:   transmissions,
+		Collided:        collided,
+	}
+	if b.Analysis.Deterministic {
+		// For asymmetric pairs this is the two-way worst case — the
+		// quantity the Theorem 5.7 bound constrains.
+		agg.ExactWorst = b.WorstTwoWay
+		agg.ExactMean = b.Analysis.MeanLatency
+	}
+	if b.Bound > 0 {
+		agg.Bound = b.Bound
+		if agg.ExactWorst > 0 {
+			agg.BoundRatio = float64(agg.ExactWorst) / b.Bound
+		}
+	}
+	agg.FailureRate = agg.Latency.FailureRate()
+	if collTrials > 0 {
+		agg.CollisionRate = collSum / float64(collTrials)
+	}
+	agg.CDF = empiricalCDF(samples, misses)
+	if sc.Churn != nil && b.WorstTwoWay > 0 {
+		agg.ContactBins = binContacts(outputs, float64(b.WorstTwoWay))
+	}
+	return agg
+}
+
+// binContacts builds the churn discovery-ratio histogram over all trials'
+// contact records (integer counts: order-independent, so trivially
+// deterministic across worker counts).
+func binContacts(outputs []trialOutput, worst float64) []ContactBin {
+	bins := make([]ContactBin, len(contactBinEdges))
+	for i, lo := range contactBinEdges {
+		bins[i].Lo = lo
+		if i+1 < len(contactBinEdges) {
+			bins[i].Hi = contactBinEdges[i+1]
+		}
+	}
+	for i := range outputs {
+		for _, c := range outputs[i].contacts {
+			x := float64(c.Overlap) / worst
+			idx := 0
+			for j, lo := range contactBinEdges {
+				if x >= lo {
+					idx = j
+				}
+			}
+			bins[idx].Contacts++
+			if c.Discovered {
+				bins[idx].Discovered++
+			}
+		}
+	}
+	return bins
+}
+
+// empiricalCDF samples the pooled latency distribution (already sorted
+// ascending) on the quantile grid. Fractions are taken over discovered +
+// missed pairs, so a curve that tops out below 1.0 directly shows the
+// failure mass.
+func empiricalCDF(sorted []timebase.Ticks, misses int) []CDFPoint {
+	if len(sorted) == 0 {
+		return nil
+	}
+	total := float64(len(sorted) + misses)
+	pts := make([]CDFPoint, 0, len(cdfQuantiles))
+	for _, q := range cdfQuantiles {
+		idx := int(q*float64(len(sorted))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		pts = append(pts, CDFPoint{
+			Latency:  sorted[idx],
+			Fraction: float64(idx+1) / total,
+		})
+	}
+	return pts
+}

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchScenario is trial-heavy enough that sharding matters: the wall-clock
+// ratio between these two benchmarks is the engine's parallel speedup.
+func benchScenario() Scenario {
+	sc := busyPreset()
+	sc.Name = "bench-busy"
+	sc.Population = 10
+	sc.Trials = 32
+	return sc
+}
+
+func runBench(b *testing.B, workers int) {
+	b.Helper()
+	sc := benchScenario()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunScenario(sc, Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunScenario1Worker(b *testing.B) { runBench(b, 1) }
+
+func BenchmarkRunScenarioAllCores(b *testing.B) { runBench(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkScheduleCache measures a cached re-build: the memoized path
+// must be orders of magnitude below buildUncached.
+func BenchmarkScheduleCache(b *testing.B) {
+	spec := ProtocolSpec{Kind: "optimal", Omega: 36, Alpha: 1, Eta: 0.05}
+	if _, err := build(spec, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := build(spec, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

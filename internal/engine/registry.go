@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/timebase"
+)
+
+// The registry names ready-made scenarios (presets) and ordered scenario
+// lists (suites). Presets are constructed afresh on every lookup so
+// callers can mutate their copy freely.
+//
+// The presets absorb the six examples/ programs: each example is now a
+// thin wrapper that fetches its preset, runs it through the engine, and
+// narrates the result.
+
+const (
+	omegaPaper = 36 * timebase.Microsecond  // the paper's evaluation airtime
+	omegaBLE   = 128 * timebase.Microsecond // BLE ADV_IND airtime
+)
+
+var presets = map[string]func() Scenario{
+	// quickstart: the optimal symmetric construction at η = 2 % on a quiet
+	// channel — the Monte-Carlo cross-check of Theorem 5.5.
+	"quickstart": func() Scenario {
+		return Scenario{
+			Name:        "quickstart",
+			Description: "optimal symmetric pair at η=2%, quiet channel (Theorem 5.5 cross-check)",
+			Protocol:    ProtocolSpec{Kind: "optimal", Omega: omegaPaper, Alpha: 1, Eta: 0.02},
+			Population:  2,
+			Trials:      500,
+			Horizon:     HorizonSpec{WorstMultiple: 3},
+			Seed:        7,
+		}
+	},
+
+	// sensornet: the asymmetric sensor/gateway pairing of Theorem 5.7.
+	"sensornet": func() Scenario {
+		return Scenario{
+			Name:        "sensornet",
+			Description: "asymmetric pair: 0.5% sensor vs 10% gateway (Theorem 5.7)",
+			Protocol:    ProtocolSpec{Kind: "asymmetric", Omega: omegaPaper, Alpha: 1, EtaE: 0.005, EtaF: 0.10},
+			Population:  2,
+			Trials:      400,
+			Horizon:     HorizonSpec{WorstMultiple: 3},
+			Seed:        11,
+		}
+	},
+
+	// lifetime: the η that Theorem 5.5 requires for a 2-second worst case
+	// at BLE airtime — the constructive row of the battery-life plan.
+	"lifetime": func() Scenario {
+		return Scenario{
+			Name:        "lifetime",
+			Description: "optimal pair at the η for a 2 s worst case, ω=128 µs (battery-plan check)",
+			Protocol:    ProtocolSpec{Kind: "optimal", Omega: omegaBLE, Alpha: 1, Eta: 0.016},
+			Population:  2,
+			Trials:      400,
+			Horizon:     HorizonSpec{WorstMultiple: 3},
+			Seed:        21,
+		}
+	},
+
+	// blebeacon: the three standard BLE operating points, advertiser
+	// against scanner, with the advDelay jitter real BLE relies on.
+	"ble-fast":     func() Scenario { return blePreset("fast") },
+	"ble-balanced": func() Scenario { return blePreset("balanced") },
+	"ble-lowpower": func() Scenario { return blePreset("lowpower") },
+
+	// busynetwork: 20 devices on the ALOHA channel. Raw = the two-device
+	// optimum left uncapped; jitter adds BLE-style decorrelation; capped
+	// derives the Appendix B channel cap for Pf ≤ 0.1 %.
+	"busynetwork-raw": func() Scenario {
+		sc := busyPreset()
+		sc.Name = "busynetwork-raw"
+		sc.Description = "20 devices, two-device optimum, collisions, no jitter"
+		sc.Channel.Jitter = 0
+		return sc
+	},
+	"busynetwork-jitter": func() Scenario {
+		sc := busyPreset()
+		sc.Name = "busynetwork-jitter"
+		sc.Description = "20 devices, two-device optimum, collisions, λ/4 jitter"
+		return sc
+	},
+	"busynetwork-capped": func() Scenario {
+		sc := busyPreset()
+		sc.Name = "busynetwork-capped"
+		sc.Description = "20 devices, Appendix B channel cap for Pf ≤ 0.1%, collisions, jitter"
+		sc.Protocol = ProtocolSpec{Kind: "constrained", Omega: omegaPaper, Alpha: 1, Eta: 0.05, PF: 0.001}
+		return sc
+	},
+
+	// churn: mobile devices with bounded contact windows, quiet vs busy.
+	"churn-quiet": func() Scenario {
+		sc := churnPreset()
+		sc.Name = "churn-quiet"
+		sc.Description = "10 mobile devices, quiet channel: discovery ratio vs contact length"
+		return sc
+	},
+	"churn-busy": func() Scenario {
+		sc := churnPreset()
+		sc.Name = "churn-busy"
+		sc.Description = "10 mobile devices, ALOHA channel, half-duplex, ω jitter"
+		sc.Channel = ChannelSpec{Collisions: true, HalfDuplex: true, Jitter: omegaPaper}
+		return sc
+	},
+}
+
+func blePreset(preset string) Scenario {
+	// Horizon scales with each preset's own worst case (3×), so even the
+	// low-power point (worst case ≈ 173 s) is measured uncensored.
+	return Scenario{
+		Name:        "ble-" + preset,
+		Description: fmt.Sprintf("BLE %s advertiser vs scanner with advDelay jitter", preset),
+		Protocol:    ProtocolSpec{Kind: "ble", Omega: omegaBLE, Alpha: 1, Preset: preset},
+		Population:  2,
+		Trials:      300,
+		Horizon:     HorizonSpec{WorstMultiple: 3},
+		Channel:     ChannelSpec{Jitter: 10 * timebase.Millisecond},
+		Seed:        3,
+	}
+}
+
+func busyPreset() Scenario {
+	// At η = 5 % the optimal beacon gap is λ = ω/β = 36/0.025 = 1440 µs;
+	// λ/4 = 360 µs of jitter decorrelates periodic collision patterns.
+	return Scenario{
+		Protocol:   ProtocolSpec{Kind: "optimal", Omega: omegaPaper, Alpha: 1, Eta: 0.05},
+		Population: 20,
+		Trials:     25,
+		Horizon:    HorizonSpec{WorstMultiple: 12},
+		Channel:    ChannelSpec{Collisions: true, HalfDuplex: true, Jitter: 360 * timebase.Microsecond},
+		Seed:       2024,
+	}
+}
+
+func churnPreset() Scenario {
+	return Scenario{
+		Protocol:   ProtocolSpec{Kind: "optimal", Omega: omegaPaper, Alpha: 1, Eta: 0.05},
+		Population: 10,
+		Trials:     60,
+		Horizon:    HorizonSpec{WorstMultiple: 8},
+		Churn:      &ChurnSpec{StayWorstMultiple: 2},
+		Seed:       99,
+	}
+}
+
+// fig7Suite is the simulation-flavored Figure 7 reproduction: how the
+// uncapped two-device optimum degrades with population size S on the
+// collision channel, against the Appendix B capped design at the same
+// total budget.
+func fig7Suite() []Scenario {
+	var out []Scenario
+	for _, s := range []int{5, 10, 20} {
+		raw := busyPreset()
+		raw.Name = fmt.Sprintf("fig7-raw-s%d", s)
+		raw.Description = fmt.Sprintf("uncapped optimum, S=%d, collisions+jitter", s)
+		raw.Population = s
+		raw.Trials = 40
+		out = append(out, raw)
+
+		capped := busyPreset()
+		capped.Name = fmt.Sprintf("fig7-capped-s%d", s)
+		capped.Description = fmt.Sprintf("Appendix B cap (Pf ≤ 0.1%%), S=%d, collisions+jitter", s)
+		capped.Protocol = ProtocolSpec{Kind: "constrained", Omega: omegaPaper, Alpha: 1, Eta: 0.05, PF: 0.001}
+		capped.Population = s
+		capped.Trials = 40
+		out = append(out, capped)
+	}
+	return out
+}
+
+// protocolsSuite compares the classic constructions against the optimal
+// one at matched slot/duty parameters on a quiet channel.
+func protocolsSuite() []Scenario {
+	slot := 5 * timebase.Millisecond
+	base := func(name, desc string, p ProtocolSpec) Scenario {
+		return Scenario{
+			Name:        name,
+			Description: desc,
+			Protocol:    p,
+			Population:  2,
+			Trials:      200,
+			Horizon:     HorizonSpec{WorstMultiple: 2},
+			Seed:        17,
+		}
+	}
+	return []Scenario{
+		base("proto-optimal", "optimal symmetric at η=5%",
+			ProtocolSpec{Kind: "optimal", Omega: omegaPaper, Alpha: 1, Eta: 0.05}),
+		base("proto-pi-optimal", "optimal construction as PI parameters, η=5%",
+			ProtocolSpec{Kind: "pi-optimal", Omega: omegaPaper, Alpha: 1, Eta: 0.05}),
+		base("proto-disco", "Disco(37,43), 5 ms slots",
+			ProtocolSpec{Kind: "disco", Omega: omegaPaper, Alpha: 1, P1: 37, P2: 43, SlotLen: slot}),
+		base("proto-uconnect", "U-Connect(31), 5 ms slots",
+			ProtocolSpec{Kind: "uconnect", Omega: omegaPaper, Alpha: 1, P: 31, SlotLen: slot}),
+		base("proto-searchlight", "Searchlight-S(16), 5 ms slots",
+			ProtocolSpec{Kind: "searchlight", Omega: omegaPaper, Alpha: 1, T: 16, Striped: true, SlotLen: slot}),
+		base("proto-diffcode", "Diffcode(q=7), 5 ms slots",
+			ProtocolSpec{Kind: "diffcode", Omega: omegaPaper, Alpha: 1, Q: 7, SlotLen: slot}),
+	}
+}
+
+var suites = map[string]func() []Scenario{
+	"paper-fig7": fig7Suite,
+	"protocols":  protocolsSuite,
+	"examples": func() []Scenario {
+		names := []string{
+			"quickstart", "sensornet", "lifetime",
+			"ble-fast", "ble-balanced", "ble-lowpower",
+			"busynetwork-raw", "busynetwork-jitter", "busynetwork-capped",
+			"churn-quiet", "churn-busy",
+		}
+		out := make([]Scenario, 0, len(names))
+		for _, n := range names {
+			out = append(out, presets[n]())
+		}
+		return out
+	},
+}
+
+// Preset returns a fresh copy of the named scenario.
+func Preset(name string) (Scenario, error) {
+	f, ok := presets[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("engine: unknown preset %q (have %v)", name, Presets())
+	}
+	return f(), nil
+}
+
+// Presets lists the preset names, sorted.
+func Presets() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Suite returns fresh copies of the named suite's scenarios, in order.
+func Suite(name string) ([]Scenario, error) {
+	f, ok := suites[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown suite %q (have %v)", name, Suites())
+	}
+	return f(), nil
+}
+
+// Suites lists the suite names, sorted.
+func Suites() []string {
+	names := make([]string, 0, len(suites))
+	for n := range suites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPresetsBuildAndRun runs every registry preset for a couple of trials
+// — a smoke test that each declarative spec validates, its protocol
+// builds, its horizon resolves, and the executor completes.
+func TestPresetsBuildAndRun(t *testing.T) {
+	for _, name := range Presets() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, err := Preset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.Name != name {
+				t.Fatalf("preset %q names itself %q", name, sc.Name)
+			}
+			if err := sc.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			agg, err := RunScenario(sc, Options{Trials: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if agg.Pairs == 0 {
+				t.Fatal("no pairs judged")
+			}
+		})
+	}
+}
+
+func TestSuitesResolve(t *testing.T) {
+	for _, name := range Suites() {
+		scenarios, err := Suite(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scenarios) == 0 {
+			t.Fatalf("suite %q is empty", name)
+		}
+		seen := map[string]bool{}
+		for _, sc := range scenarios {
+			if err := sc.Validate(); err != nil {
+				t.Errorf("suite %q scenario %q: %v", name, sc.Name, err)
+			}
+			if seen[sc.Name] {
+				t.Errorf("suite %q: duplicate scenario %q", name, sc.Name)
+			}
+			seen[sc.Name] = true
+		}
+	}
+}
+
+func TestPresetCopiesAreIndependent(t *testing.T) {
+	a, err := Preset("churn-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Churn.StayWorstMultiple = 99
+	b, err := Preset("churn-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Churn.StayWorstMultiple == 99 {
+		t.Fatal("preset lookups share churn state")
+	}
+}
+
+func TestUnknownNamesError(t *testing.T) {
+	if _, err := Preset("no-such-preset"); err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Fatalf("expected unknown-preset error, got %v", err)
+	}
+	if _, err := Suite("no-such-suite"); err == nil || !strings.Contains(err.Error(), "unknown suite") {
+		t.Fatalf("expected unknown-suite error, got %v", err)
+	}
+}
+
+// TestFig7SuiteRuns is the acceptance-criteria suite at reduced trials.
+func TestFig7SuiteRuns(t *testing.T) {
+	scenarios, err := Suite("paper-fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs, err := RunSuite(scenarios, Options{Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != len(scenarios) {
+		t.Fatalf("got %d aggregates for %d scenarios", len(aggs), len(scenarios))
+	}
+	// The capped design must actually cap: lower channel utilization than
+	// the raw optimum at the same budget.
+	var rawBeta, cappedBeta float64
+	for _, a := range aggs {
+		switch a.Scenario.Name {
+		case "fig7-raw-s20":
+			rawBeta = a.EtaE / 2 // β = η/2 at α = 1 for the symmetric optimum
+		case "fig7-capped-s20":
+			cappedBeta = a.EtaE
+		}
+	}
+	if rawBeta == 0 || cappedBeta == 0 {
+		t.Fatal("expected both raw and capped S=20 scenarios in the suite")
+	}
+	// Render paths should not panic and should mention every scenario.
+	table := RenderTable(aggs)
+	for _, sc := range scenarios {
+		if !strings.Contains(table, sc.Name) {
+			t.Errorf("table misses scenario %q", sc.Name)
+		}
+	}
+	_ = RenderCDF(aggs)
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/textplot"
+)
+
+// SuiteResult is the JSON document ndscen emits: the suite name and one
+// aggregate per scenario, in suite order. It deliberately carries no
+// timestamps or worker counts, so runs with different parallelism produce
+// byte-identical output.
+type SuiteResult struct {
+	Suite     string      `json:"suite,omitempty"`
+	Scenarios []Aggregate `json:"scenarios"`
+}
+
+// WriteJSON emits the result as deterministic, indented JSON.
+func WriteJSON(w io.Writer, res SuiteResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// seconds renders a tick quantity in seconds with sensible precision.
+func seconds(ticks float64) string { return fmt.Sprintf("%.4g", ticks/1e6) }
+
+// RenderTable renders one row per aggregate: duty-cycles, exact facts,
+// Monte-Carlo latency stats, failure and collision rates.
+func RenderTable(aggs []Aggregate) string {
+	t := textplot.NewTable(
+		"scenario", "protocol", "S", "trials", "η_E", "η_F",
+		"worst[s]", "bound[s]", "ratio", "mean[s]", "p50[s]", "p95[s]", "p99[s]",
+		"fail%", "coll%")
+	for _, a := range aggs {
+		worst := "—"
+		if a.Deterministic {
+			worst = seconds(float64(a.ExactWorst))
+		}
+		bound, ratio := "—", "—"
+		if a.Bound > 0 {
+			bound = seconds(a.Bound)
+			if a.BoundRatio > 0 {
+				ratio = fmt.Sprintf("%.3f", a.BoundRatio)
+			}
+		}
+		t.Add(
+			a.Scenario.Name, a.Scenario.Protocol.Kind,
+			fmt.Sprintf("%d", a.Scenario.Population),
+			fmt.Sprintf("%d", a.Trials),
+			fmt.Sprintf("%.4f", a.EtaE), fmt.Sprintf("%.4f", a.EtaF),
+			worst, bound, ratio,
+			seconds(a.Latency.Mean),
+			seconds(float64(a.Latency.P50)),
+			seconds(float64(a.Latency.P95)),
+			seconds(float64(a.Latency.P99)),
+			fmt.Sprintf("%.2f", a.FailureRate*100),
+			fmt.Sprintf("%.2f", a.CollisionRate*100),
+		)
+	}
+	return t.String()
+}
+
+// cdfMarkers cycles through distinguishable plot markers.
+var cdfMarkers = []rune{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// RenderCDF renders the pooled discovery-latency CDFs of the aggregates as
+// one ASCII plot (fraction discovered vs latency in seconds).
+func RenderCDF(aggs []Aggregate) string {
+	p := textplot.Plot{
+		Title:  "Discovery latency CDF",
+		XLabel: "latency [s]",
+		YLabel: "fraction of pairs discovered",
+	}
+	plotted := false
+	for i, a := range aggs {
+		if len(a.CDF) == 0 {
+			continue
+		}
+		xs := make([]float64, len(a.CDF))
+		ys := make([]float64, len(a.CDF))
+		for j, pt := range a.CDF {
+			xs[j] = float64(pt.Latency) / 1e6
+			ys[j] = pt.Fraction
+		}
+		p.AddSeries(a.Scenario.Name, cdfMarkers[i%len(cdfMarkers)], xs, ys)
+		plotted = true
+	}
+	if !plotted {
+		return "(no latency samples to plot)\n"
+	}
+	return p.String()
+}

@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/timebase"
+)
+
+// Options tunes execution without changing what is computed — except
+// Trials, which (when set) overrides every scenario's trial count and is
+// folded into the effective scenario before anything is derived from it.
+type Options struct {
+	// Workers is the goroutine count sharding the trials; ≤ 0 means
+	// GOMAXPROCS. The aggregate result is identical for every value.
+	Workers int
+
+	// Trials, when > 0, overrides Scenario.Trials (e.g. a CLI -trials
+	// flag or a fast test run).
+	Trials int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// trialOutput is one trial's contribution, stored at its trial index so
+// aggregation order — and therefore every float sum — is independent of
+// worker scheduling.
+type trialOutput struct {
+	samples                 []timebase.Ticks
+	misses                  int
+	collisionRate           float64
+	transmissions, collided int
+	contacts                []sim.Contact
+	err                     error
+}
+
+// RunScenario executes one scenario: builds (or recalls) its schedules,
+// resolves the horizon, shards the trials over the worker pool, and
+// aggregates. Results are bit-identical for any worker count.
+func RunScenario(sc Scenario, opt Options) (Aggregate, error) {
+	if opt.Trials > 0 {
+		sc.Trials = opt.Trials
+	}
+	if err := sc.Validate(); err != nil {
+		return Aggregate{}, err
+	}
+	b, err := build(sc.Protocol, sc.Population)
+	if err != nil {
+		return Aggregate{}, fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+	}
+	// Group and churn workloads instantiate every device from E's
+	// schedule, so a protocol with distinct E/F roles cannot express them.
+	if (sc.Population > 2 || sc.Churn != nil) && !b.Symmetric {
+		return Aggregate{}, fmt.Errorf("engine: scenario %q: group and churn workloads need a symmetric protocol", sc.Name)
+	}
+	horizon, err := resolveHorizon(sc, b)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	stay := timebase.Ticks(0)
+	if sc.Churn != nil {
+		stay, err = resolveStay(sc, b)
+		if err != nil {
+			return Aggregate{}, err
+		}
+	}
+
+	cfg := sim.Config{
+		Horizon:          horizon,
+		Collisions:       sc.Channel.Collisions,
+		HalfDuplex:       sc.Channel.HalfDuplex,
+		TruncatedWindows: sc.Channel.TruncatedWindows,
+		Jitter:           sc.Channel.Jitter,
+	}
+
+	hash := sc.Hash()
+	outputs := make([]trialOutput, sc.Trials)
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range indices {
+				outputs[t] = runTrial(sc, b, cfg, stay, hash, t)
+			}
+		}()
+	}
+	for t := 0; t < sc.Trials; t++ {
+		indices <- t
+	}
+	close(indices)
+	wg.Wait()
+
+	for t := range outputs {
+		if outputs[t].err != nil {
+			return Aggregate{}, fmt.Errorf("engine: scenario %q trial %d: %w", sc.Name, t, outputs[t].err)
+		}
+	}
+	return aggregate(sc, b, horizon, outputs), nil
+}
+
+// runTrial executes one trial on its own deterministic RNG stream.
+func runTrial(sc Scenario, b *built, cfg sim.Config, stay timebase.Ticks, hash uint64, trial int) trialOutput {
+	rng := rand.New(rand.NewSource(trialSeed(hash, trial)))
+	var out trialOutput
+	switch {
+	case sc.Churn != nil:
+		contacts, res, err := sim.ChurnTrial(b.E, sc.Population, stay, cfg, rng)
+		if err != nil {
+			return trialOutput{err: err}
+		}
+		out.contacts = contacts
+		out.collisionRate = res.CollisionRate()
+		out.transmissions = res.Transmissions
+		out.collided = res.Collided
+		for _, c := range contacts {
+			if c.Discovered {
+				out.samples = append(out.samples, c.Latency)
+			} else {
+				out.misses++
+			}
+		}
+
+	case sc.Population == 2:
+		// The pair workload measures the one-way direction the bounds
+		// speak about: E's beacons against F's windows, stripped so that
+		// neither device's other half participates.
+		at, ok, err := sim.PairTrial(
+			schedule.Device{B: b.E.B}, schedule.Device{C: b.F.C}, cfg, rng)
+		if err != nil {
+			return trialOutput{err: err}
+		}
+		if ok {
+			out.samples = []timebase.Ticks{at}
+		} else {
+			out.misses = 1
+		}
+
+	default:
+		tr, err := sim.GroupTrial(b.E, sc.Population, cfg, rng)
+		if err != nil {
+			return trialOutput{err: err}
+		}
+		out.samples = tr.Samples
+		out.misses = tr.Misses
+		out.collisionRate = tr.CollisionRate
+		out.transmissions = tr.Transmissions
+		out.collided = tr.Collided
+	}
+	return out
+}
+
+func resolveHorizon(sc Scenario, b *built) (timebase.Ticks, error) {
+	h := sc.Horizon
+	switch {
+	case h.Ticks > 0:
+		return h.Ticks, nil
+	case h.WorstMultiple > 0:
+		if b.WorstTwoWay == 0 {
+			return 0, fmt.Errorf("engine: scenario %q: worst_multiple horizon needs a deterministic schedule", sc.Name)
+		}
+		return timebase.Ticks(h.WorstMultiple * float64(b.WorstTwoWay)), nil
+	case h.PeriodMultiple > 0:
+		return timebase.Ticks(h.PeriodMultiple * float64(b.maxPeriod())), nil
+	case b.WorstTwoWay > 0:
+		return 3 * b.WorstTwoWay, nil
+	default:
+		return 20 * b.maxPeriod(), nil
+	}
+}
+
+func resolveStay(sc Scenario, b *built) (timebase.Ticks, error) {
+	ch := sc.Churn
+	if ch.Stay > 0 {
+		return ch.Stay, nil
+	}
+	if b.WorstTwoWay == 0 {
+		return 0, fmt.Errorf("engine: scenario %q: stay_worst_multiple needs a deterministic schedule", sc.Name)
+	}
+	return timebase.Ticks(ch.StayWorstMultiple * float64(b.WorstTwoWay)), nil
+}
+
+// RunSuite executes the scenarios in order (each internally parallel) and
+// returns their aggregates. Per-scenario errors abort the suite.
+func RunSuite(scenarios []Scenario, opt Options) ([]Aggregate, error) {
+	aggs := make([]Aggregate, 0, len(scenarios))
+	for _, sc := range scenarios {
+		agg, err := RunScenario(sc, opt)
+		if err != nil {
+			return nil, err
+		}
+		aggs = append(aggs, agg)
+	}
+	return aggs, nil
+}

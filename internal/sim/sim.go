@@ -63,6 +63,21 @@ type Config struct {
 
 	// Seed feeds the deterministic RNG used for jitter.
 	Seed int64
+
+	// Source, when non-nil, supplies the RNG stream and takes precedence
+	// over Seed. Injecting a source lets callers shard Monte-Carlo trials
+	// across goroutines with independent, deterministic per-trial streams
+	// (see PairTrial, GroupTrial and ChurnTrial).
+	Source rand.Source
+}
+
+// rng materializes the configured RNG stream: the injected Source if set,
+// otherwise a fresh stream seeded with Seed.
+func (c Config) rng() *rand.Rand {
+	if c.Source != nil {
+		return rand.New(c.Source)
+	}
+	return rand.New(rand.NewSource(c.Seed))
 }
 
 // transmission is one on-air packet.
@@ -115,7 +130,7 @@ func Run(nodes []Node, cfg Config) (Result, error) {
 	if len(nodes) < 2 {
 		return Result{}, fmt.Errorf("sim: need at least 2 nodes, got %d", len(nodes))
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.rng()
 
 	// Generate all transmissions, jittered, sorted by start.
 	var txs []transmission
@@ -302,21 +317,15 @@ func PairLatencies(e, f schedule.Device, trials int, cfg Config) (Stats, error) 
 	if trials < 1 {
 		return Stats{}, fmt.Errorf("sim: trials %d must be ≥ 1", trials)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.rng()
 	var samples []timebase.Ticks
 	misses := 0
 	for t := 0; t < trials; t++ {
-		nodes := []Node{
-			{Device: e, Phase: randPhase(rng, e)},
-			{Device: f, Phase: randPhase(rng, f)},
-		}
-		runCfg := cfg
-		runCfg.Seed = rng.Int63()
-		res, err := Run(nodes, runCfg)
+		at, ok, err := PairTrial(e, f, cfg, rng)
 		if err != nil {
 			return Stats{}, err
 		}
-		if at, ok := res.FirstDiscovery(1, 0); ok {
+		if ok {
 			samples = append(samples, at)
 		} else {
 			misses++
@@ -339,34 +348,18 @@ func GroupDiscovery(dev schedule.Device, s, trials int, cfg Config) (GroupResult
 	if s < 2 {
 		return GroupResult{}, fmt.Errorf("sim: group size %d must be ≥ 2", s)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.rng()
 	var samples []timebase.Ticks
 	misses := 0
 	var collSum float64
 	for t := 0; t < trials; t++ {
-		nodes := make([]Node, s)
-		for i := range nodes {
-			nodes[i] = Node{Device: dev, Phase: randPhase(rng, dev)}
-		}
-		runCfg := cfg
-		runCfg.Seed = rng.Int63()
-		res, err := Run(nodes, runCfg)
+		tr, err := GroupTrial(dev, s, cfg, rng)
 		if err != nil {
 			return GroupResult{}, err
 		}
-		collSum += res.CollisionRate()
-		for r := 0; r < s; r++ {
-			for snd := 0; snd < s; snd++ {
-				if r == snd {
-					continue
-				}
-				if at, ok := res.FirstDiscovery(r, snd); ok {
-					samples = append(samples, at)
-				} else {
-					misses++
-				}
-			}
-		}
+		collSum += tr.CollisionRate
+		samples = append(samples, tr.Samples...)
+		misses += tr.Misses
 	}
 	return GroupResult{
 		Latency:       Collect(samples, misses),
@@ -416,56 +409,14 @@ func ChurnContacts(dev schedule.Device, s, trials int, stay timebase.Ticks, cfg 
 	if s < 2 {
 		return nil, fmt.Errorf("sim: group size %d must be ≥ 2", s)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	// Judge pairs whose joint presence spans at least one listening period
-	// — long enough that discovery is possible, short enough that bounded
-	// contacts (shorter than the worst case) are still evaluated and can
-	// legitimately miss.
-	minOverlap := dev.C.Period
-	if minOverlap <= 0 {
-		minOverlap = dev.B.Period
-	}
+	rng := cfg.rng()
 	var contacts []Contact
 	for t := 0; t < trials; t++ {
-		nodes := make([]Node, s)
-		for i := range nodes {
-			arrive := timebase.Ticks(rng.Int63n(int64(cfg.Horizon / 2)))
-			depart := timebase.Ticks(0)
-			if stay > 0 {
-				depart = arrive + stay
-			}
-			nodes[i] = Node{
-				Device: dev,
-				Phase:  randPhase(rng, dev),
-				Arrive: arrive,
-				Depart: depart,
-			}
-		}
-		runCfg := cfg
-		runCfg.Seed = rng.Int63()
-		res, err := Run(nodes, runCfg)
+		cs, _, err := ChurnTrial(dev, s, stay, cfg, rng)
 		if err != nil {
 			return nil, err
 		}
-		for r := 0; r < s; r++ {
-			for snd := 0; snd < s; snd++ {
-				if r == snd {
-					continue
-				}
-				both := maxTicks(nodes[r].Arrive, nodes[snd].Arrive)
-				until := minTicks(nodes[r].departOr(cfg.Horizon), nodes[snd].departOr(cfg.Horizon))
-				overlap := until - both
-				if overlap < minOverlap {
-					continue // contact too short to judge
-				}
-				c := Contact{Overlap: overlap}
-				if at, ok := res.FirstDiscovery(r, snd); ok && at >= both {
-					c.Discovered = true
-					c.Latency = at - both
-				}
-				contacts = append(contacts, c)
-			}
-		}
+		contacts = append(contacts, cs...)
 	}
 	return contacts, nil
 }

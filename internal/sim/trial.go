@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schedule"
+	"repro/internal/timebase"
+)
+
+// This file holds the single-trial Monte-Carlo primitives. Each draws its
+// random choices (phases, arrivals) from the caller-supplied rng and runs
+// the event simulation on a child RNG stream derived from it, so a caller
+// that owns one rng per trial can shard trials across goroutines and still
+// obtain results bit-identical to a serial loop. The serial helpers
+// (PairLatencies, GroupDiscovery, ChurnContacts) are thin loops over these.
+
+// PairTrial runs one trial of receiver f hearing sender e: both devices get
+// independent uniform random phases drawn from rng. It returns the first
+// reception time and whether discovery happened within the horizon.
+func PairTrial(e, f schedule.Device, cfg Config, rng *rand.Rand) (timebase.Ticks, bool, error) {
+	nodes := []Node{
+		{Device: e, Phase: randPhase(rng, e)},
+		{Device: f, Phase: randPhase(rng, f)},
+	}
+	runCfg := cfg
+	runCfg.Source = rand.NewSource(rng.Int63())
+	res, err := Run(nodes, runCfg)
+	if err != nil {
+		return 0, false, err
+	}
+	at, ok := res.FirstDiscovery(1, 0)
+	return at, ok, nil
+}
+
+// GroupTrialResult is the outcome of one many-device trial.
+type GroupTrialResult struct {
+	// Samples holds the first-discovery latency of every ordered
+	// (receiver, sender) pair that discovered within the horizon, in
+	// deterministic (receiver-major) order; Misses counts the pairs that
+	// did not.
+	Samples []timebase.Ticks
+	Misses  int
+
+	// Channel statistics of the underlying run.
+	CollisionRate           float64
+	Transmissions, Collided int
+}
+
+// GroupTrial runs one trial of s identical devices with random phases and
+// collects all ordered-pair discovery latencies plus channel statistics.
+func GroupTrial(dev schedule.Device, s int, cfg Config, rng *rand.Rand) (GroupTrialResult, error) {
+	if s < 2 {
+		return GroupTrialResult{}, fmt.Errorf("sim: group size %d must be ≥ 2", s)
+	}
+	nodes := make([]Node, s)
+	for i := range nodes {
+		nodes[i] = Node{Device: dev, Phase: randPhase(rng, dev)}
+	}
+	runCfg := cfg
+	runCfg.Source = rand.NewSource(rng.Int63())
+	res, err := Run(nodes, runCfg)
+	if err != nil {
+		return GroupTrialResult{}, err
+	}
+	out := GroupTrialResult{
+		CollisionRate: res.CollisionRate(),
+		Transmissions: res.Transmissions,
+		Collided:      res.Collided,
+	}
+	for r := 0; r < s; r++ {
+		for snd := 0; snd < s; snd++ {
+			if r == snd {
+				continue
+			}
+			if at, ok := res.FirstDiscovery(r, snd); ok {
+				out.Samples = append(out.Samples, at)
+			} else {
+				out.Misses++
+			}
+		}
+	}
+	return out, nil
+}
+
+// ChurnTrial runs one trial of the churn scenario: s identical devices
+// arrive at uniformly random times in the first half of the horizon and
+// stay for stay ticks (0 = until the end). It returns the per-pair contact
+// records of every ordered pair whose joint presence spans at least one
+// listening period, plus the raw run result for channel statistics.
+func ChurnTrial(dev schedule.Device, s int, stay timebase.Ticks, cfg Config, rng *rand.Rand) ([]Contact, Result, error) {
+	if s < 2 {
+		return nil, Result{}, fmt.Errorf("sim: group size %d must be ≥ 2", s)
+	}
+	if cfg.Horizon < 2 {
+		return nil, Result{}, fmt.Errorf("sim: churn horizon %d must be ≥ 2", cfg.Horizon)
+	}
+	// Judge pairs whose joint presence spans at least one listening period
+	// — long enough that discovery is possible, short enough that bounded
+	// contacts (shorter than the worst case) are still evaluated and can
+	// legitimately miss.
+	minOverlap := dev.C.Period
+	if minOverlap <= 0 {
+		minOverlap = dev.B.Period
+	}
+	nodes := make([]Node, s)
+	for i := range nodes {
+		arrive := timebase.Ticks(rng.Int63n(int64(cfg.Horizon / 2)))
+		depart := timebase.Ticks(0)
+		if stay > 0 {
+			depart = arrive + stay
+		}
+		nodes[i] = Node{
+			Device: dev,
+			Phase:  randPhase(rng, dev),
+			Arrive: arrive,
+			Depart: depart,
+		}
+	}
+	runCfg := cfg
+	runCfg.Source = rand.NewSource(rng.Int63())
+	res, err := Run(nodes, runCfg)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	var contacts []Contact
+	for r := 0; r < s; r++ {
+		for snd := 0; snd < s; snd++ {
+			if r == snd {
+				continue
+			}
+			both := maxTicks(nodes[r].Arrive, nodes[snd].Arrive)
+			until := minTicks(nodes[r].departOr(cfg.Horizon), nodes[snd].departOr(cfg.Horizon))
+			overlap := until - both
+			if overlap < minOverlap {
+				continue // contact too short to judge
+			}
+			c := Contact{Overlap: overlap}
+			if at, ok := res.FirstDiscovery(r, snd); ok && at >= both {
+				c.Discovered = true
+				c.Latency = at - both
+			}
+			contacts = append(contacts, c)
+		}
+	}
+	return contacts, res, nil
+}

@@ -1,0 +1,79 @@
+package nd
+
+import (
+	"io"
+
+	"repro/internal/engine"
+)
+
+// The scenario engine: declarative, JSON-serializable experiment specs, a
+// registry of named presets and suites, and a parallel Monte-Carlo
+// executor whose aggregate results are bit-identical for any worker count
+// (each trial runs on its own RNG stream derived from the scenario's
+// identity hash and trial index).
+type (
+	// Scenario is one declarative experiment: protocol + population +
+	// channel model + optional churn + trial count.
+	Scenario = engine.Scenario
+	// ProtocolSpec names a protocol construction and its parameters.
+	ProtocolSpec = engine.ProtocolSpec
+	// ChannelSpec selects channel and radio semantics.
+	ChannelSpec = engine.ChannelSpec
+	// ChurnSpec switches a scenario to the mobility workload.
+	ChurnSpec = engine.ChurnSpec
+	// HorizonSpec resolves the simulated duration.
+	HorizonSpec = engine.HorizonSpec
+	// EngineOptions tunes execution (worker count, trial override).
+	EngineOptions = engine.Options
+	// ScenarioResult is the aggregate outcome of one scenario.
+	ScenarioResult = engine.Aggregate
+	// SuiteResult is the JSON document ndscen emits.
+	SuiteResult = engine.SuiteResult
+)
+
+// RunScenario executes one scenario, sharding its Monte-Carlo trials
+// across the configured worker pool.
+func RunScenario(sc Scenario, opt EngineOptions) (ScenarioResult, error) {
+	return engine.RunScenario(sc, opt)
+}
+
+// RunScenarios executes the scenarios in order (each internally parallel).
+func RunScenarios(scenarios []Scenario, opt EngineOptions) ([]ScenarioResult, error) {
+	return engine.RunSuite(scenarios, opt)
+}
+
+// RunSuite executes a named registry suite.
+func RunSuite(name string, opt EngineOptions) ([]ScenarioResult, error) {
+	scenarios, err := engine.Suite(name)
+	if err != nil {
+		return nil, err
+	}
+	return engine.RunSuite(scenarios, opt)
+}
+
+// ScenarioPreset returns a fresh copy of a named registry scenario.
+func ScenarioPreset(name string) (Scenario, error) { return engine.Preset(name) }
+
+// ScenarioPresets lists the registry's preset names.
+func ScenarioPresets() []string { return engine.Presets() }
+
+// ScenarioSuites lists the registry's suite names.
+func ScenarioSuites() []string { return engine.Suites() }
+
+// SuiteScenarios returns fresh copies of a named suite's scenarios.
+func SuiteScenarios(name string) ([]Scenario, error) { return engine.Suite(name) }
+
+// RenderScenarioTable renders aggregates as an aligned text table.
+func RenderScenarioTable(results []ScenarioResult) string {
+	return engine.RenderTable(results)
+}
+
+// RenderScenarioCDF renders pooled latency CDFs as an ASCII plot.
+func RenderScenarioCDF(results []ScenarioResult) string {
+	return engine.RenderCDF(results)
+}
+
+// WriteScenarioJSON emits results as deterministic, indented JSON.
+func WriteScenarioJSON(w io.Writer, res SuiteResult) error {
+	return engine.WriteJSON(w, res)
+}
