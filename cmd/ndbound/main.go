@@ -48,7 +48,9 @@ func main() {
 	fmt.Printf("Radio: ω = %v, α = %g\n\n", p.Omega, p.Alpha)
 	t := textplot.NewTable("bound", "inputs", "worst-case latency")
 
-	sec := func(ticks float64) string { return fmt.Sprintf("%.6g s", ticks/1e6) }
+	sec := func(ticks float64) string {
+		return fmt.Sprintf("%.6g s", ticks/float64(timebase.Second))
+	}
 
 	t.Add("symmetric (Thm 5.5)", fmt.Sprintf("η=%g", *eta), sec(p.Symmetric(*eta)))
 	t.Add("mutual-exclusive (Thm C.1)", fmt.Sprintf("η=%g", *eta), sec(p.MutualExclusive(*eta)))

@@ -1,18 +1,21 @@
 // Command ndscen is the batch experiment runner: it executes declarative
-// neighbor-discovery scenarios — registry presets, named suites, or specs
-// loaded from a JSON file — sharding Monte-Carlo trials across a worker
-// pool, and reports aggregate results as a text table, optional ASCII CDF
-// plot, and deterministic JSON.
+// neighbor-discovery scenarios — registry presets, named suites, parameter
+// sweeps, or specs loaded from a JSON file — sharding Monte-Carlo trials
+// across one shared worker pool, and reports aggregate results as a text
+// table, optional ASCII CDF plot, and deterministic JSON.
 //
 // Results are bit-identical for any -workers value: every trial runs on
 // its own RNG stream derived from the scenario's identity hash and the
-// trial index, and aggregation happens in trial order.
+// trial index, and aggregation is either trial-ordered (exact) or built
+// from order-insensitive integer accumulators (streaming).
 //
 // Usage:
 //
 //	ndscen -list
 //	ndscen -suite paper-fig7 -workers 8 -out results.json
 //	ndscen -scenario quickstart,sensornet -plot
+//	ndscen -sweep sweep-eta -out eta.json
+//	ndscen -sweep mysweep.json -stream on
 //	ndscen -spec myscenarios.json -trials 100
 package main
 
@@ -32,9 +35,11 @@ func main() {
 		suite    = flag.String("suite", "", "run a named suite (see -list)")
 		scenario = flag.String("scenario", "", "run comma-separated presets (see -list)")
 		spec     = flag.String("spec", "", "run scenarios from a JSON file ([]Scenario or {\"scenarios\": [...]})")
-		list     = flag.Bool("list", false, "list presets and suites, then exit")
+		sweep    = flag.String("sweep", "", "run a named sweep preset or a SweepSpec JSON file (see -list)")
+		list     = flag.Bool("list", false, "list presets, suites and sweeps, then exit")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		trials   = flag.Int("trials", 0, "override every scenario's trial count")
+		stream   = flag.String("stream", "auto", "streaming aggregator: auto|on|off")
 		out      = flag.String("out", "", "write JSON results to this file (\"-\" = stdout)")
 		plot     = flag.Bool("plot", false, "render the latency CDFs as an ASCII plot")
 		quiet    = flag.Bool("quiet", false, "suppress the text table")
@@ -45,13 +50,32 @@ func main() {
 		fmt.Println("Presets:")
 		for _, n := range engine.Presets() {
 			sc, _ := engine.Preset(n)
-			fmt.Printf("  %-20s %s\n", n, sc.Description)
+			fmt.Printf("  %-24s %s\n", n, sc.Description)
 		}
 		fmt.Println("\nSuites:")
 		for _, n := range engine.Suites() {
 			scenarios, _ := engine.Suite(n)
-			fmt.Printf("  %-20s %d scenarios\n", n, len(scenarios))
+			fmt.Printf("  %-24s %d scenarios\n", n, len(scenarios))
 		}
+		fmt.Println("\nSweeps:")
+		for _, n := range engine.SweepPresets() {
+			sp, _ := engine.SweepPreset(n)
+			fmt.Printf("  %-24s %d points — %s\n", n, sp.Points(), sp.Description)
+		}
+		return
+	}
+
+	mode, err := streamMode(*stream)
+	if err != nil {
+		fatal(err)
+	}
+	opt := engine.Options{Workers: *workers, Trials: *trials, Stream: mode}
+
+	if *sweep != "" {
+		if *suite != "" || *scenario != "" || *spec != "" {
+			fatal(fmt.Errorf("pass only one of -suite, -scenario, -spec, -sweep"))
+		}
+		runSweep(*sweep, opt, *out, *plot, *quiet)
 		return
 	}
 
@@ -60,10 +84,9 @@ func main() {
 		fatal(err)
 	}
 	if len(scenarios) == 0 {
-		fatal(fmt.Errorf("nothing to run: pass -suite, -scenario or -spec (or -list)"))
+		fatal(fmt.Errorf("nothing to run: pass -suite, -scenario, -spec or -sweep (or -list)"))
 	}
 
-	opt := engine.Options{Workers: *workers, Trials: *trials}
 	start := time.Now()
 	aggs, err := engine.RunSuite(scenarios, opt)
 	if err != nil {
@@ -81,30 +104,95 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ndscen: %d scenarios, %d trials in %v\n",
 		len(aggs), totalTrials(aggs), elapsed.Round(time.Millisecond))
 
-	if *out != "" {
-		res := engine.SuiteResult{Suite: label, Scenarios: aggs}
-		if *out == "-" {
-			if err := engine.WriteJSON(os.Stdout, res); err != nil {
-				fatal(err)
-			}
-			return
+	writeResult(*out, engine.SuiteResult{Suite: label, Scenarios: aggs})
+}
+
+// runSweep resolves (registry name, else SweepSpec JSON file), expands and
+// runs the sweep, and reports one row per grid point.
+func runSweep(name string, opt engine.Options, out string, plot, quiet bool) {
+	sp, err := resolveSweep(name)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	aggs, err := engine.RunSweep(sp, opt)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if !quiet {
+		fmt.Print(engine.RenderSweepTable(sp, aggs))
+	}
+	if plot {
+		fmt.Println()
+		fmt.Print(engine.RenderCDF(aggs))
+	}
+	fmt.Fprintf(os.Stderr, "ndscen: sweep %s: %d points, %d trials in %v\n",
+		sp.Name, len(aggs), totalTrials(aggs), elapsed.Round(time.Millisecond))
+
+	writeResult(out, engine.SuiteResult{Suite: sp.Name, Scenarios: aggs})
+}
+
+func resolveSweep(name string) (engine.SweepSpec, error) {
+	sp, err := engine.SweepPreset(name)
+	if err == nil {
+		return sp, nil
+	}
+	blob, ferr := os.ReadFile(name)
+	if ferr != nil {
+		if os.IsNotExist(ferr) {
+			// Not a preset and no such file: the preset error (which
+			// lists the valid names) is the useful one.
+			return engine.SweepSpec{}, err
 		}
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		if err := engine.WriteJSON(f, res); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "ndscen: wrote %s\n", *out)
+		return engine.SweepSpec{}, fmt.Errorf("%v; reading it as a sweep file also failed: %w", err, ferr)
+	}
+	var fromFile engine.SweepSpec
+	if jerr := json.Unmarshal(blob, &fromFile); jerr != nil {
+		return engine.SweepSpec{}, fmt.Errorf("parsing sweep %s: %w", name, jerr)
+	}
+	return fromFile, nil
+}
+
+func streamMode(s string) (engine.StreamMode, error) {
+	switch s {
+	case "", "auto":
+		return engine.StreamAuto, nil
+	case "on":
+		return engine.StreamOn, nil
+	case "off":
+		return engine.StreamOff, nil
+	default:
+		return engine.StreamAuto, fmt.Errorf("unknown -stream mode %q (want auto, on or off)", s)
 	}
 }
 
-// collect resolves the three scenario sources; exactly one may be used.
+func writeResult(out string, res engine.SuiteResult) {
+	if out == "" {
+		return
+	}
+	if out == "-" {
+		if err := engine.WriteJSON(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := engine.WriteJSON(f, res); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ndscen: wrote %s\n", out)
+}
+
+// collect resolves the three scenario-list sources; exactly one may be used.
 func collect(suite, scenario, spec string) ([]engine.Scenario, string, error) {
 	set := 0
 	for _, s := range []string{suite, scenario, spec} {
@@ -113,7 +201,7 @@ func collect(suite, scenario, spec string) ([]engine.Scenario, string, error) {
 		}
 	}
 	if set > 1 {
-		return nil, "", fmt.Errorf("pass only one of -suite, -scenario, -spec")
+		return nil, "", fmt.Errorf("pass only one of -suite, -scenario, -spec, -sweep")
 	}
 	switch {
 	case suite != "":

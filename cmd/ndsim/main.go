@@ -70,12 +70,12 @@ func main() {
 		fmt.Printf("  NOT deterministic: %.4g%% of offsets covered\n", ana.CoveredFraction*100)
 	} else {
 		fmt.Printf("  worst-case latency: %v (mean %.6g s)\n",
-			ana.WorstLatency, ana.MeanLatency/1e6)
+			ana.WorstLatency, ana.MeanLatency/float64(timebase.Second))
 		fmt.Printf("  minimal covering prefix M = %d beacons; disjoint=%v redundant=%v\n",
 			ana.MinimalPrefix, ana.Disjoint, ana.Redundant)
 		if bound > 0 {
 			fmt.Printf("  fundamental bound at achieved η: %.6g s → optimality ratio %.4g\n",
-				bound/1e6, core.OptimalityRatio(float64(ana.WorstLatency), bound))
+				bound/float64(timebase.Second), core.OptimalityRatio(float64(ana.WorstLatency), bound))
 		}
 	}
 
@@ -98,7 +98,7 @@ func main() {
 		}
 		st := res.Latency
 		fmt.Printf("  pair latency: mean %.6g s, p95 %v, max %v\n",
-			st.Mean/1e6, st.P95, st.Max)
+			st.Mean/float64(timebase.Second), st.P95, st.Max)
 		fmt.Printf("  failure rate within horizon: %.4g%%\n", st.FailureRate()*100)
 		fmt.Printf("  packet collision rate: %.4g%% (Eq 12 predicts %.4g%%)\n",
 			res.CollisionRate*100, core.CollisionProbability(*group, dev.B.Beta())*100)

@@ -33,7 +33,9 @@ type Aggregate struct {
 	GammaF          float64        `json:"gamma_f"` // F's receive duty-cycle
 	Horizon         timebase.Ticks `json:"horizon"`
 
-	// Monte-Carlo aggregates over all trials.
+	// Monte-Carlo aggregates over all trials. CollisionRate is the pooled
+	// ratio Collided/Transmissions, so every packet weighs the same no
+	// matter how trials split the traffic.
 	Trials        int        `json:"trials"`
 	Pairs         int        `json:"pairs"` // judged (receiver, sender) pairs incl. misses
 	Latency       sim.Stats  `json:"latency"`
@@ -42,6 +44,13 @@ type Aggregate struct {
 	CollisionRate float64    `json:"collision_rate"`
 	Transmissions int        `json:"transmissions"`
 	Collided      int        `json:"collided"`
+
+	// Streamed marks aggregates produced by the bounded-memory streaming
+	// accumulator; their quantiles and CDF latencies are histogram bin
+	// upper edges, accurate to QuantileResolution ticks (see stream.go for
+	// the full accuracy contract). Everything else is exact.
+	Streamed           bool           `json:"streamed,omitempty"`
+	QuantileResolution timebase.Ticks `json:"quantile_resolution,omitempty"`
 
 	// ContactBins, for churn scenarios with a deterministic schedule,
 	// bins the per-contact discovery ratio by contact duration relative
@@ -73,29 +82,10 @@ var contactBinEdges = []float64{0, 0.25, 0.5, 0.75, 1.0, 1.5}
 // cdfQuantiles is the fixed grid the empirical CDF is sampled on.
 var cdfQuantiles = []float64{0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99, 1.00}
 
-// aggregate pools the per-trial outputs in trial order, so every sum and
-// sort sees the same sequence regardless of which worker ran which trial.
-func aggregate(sc Scenario, b *built, horizon timebase.Ticks, outputs []trialOutput) Aggregate {
-	var samples []timebase.Ticks
-	misses := 0
-	var collSum float64
-	collTrials := 0
-	transmissions, collided := 0, 0
-	for i := range outputs {
-		samples = append(samples, outputs[i].samples...)
-		misses += outputs[i].misses
-		if outputs[i].transmissions > 0 {
-			collSum += outputs[i].collisionRate
-			collTrials++
-		}
-		transmissions += outputs[i].transmissions
-		collided += outputs[i].collided
-	}
-
-	// One sort of the pooled samples serves both the quantile stats and
-	// the CDF; samples is a local pool, safe to sort in place.
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-
+// baseAggregate assembles the trial-independent portion of an Aggregate —
+// the effective spec and the exact schedule-level facts — shared by the
+// exact and streaming finalizers so the two paths cannot drift apart.
+func baseAggregate(sc Scenario, b *built, horizon timebase.Ticks) Aggregate {
 	agg := Aggregate{
 		Scenario:        sc,
 		Deterministic:   b.Analysis.Deterministic,
@@ -106,10 +96,6 @@ func aggregate(sc Scenario, b *built, horizon timebase.Ticks, outputs []trialOut
 		GammaF:          b.F.C.Gamma(),
 		Horizon:         horizon,
 		Trials:          sc.Trials,
-		Pairs:           len(samples) + misses,
-		Latency:         sim.Collect(samples, misses),
-		Transmissions:   transmissions,
-		Collided:        collided,
 	}
 	if b.Analysis.Deterministic {
 		// For asymmetric pairs this is the two-way worst case — the
@@ -123,9 +109,34 @@ func aggregate(sc Scenario, b *built, horizon timebase.Ticks, outputs []trialOut
 			agg.BoundRatio = float64(agg.ExactWorst) / b.Bound
 		}
 	}
+	return agg
+}
+
+// aggregate pools the per-trial outputs in trial order, so every sum and
+// sort sees the same sequence regardless of which worker ran which trial.
+func aggregate(sc Scenario, b *built, horizon timebase.Ticks, outputs []trialOutput) Aggregate {
+	var samples []timebase.Ticks
+	misses := 0
+	transmissions, collided := 0, 0
+	for i := range outputs {
+		samples = append(samples, outputs[i].samples...)
+		misses += outputs[i].misses
+		transmissions += outputs[i].transmissions
+		collided += outputs[i].collided
+	}
+
+	// One sort of the pooled samples serves both the quantile stats and
+	// the CDF; samples is a local pool, safe to sort in place.
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+	agg := baseAggregate(sc, b, horizon)
+	agg.Pairs = len(samples) + misses
+	agg.Latency = sim.CollectSorted(samples, misses)
+	agg.Transmissions = transmissions
+	agg.Collided = collided
 	agg.FailureRate = agg.Latency.FailureRate()
-	if collTrials > 0 {
-		agg.CollisionRate = collSum / float64(collTrials)
+	if transmissions > 0 {
+		agg.CollisionRate = float64(collided) / float64(transmissions)
 	}
 	agg.CDF = empiricalCDF(samples, misses)
 	if sc.Churn != nil && b.WorstTwoWay > 0 {
@@ -147,13 +158,7 @@ func binContacts(outputs []trialOutput, worst float64) []ContactBin {
 	}
 	for i := range outputs {
 		for _, c := range outputs[i].contacts {
-			x := float64(c.Overlap) / worst
-			idx := 0
-			for j, lo := range contactBinEdges {
-				if x >= lo {
-					idx = j
-				}
-			}
+			idx := contactBinIndex(float64(c.Overlap) / worst)
 			bins[idx].Contacts++
 			if c.Discovered {
 				bins[idx].Discovered++
@@ -161,6 +166,18 @@ func binContacts(outputs []trialOutput, worst float64) []ContactBin {
 		}
 	}
 	return bins
+}
+
+// contactBinIndex returns the contactBinEdges bin for a contact whose
+// overlap is x worst-case lengths.
+func contactBinIndex(x float64) int {
+	idx := 0
+	for j, lo := range contactBinEdges {
+		if x >= lo {
+			idx = j
+		}
+	}
+	return idx
 }
 
 // empiricalCDF samples the pooled latency distribution (already sorted

@@ -38,10 +38,32 @@ type built struct {
 // buildCache memoizes built schedules across trials, scenarios and suites:
 // repeated trials of the same scenario — and distinct scenarios sharing a
 // protocol — never rebuild or re-analyze schedules. Keyed by the protocol
-// spec plus the population (which participates in the Appendix B solve).
-var buildCache sync.Map // uint64 → *built
+// spec plus the population when the build consults it (the Appendix B
+// solve). Entries hold a sync.Once so concurrent prepares of sweep points
+// sharing a key run the expensive build + analysis exactly once.
+var buildCache sync.Map // uint64 → *buildEntry
+
+type buildEntry struct {
+	once sync.Once
+	b    *built
+	err  error
+}
+
+// populationDependent reports whether building p consults the scenario
+// population — only the Appendix B solve does. buildKey and buildUncached
+// both defer to this predicate so the cache can never share a build whose
+// construction actually depended on the population.
+func populationDependent(p ProtocolSpec) bool {
+	return p.Kind == "constrained" && p.BetaMax == 0 && p.PF > 0
+}
 
 func buildKey(p ProtocolSpec, population int) uint64 {
+	// For population-independent builds, keying on the population would
+	// only duplicate build + analysis work across a population sweep's
+	// grid points.
+	if !populationDependent(p) {
+		population = 0
+	}
 	blob, err := json.Marshal(struct {
 		P ProtocolSpec `json:"p"`
 		S int          `json:"s"`
@@ -54,18 +76,13 @@ func buildKey(p ProtocolSpec, population int) uint64 {
 	return h.Sum64()
 }
 
-// build materializes the protocol spec, memoized.
+// build materializes the protocol spec, memoized (errors included — specs
+// are deterministic, so a failing build always fails).
 func build(p ProtocolSpec, population int) (*built, error) {
-	key := buildKey(p, population)
-	if v, ok := buildCache.Load(key); ok {
-		return v.(*built), nil
-	}
-	b, err := buildUncached(p, population)
-	if err != nil {
-		return nil, err
-	}
-	actual, _ := buildCache.LoadOrStore(key, b)
-	return actual.(*built), nil
+	v, _ := buildCache.LoadOrStore(buildKey(p, population), &buildEntry{})
+	e := v.(*buildEntry)
+	e.once.Do(func() { e.b, e.err = buildUncached(p, population) })
+	return e.b, e.err
 }
 
 func buildUncached(p ProtocolSpec, population int) (*built, error) {
@@ -94,7 +111,7 @@ func buildUncached(p ProtocolSpec, population int) (*built, error) {
 
 	case "constrained":
 		betaMax := p.BetaMax
-		if betaMax == 0 && p.PF > 0 {
+		if populationDependent(p) {
 			// Appendix B: derive the channel cap from the redundancy
 			// design for failure rate ≤ PF among the population.
 			sol, err := collision.SolveFractional(params, p.Eta, p.PF, population, 64)

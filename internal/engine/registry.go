@@ -173,34 +173,131 @@ func fig7Suite() []Scenario {
 }
 
 // protocolsSuite compares the classic constructions against the optimal
-// one at matched slot/duty parameters on a quiet channel.
+// one at matched slot/duty parameters on a quiet channel. The slotted
+// protocols' stripped one-way schedules (beacons vs windows only) are not
+// deterministic under arbitrary phase offsets, so their horizons scale
+// with the schedule period instead of the (undefined) exact worst case.
 func protocolsSuite() []Scenario {
 	slot := 5 * timebase.Millisecond
-	base := func(name, desc string, p ProtocolSpec) Scenario {
+	base := func(name, desc string, h HorizonSpec, p ProtocolSpec) Scenario {
 		return Scenario{
 			Name:        name,
 			Description: desc,
 			Protocol:    p,
 			Population:  2,
 			Trials:      200,
-			Horizon:     HorizonSpec{WorstMultiple: 2},
+			Horizon:     h,
 			Seed:        17,
 		}
 	}
+	worst := HorizonSpec{WorstMultiple: 2}
+	period := HorizonSpec{PeriodMultiple: 3}
 	return []Scenario{
-		base("proto-optimal", "optimal symmetric at η=5%",
+		base("proto-optimal", "optimal symmetric at η=5%", worst,
 			ProtocolSpec{Kind: "optimal", Omega: omegaPaper, Alpha: 1, Eta: 0.05}),
-		base("proto-pi-optimal", "optimal construction as PI parameters, η=5%",
+		base("proto-pi-optimal", "optimal construction as PI parameters, η=5%", worst,
 			ProtocolSpec{Kind: "pi-optimal", Omega: omegaPaper, Alpha: 1, Eta: 0.05}),
-		base("proto-disco", "Disco(37,43), 5 ms slots",
+		base("proto-disco", "Disco(37,43), 5 ms slots", period,
 			ProtocolSpec{Kind: "disco", Omega: omegaPaper, Alpha: 1, P1: 37, P2: 43, SlotLen: slot}),
-		base("proto-uconnect", "U-Connect(31), 5 ms slots",
+		base("proto-uconnect", "U-Connect(31), 5 ms slots", period,
 			ProtocolSpec{Kind: "uconnect", Omega: omegaPaper, Alpha: 1, P: 31, SlotLen: slot}),
-		base("proto-searchlight", "Searchlight-S(16), 5 ms slots",
+		base("proto-searchlight", "Searchlight-S(16), 5 ms slots", period,
 			ProtocolSpec{Kind: "searchlight", Omega: omegaPaper, Alpha: 1, T: 16, Striped: true, SlotLen: slot}),
-		base("proto-diffcode", "Diffcode(q=7), 5 ms slots",
+		base("proto-diffcode", "Diffcode(q=7), 5 ms slots", period,
 			ProtocolSpec{Kind: "diffcode", Omega: omegaPaper, Alpha: 1, Q: 7, SlotLen: slot}),
 	}
+}
+
+// Sweep presets reproduce the paper's curve-shaped results: worst case and
+// bound ratio swept over duty-cycle η (the Fig. 6 axis) and population S on
+// the collision channel (the Fig. 7/8 axis).
+var sweepPresets = map[string]func() SweepSpec{
+	// sweep-eta: the optimal symmetric construction across the paper's
+	// duty-cycle range — each point's ExactWorst/Bound ratio traces how
+	// tightly Theorem 5.5 is achieved as η varies.
+	"sweep-eta": func() SweepSpec {
+		return SweepSpec{
+			Name:        "sweep-eta",
+			Description: "optimal symmetric pair: worst case and bound ratio vs duty-cycle η",
+			Base: Scenario{
+				Protocol:   ProtocolSpec{Kind: "optimal", Omega: omegaPaper, Alpha: 1},
+				Population: 2,
+				Trials:     256,
+				Horizon:    HorizonSpec{WorstMultiple: 3},
+				Seed:       31,
+			},
+			Axes: []SweepAxis{
+				{Field: "protocol.eta", Values: []float64{0.005, 0.01, 0.02, 0.05, 0.10}},
+			},
+		}
+	},
+
+	// sweep-population: the uncapped two-device optimum degrading with
+	// population on the ALOHA channel — the raw curve of Figure 7.
+	"sweep-population": func() SweepSpec {
+		base := busyPreset()
+		base.Trials = 24
+		return SweepSpec{
+			Name:        "sweep-population",
+			Description: "uncapped optimum vs population S, collisions + jitter",
+			Base:        base,
+			Axes: []SweepAxis{
+				{Field: "population", Values: []float64{5, 10, 15, 20}},
+			},
+		}
+	},
+
+	// sweep-population-capped: the same S axis under the Appendix B
+	// channel cap — the counterpart curve Figure 7 plots against the raw
+	// optimum.
+	"sweep-population-capped": func() SweepSpec {
+		base := busyPreset()
+		base.Trials = 24
+		base.Protocol = ProtocolSpec{Kind: "constrained", Omega: omegaPaper, Alpha: 1, Eta: 0.05, PF: 0.001}
+		return SweepSpec{
+			Name:        "sweep-population-capped",
+			Description: "Appendix B capped design (Pf ≤ 0.1%) vs population S, collisions + jitter",
+			Base:        base,
+			Axes: []SweepAxis{
+				{Field: "population", Values: []float64{5, 10, 15, 20}},
+			},
+		}
+	},
+
+	// sweep-eta-population: a two-axis grid (η × S) on the collision
+	// channel — the cartesian-product smoke sweep.
+	"sweep-eta-population": func() SweepSpec {
+		base := busyPreset()
+		base.Trials = 12
+		return SweepSpec{
+			Name:        "sweep-eta-population",
+			Description: "duty-cycle × population grid on the collision channel",
+			Base:        base,
+			Axes: []SweepAxis{
+				{Field: "protocol.eta", Values: []float64{0.02, 0.05}},
+				{Field: "population", Values: []float64{5, 10}},
+			},
+		}
+	},
+}
+
+// SweepPreset returns a fresh copy of the named sweep.
+func SweepPreset(name string) (SweepSpec, error) {
+	f, ok := sweepPresets[name]
+	if !ok {
+		return SweepSpec{}, fmt.Errorf("engine: unknown sweep %q (have %v)", name, SweepPresets())
+	}
+	return f(), nil
+}
+
+// SweepPresets lists the sweep preset names, sorted.
+func SweepPresets() []string {
+	names := make([]string, 0, len(sweepPresets))
+	for n := range sweepPresets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 var suites = map[string]func() []Scenario{

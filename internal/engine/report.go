@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/textplot"
+	"repro/internal/timebase"
 )
 
 // SuiteResult is the JSON document ndscen emits: the suite name and one
@@ -25,7 +26,9 @@ func WriteJSON(w io.Writer, res SuiteResult) error {
 }
 
 // seconds renders a tick quantity in seconds with sensible precision.
-func seconds(ticks float64) string { return fmt.Sprintf("%.4g", ticks/1e6) }
+func seconds(ticks float64) string {
+	return fmt.Sprintf("%.4g", ticks/float64(timebase.Second))
+}
 
 // RenderTable renders one row per aggregate: duty-cycles, exact facts,
 // Monte-Carlo latency stats, failure and collision rates.
@@ -63,6 +66,48 @@ func RenderTable(aggs []Aggregate) string {
 	return t.String()
 }
 
+// RenderSweepTable renders one row per grid point with the sweep's axis
+// values as leading columns, followed by the standard metrics. The
+// aggregates must be in grid order, as RunSweep returns them.
+func RenderSweepTable(sp SweepSpec, aggs []Aggregate) string {
+	cols := make([]string, 0, len(sp.Axes)+9)
+	for _, ax := range sp.Axes {
+		cols = append(cols, axisLabel(ax.Field))
+	}
+	cols = append(cols,
+		"worst[s]", "bound[s]", "ratio", "mean[s]", "p50[s]", "p95[s]", "p99[s]",
+		"fail%", "coll%")
+	t := textplot.NewTable(cols...)
+	for i, a := range aggs {
+		row := make([]string, 0, len(cols))
+		for _, v := range sp.pointValues(i) {
+			row = append(row, formatAxisValue(v))
+		}
+		worst := "—"
+		if a.Deterministic {
+			worst = seconds(float64(a.ExactWorst))
+		}
+		bound, ratio := "—", "—"
+		if a.Bound > 0 {
+			bound = seconds(a.Bound)
+			if a.BoundRatio > 0 {
+				ratio = fmt.Sprintf("%.3f", a.BoundRatio)
+			}
+		}
+		row = append(row,
+			worst, bound, ratio,
+			seconds(a.Latency.Mean),
+			seconds(float64(a.Latency.P50)),
+			seconds(float64(a.Latency.P95)),
+			seconds(float64(a.Latency.P99)),
+			fmt.Sprintf("%.2f", a.FailureRate*100),
+			fmt.Sprintf("%.2f", a.CollisionRate*100),
+		)
+		t.Add(row...)
+	}
+	return t.String()
+}
+
 // cdfMarkers cycles through distinguishable plot markers.
 var cdfMarkers = []rune{'*', '+', 'o', 'x', '#', '@', '%', '&'}
 
@@ -82,7 +127,7 @@ func RenderCDF(aggs []Aggregate) string {
 		xs := make([]float64, len(a.CDF))
 		ys := make([]float64, len(a.CDF))
 		for j, pt := range a.CDF {
-			xs[j] = float64(pt.Latency) / 1e6
+			xs[j] = pt.Latency.Seconds()
 			ys[j] = pt.Fraction
 		}
 		p.AddSeries(a.Scenario.Name, cdfMarkers[i%len(cdfMarkers)], xs, ys)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -13,7 +14,10 @@ import (
 
 // Options tunes execution without changing what is computed — except
 // Trials, which (when set) overrides every scenario's trial count and is
-// folded into the effective scenario before anything is derived from it.
+// folded into the effective scenario before anything is derived from it,
+// and Stream, which trades quantile resolution for bounded memory (see
+// stream.go for the accuracy contract). Results stay bit-identical across
+// worker counts under every setting.
 type Options struct {
 	// Workers is the goroutine count sharding the trials; ≤ 0 means
 	// GOMAXPROCS. The aggregate result is identical for every value.
@@ -22,6 +26,11 @@ type Options struct {
 	// Trials, when > 0, overrides Scenario.Trials (e.g. a CLI -trials
 	// flag or a fast test run).
 	Trials int
+
+	// Stream selects the aggregation strategy: StreamAuto engages the
+	// bounded-memory streaming accumulator above streamThreshold expected
+	// samples, StreamOn/StreamOff force it.
+	Stream StreamMode
 }
 
 func (o Options) workers() int {
@@ -31,87 +40,256 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// trialOutput is one trial's contribution, stored at its trial index so
-// aggregation order — and therefore every float sum — is independent of
-// worker scheduling.
+// trialOutput is one trial's contribution, stored at its trial index (or
+// folded straight into a streaming accumulator) so aggregation order — and
+// therefore every float sum — is independent of worker scheduling.
 type trialOutput struct {
 	samples                 []timebase.Ticks
 	misses                  int
-	collisionRate           float64
 	transmissions, collided int
 	contacts                []sim.Contact
 	err                     error
+}
+
+// point is one prepared unit of scheduling: an effective scenario with its
+// built schedules, resolved horizon and stay, and either a trial-indexed
+// output slice (exact aggregation) or nothing at all (streaming — workers
+// fold trials into their own accumulators; see runMany).
+type point struct {
+	sc      Scenario
+	b       *built
+	cfg     sim.Config
+	stay    timebase.Ticks
+	horizon timebase.Ticks
+	hash    uint64
+	stream  bool
+
+	// outputs (exact mode) and accs (streaming mode, one accumulator slot
+	// per worker — only worker w touches accs[w]) are allocated by the
+	// feeder just before the point's first trial is enqueued, and released
+	// by the worker that finishes the point's last trial, which aggregates
+	// into agg. Keeping at most the in-flight points materialized
+	// preserves the old serial RunSuite's peak-memory behavior (one
+	// point's state at a time, up to worker lookahead) for arbitrarily
+	// long suites and sweeps.
+	outputs   []trialOutput
+	accs      []*streamAccum
+	remaining atomic.Int64
+	agg       Aggregate
+
+	failed   atomic.Bool
+	errMu    sync.Mutex
+	errTrial int
+	err      error
+}
+
+// recordErr keeps the error of the lowest-indexed failing trial. Every
+// trial runs even after a point has failed, so the reported trial is the
+// minimum over all failures — the same for any worker count.
+func (p *point) recordErr(trial int, err error) {
+	p.failed.Store(true)
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	if p.err == nil || trial < p.errTrial {
+		p.err, p.errTrial = err, trial
+	}
+}
+
+// prepare validates and materializes one scenario into a schedulable point.
+func prepare(sc Scenario, opt Options) (*point, error) {
+	if opt.Trials > 0 {
+		sc.Trials = opt.Trials
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := build(sc.Protocol, sc.Population)
+	if err != nil {
+		return nil, fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+	}
+	// Group and churn workloads instantiate every device from E's
+	// schedule, so a protocol with distinct E/F roles cannot express them.
+	if (sc.Population > 2 || sc.Churn != nil) && !b.Symmetric {
+		return nil, fmt.Errorf("engine: scenario %q: group and churn workloads need a symmetric protocol", sc.Name)
+	}
+	horizon, err := resolveHorizon(sc, b)
+	if err != nil {
+		return nil, err
+	}
+	stay := timebase.Ticks(0)
+	if sc.Churn != nil {
+		stay, err = resolveStay(sc, b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p := &point{
+		sc:      sc,
+		b:       b,
+		stay:    stay,
+		horizon: horizon,
+		hash:    sc.Hash(),
+		stream:  useStream(sc, opt),
+		cfg: sim.Config{
+			Horizon:          horizon,
+			Collisions:       sc.Channel.Collisions,
+			HalfDuplex:       sc.Channel.HalfDuplex,
+			TruncatedWindows: sc.Channel.TruncatedWindows,
+			Jitter:           sc.Channel.Jitter,
+		},
+	}
+	p.remaining.Store(int64(sc.Trials))
+	return p, nil
+}
+
+// contactWorst is the contact-bin scale: the exact worst case, when the
+// schedule is deterministic. Zero disables contact binning.
+func (p *point) contactWorst() float64 {
+	if p.sc.Churn == nil || p.b.WorstTwoWay <= 0 {
+		return 0
+	}
+	return float64(p.b.WorstTwoWay)
+}
+
+// workItem addresses one trial of one point.
+type workItem struct {
+	p     *point
+	trial int
+}
+
+// runMany is the scenario-level scheduler: it prepares every scenario,
+// then runs all their trials over ONE shared worker pool, so small and
+// large sweep points fill the same cores instead of executing scenario by
+// scenario. Exact-mode trials land at their trial index; streaming-mode
+// trials fold into per-worker accumulators merged when the point's last
+// trial completes — both orderings make every aggregate bit-identical for
+// any worker count.
+func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
+	workers := opt.workers()
+
+	// Preparation (schedule build + exact coverage analysis) is itself
+	// sharded: on a sweep whose axes vary protocol parameters, every grid
+	// point is a build-cache miss, and analyzing them serially would leave
+	// the pool idle. Errors are still reported in input order.
+	points := make([]*point, len(scenarios))
+	prepErrs := make([]error, len(scenarios))
+	var next atomic.Int64
+	var pw sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pw.Add(1)
+		go func() {
+			defer pw.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scenarios) {
+					return
+				}
+				points[i], prepErrs[i] = prepare(scenarios[i], opt)
+			}
+		}()
+	}
+	pw.Wait()
+	for _, err := range prepErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	work := make(chan workItem, 4*workers)
+	go func() {
+		for _, p := range points {
+			// Allocated here, not in prepare: the bounded channel
+			// throttles the feeder, so only in-flight points hold their
+			// trial state.
+			if p.stream {
+				p.accs = make([]*streamAccum, workers)
+			} else {
+				p.outputs = make([]trialOutput, p.sc.Trials)
+			}
+			for t := 0; t < p.sc.Trials; t++ {
+				work <- workItem{p, t}
+			}
+		}
+		close(work)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := range work {
+				p := it.p
+				out := runTrial(p.sc, p.b, p.cfg, p.stay, p.hash, it.trial)
+				switch {
+				case out.err != nil:
+					p.recordErr(it.trial, out.err)
+				case p.stream:
+					acc := p.accs[w]
+					if acc == nil {
+						acc = newStreamAccum(p.horizon, p.contactWorst())
+						p.accs[w] = acc
+					}
+					acc.absorb(out)
+				default:
+					p.outputs[it.trial] = out
+				}
+				// The worker finishing the point's last trial aggregates
+				// and releases it. The atomic counter orders every
+				// outputs[t]/accs[w] write before the final decrement,
+				// and both trial-ordered exact aggregation and the
+				// order-insensitive accumulator merge are independent of
+				// which worker finalizes.
+				if p.remaining.Add(-1) == 0 && !p.failed.Load() {
+					if p.stream {
+						merged := newStreamAccum(p.horizon, p.contactWorst())
+						for _, acc := range p.accs {
+							merged.merge(acc)
+						}
+						p.agg = aggregateStream(p.sc, p.b, p.horizon, merged)
+						p.accs = nil
+					} else {
+						p.agg = aggregate(p.sc, p.b, p.horizon, p.outputs)
+						p.outputs = nil
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	aggs := make([]Aggregate, len(points))
+	for i, p := range points {
+		if p.err != nil {
+			return nil, fmt.Errorf("engine: scenario %q trial %d: %w", p.sc.Name, p.errTrial, p.err)
+		}
+		aggs[i] = p.agg
+	}
+	return aggs, nil
 }
 
 // RunScenario executes one scenario: builds (or recalls) its schedules,
 // resolves the horizon, shards the trials over the worker pool, and
 // aggregates. Results are bit-identical for any worker count.
 func RunScenario(sc Scenario, opt Options) (Aggregate, error) {
-	if opt.Trials > 0 {
-		sc.Trials = opt.Trials
-	}
-	if err := sc.Validate(); err != nil {
-		return Aggregate{}, err
-	}
-	b, err := build(sc.Protocol, sc.Population)
-	if err != nil {
-		return Aggregate{}, fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
-	}
-	// Group and churn workloads instantiate every device from E's
-	// schedule, so a protocol with distinct E/F roles cannot express them.
-	if (sc.Population > 2 || sc.Churn != nil) && !b.Symmetric {
-		return Aggregate{}, fmt.Errorf("engine: scenario %q: group and churn workloads need a symmetric protocol", sc.Name)
-	}
-	horizon, err := resolveHorizon(sc, b)
+	aggs, err := runMany([]Scenario{sc}, opt)
 	if err != nil {
 		return Aggregate{}, err
 	}
-	stay := timebase.Ticks(0)
-	if sc.Churn != nil {
-		stay, err = resolveStay(sc, b)
-		if err != nil {
-			return Aggregate{}, err
-		}
-	}
-
-	cfg := sim.Config{
-		Horizon:          horizon,
-		Collisions:       sc.Channel.Collisions,
-		HalfDuplex:       sc.Channel.HalfDuplex,
-		TruncatedWindows: sc.Channel.TruncatedWindows,
-		Jitter:           sc.Channel.Jitter,
-	}
-
-	hash := sc.Hash()
-	outputs := make([]trialOutput, sc.Trials)
-	indices := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < opt.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range indices {
-				outputs[t] = runTrial(sc, b, cfg, stay, hash, t)
-			}
-		}()
-	}
-	for t := 0; t < sc.Trials; t++ {
-		indices <- t
-	}
-	close(indices)
-	wg.Wait()
-
-	for t := range outputs {
-		if outputs[t].err != nil {
-			return Aggregate{}, fmt.Errorf("engine: scenario %q trial %d: %w", sc.Name, t, outputs[t].err)
-		}
-	}
-	return aggregate(sc, b, horizon, outputs), nil
+	return aggs[0], nil
 }
 
-// runTrial executes one trial on its own deterministic RNG stream.
+// RunSuite executes the scenarios concurrently over one shared worker pool
+// and returns their aggregates in input order. Per-scenario errors abort
+// the suite.
+func RunSuite(scenarios []Scenario, opt Options) ([]Aggregate, error) {
+	return runMany(scenarios, opt)
+}
+
+// runTrial executes one trial on its own deterministic RNG stream. The
+// stream uses sim.NewFastSource: the default math/rand source costs ~25 µs
+// of seeding per instantiation, which dominated the per-trial budget.
 func runTrial(sc Scenario, b *built, cfg sim.Config, stay timebase.Ticks, hash uint64, trial int) trialOutput {
-	rng := rand.New(rand.NewSource(trialSeed(hash, trial)))
+	rng := rand.New(sim.NewFastSource(trialSeed(hash, trial)))
 	var out trialOutput
 	switch {
 	case sc.Churn != nil:
@@ -120,7 +298,6 @@ func runTrial(sc Scenario, b *built, cfg sim.Config, stay timebase.Ticks, hash u
 			return trialOutput{err: err}
 		}
 		out.contacts = contacts
-		out.collisionRate = res.CollisionRate()
 		out.transmissions = res.Transmissions
 		out.collided = res.Collided
 		for _, c := range contacts {
@@ -153,7 +330,6 @@ func runTrial(sc Scenario, b *built, cfg sim.Config, stay timebase.Ticks, hash u
 		}
 		out.samples = tr.Samples
 		out.misses = tr.Misses
-		out.collisionRate = tr.CollisionRate
 		out.transmissions = tr.Transmissions
 		out.collided = tr.Collided
 	}
@@ -188,18 +364,4 @@ func resolveStay(sc Scenario, b *built) (timebase.Ticks, error) {
 		return 0, fmt.Errorf("engine: scenario %q: stay_worst_multiple needs a deterministic schedule", sc.Name)
 	}
 	return timebase.Ticks(ch.StayWorstMultiple * float64(b.WorstTwoWay)), nil
-}
-
-// RunSuite executes the scenarios in order (each internally parallel) and
-// returns their aggregates. Per-scenario errors abort the suite.
-func RunSuite(scenarios []Scenario, opt Options) ([]Aggregate, error) {
-	aggs := make([]Aggregate, 0, len(scenarios))
-	for _, sc := range scenarios {
-		agg, err := RunScenario(sc, opt)
-		if err != nil {
-			return nil, err
-		}
-		aggs = append(aggs, agg)
-	}
-	return aggs, nil
 }

@@ -150,6 +150,14 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("engine: scenario %q: jitter %d must be ≥ 0", s.Name, s.Channel.Jitter)
 	}
 	if s.Churn != nil {
+		// Negative values would skip the > 0 branches of resolveStay and
+		// silently fall through to defaults — reject them outright.
+		if s.Churn.Stay < 0 {
+			return fmt.Errorf("engine: scenario %q: churn stay %d must be positive", s.Name, s.Churn.Stay)
+		}
+		if s.Churn.StayWorstMultiple < 0 {
+			return fmt.Errorf("engine: scenario %q: churn stay_worst_multiple %g must be positive", s.Name, s.Churn.StayWorstMultiple)
+		}
 		if s.Churn.Stay == 0 && s.Churn.StayWorstMultiple == 0 {
 			return fmt.Errorf("engine: scenario %q: churn needs stay or stay_worst_multiple", s.Name)
 		}
@@ -158,6 +166,17 @@ func (s Scenario) Validate() error {
 		}
 	}
 	h := s.Horizon
+	// Same story for the horizon: resolveHorizon ignores negative values,
+	// so they must not pass validation.
+	if h.Ticks < 0 {
+		return fmt.Errorf("engine: scenario %q: horizon ticks %d must be positive", s.Name, h.Ticks)
+	}
+	if h.WorstMultiple < 0 {
+		return fmt.Errorf("engine: scenario %q: horizon worst_multiple %g must be positive", s.Name, h.WorstMultiple)
+	}
+	if h.PeriodMultiple < 0 {
+		return fmt.Errorf("engine: scenario %q: horizon period_multiple %g must be positive", s.Name, h.PeriodMultiple)
+	}
 	set := 0
 	if h.Ticks > 0 {
 		set++

@@ -59,6 +59,23 @@ func TestScenarioValidate(t *testing.T) {
 		{"horizon over-specified", func(s *Scenario) {
 			s.Horizon = HorizonSpec{Ticks: 1000, WorstMultiple: 3}
 		}},
+		// Negative horizon and stay values used to pass the > 0 checks and
+		// were then silently ignored by resolveHorizon/resolveStay.
+		{"negative horizon ticks", func(s *Scenario) {
+			s.Horizon = HorizonSpec{Ticks: -1}
+		}},
+		{"negative worst multiple", func(s *Scenario) {
+			s.Horizon = HorizonSpec{WorstMultiple: -2}
+		}},
+		{"negative period multiple", func(s *Scenario) {
+			s.Horizon = HorizonSpec{PeriodMultiple: -0.5}
+		}},
+		{"negative churn stay", func(s *Scenario) {
+			s.Churn = &ChurnSpec{Stay: -1000}
+		}},
+		{"negative stay worst multiple", func(s *Scenario) {
+			s.Churn = &ChurnSpec{StayWorstMultiple: -2}
+		}},
 	}
 	for _, tc := range cases {
 		sc := testScenario()

@@ -1,0 +1,309 @@
+package engine
+
+import (
+	"math/bits"
+
+	"repro/internal/sim"
+	"repro/internal/timebase"
+)
+
+// This file implements the bounded-memory streaming aggregator. Above
+// streamThreshold expected latency samples (or when forced via
+// Options.Stream) the executor stops materializing the pooled sample slice
+// and instead folds every trial into a streamAccum: a fixed-size,
+// mergeable accumulator whose state is entirely integer-valued —
+// count/min/max, a 128-bit latency sum, a fixed-bin latency histogram, and
+// pooled collision and contact counters. Integer addition and min/max are
+// associative and commutative, so merging per-worker accumulators in any
+// order yields bit-identical aggregates for any worker count — the same
+// determinism contract as the exact path, with O(streamBins) memory no
+// matter how many trials run.
+//
+// Accuracy contract: Count, Misses, Min, Max, FailureRate, CollisionRate,
+// Transmissions, Collided and ContactBins are exact. Mean is computed from
+// an exact 128-bit integer sum and rounds only at the final float64
+// conversion (one ulp — tighter than the exact path's sequential float
+// summation). The quantiles (P50/P95/P99) and the CDF latencies are bin
+// upper edges, so they overestimate the exact order statistic by less than
+// one bin width (horizon/streamBins, reported as QuantileResolution in the
+// aggregate).
+
+// streamBins is the fixed histogram resolution. Latency samples live in
+// [0, horizon], so one bin spans ceil(horizon/streamBins) ticks.
+const streamBins = 4096
+
+// streamThreshold is the expected-sample count above which a scenario is
+// aggregated with the streaming accumulator instead of the pooled slice.
+const streamThreshold = 1 << 18
+
+// StreamMode selects the aggregation strategy.
+type StreamMode int
+
+const (
+	// StreamAuto engages the streaming aggregator when the expected
+	// sample count (trials × pairs per trial) exceeds streamThreshold.
+	StreamAuto StreamMode = iota
+	// StreamOn forces the streaming aggregator.
+	StreamOn
+	// StreamOff forces exact aggregation over the pooled sample slice.
+	StreamOff
+)
+
+// expectedSamples bounds the latency samples a scenario can produce: one
+// per trial for the pair workload, S·(S−1) ordered pairs per trial
+// otherwise (churn contacts are a subset of the ordered pairs).
+func expectedSamples(sc Scenario) int64 {
+	perTrial := int64(1)
+	if sc.Population > 2 || sc.Churn != nil {
+		perTrial = int64(sc.Population) * int64(sc.Population-1)
+	}
+	return int64(sc.Trials) * perTrial
+}
+
+// useStream decides the aggregation strategy for a scenario. It depends
+// only on the effective scenario and options, never on worker scheduling,
+// so both paths keep the determinism contract.
+func useStream(sc Scenario, opt Options) bool {
+	switch opt.Stream {
+	case StreamOn:
+		return true
+	case StreamOff:
+		return false
+	default:
+		return expectedSamples(sc) > streamThreshold
+	}
+}
+
+// streamAccum is one mergeable accumulator. The zero value is not useful;
+// use newStreamAccum so every accumulator for a scenario shares the same
+// bin layout and contact scale.
+type streamAccum struct {
+	horizon  timebase.Ticks
+	binWidth timebase.Ticks
+	worst    float64 // contact-bin scale (exact worst case); 0 disables
+
+	count        int64
+	misses       int64
+	sumLo, sumHi uint64 // 128-bit sum of latency ticks
+	min, max     timebase.Ticks
+
+	bins []int64 // bins[i] counts samples in [i·binWidth, (i+1)·binWidth)
+
+	transmissions, collided int64
+
+	contactN, contactD []int64 // contacts / discovered per contactBinEdges
+}
+
+func newStreamAccum(horizon timebase.Ticks, worst float64) *streamAccum {
+	w := timebase.CeilDiv(horizon+1, streamBins)
+	if w < 1 {
+		w = 1
+	}
+	return &streamAccum{
+		horizon:  horizon,
+		binWidth: w,
+		worst:    worst,
+		bins:     make([]int64, streamBins),
+		contactN: make([]int64, len(contactBinEdges)),
+		contactD: make([]int64, len(contactBinEdges)),
+	}
+}
+
+func (a *streamAccum) addSample(lat timebase.Ticks) {
+	if a.count == 0 || lat < a.min {
+		a.min = lat
+	}
+	if a.count == 0 || lat > a.max {
+		a.max = lat
+	}
+	a.count++
+	var carry uint64
+	a.sumLo, carry = bits.Add64(a.sumLo, uint64(lat), 0)
+	a.sumHi += carry
+	b := int(lat / a.binWidth)
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(a.bins) {
+		b = len(a.bins) - 1
+	}
+	a.bins[b]++
+}
+
+// absorb folds one trial's output into the accumulator. The per-trial
+// slices stay trial-sized and die with the trialOutput, so memory is
+// bounded by the largest single trial, not the trial count.
+func (a *streamAccum) absorb(out trialOutput) {
+	for _, s := range out.samples {
+		a.addSample(s)
+	}
+	a.misses += int64(out.misses)
+	a.transmissions += int64(out.transmissions)
+	a.collided += int64(out.collided)
+	if a.worst > 0 {
+		for _, c := range out.contacts {
+			idx := contactBinIndex(float64(c.Overlap) / a.worst)
+			a.contactN[idx]++
+			if c.Discovered {
+				a.contactD[idx]++
+			}
+		}
+	}
+}
+
+// merge folds b into a. All state is integer sums and min/max, so the
+// result is independent of merge order.
+func (a *streamAccum) merge(b *streamAccum) {
+	if b == nil {
+		return
+	}
+	if b.count > 0 {
+		if a.count == 0 || b.min < a.min {
+			a.min = b.min
+		}
+		if a.count == 0 || b.max > a.max {
+			a.max = b.max
+		}
+	}
+	a.count += b.count
+	a.misses += b.misses
+	var carry uint64
+	a.sumLo, carry = bits.Add64(a.sumLo, b.sumLo, 0)
+	a.sumHi += b.sumHi + carry
+	for i := range a.bins {
+		a.bins[i] += b.bins[i]
+	}
+	a.transmissions += b.transmissions
+	a.collided += b.collided
+	for i := range a.contactN {
+		a.contactN[i] += b.contactN[i]
+		a.contactD[i] += b.contactD[i]
+	}
+}
+
+// binUpper returns the quantile estimate for histogram bin b: the bin's
+// upper edge, clamped into the exactly-known [min, max] envelope.
+func (a *streamAccum) binUpper(b int) timebase.Ticks {
+	v := timebase.Ticks(b+1) * a.binWidth
+	if v > a.max {
+		v = a.max
+	}
+	if v < a.min {
+		v = a.min
+	}
+	return v
+}
+
+// rankBin returns the histogram bin containing the rank'th (0-based)
+// sample in sorted order.
+func (a *streamAccum) rankBin(rank int64) int {
+	if rank < 0 {
+		rank = 0
+	}
+	var cum int64
+	for b, n := range a.bins {
+		cum += n
+		if cum > rank {
+			return b
+		}
+	}
+	return len(a.bins) - 1
+}
+
+// quantile mirrors the exact path's order statistic (sorted[int(q·(n−1))])
+// at bin resolution.
+func (a *streamAccum) quantile(q float64) timebase.Ticks {
+	if a.count == 0 {
+		return 0
+	}
+	return a.binUpper(a.rankBin(int64(q * float64(a.count-1))))
+}
+
+// stats builds the sim.Stats view: N, Misses, Min and Max are exact, Mean
+// is exact up to one float64 rounding of the 128-bit sum, and the
+// quantiles are bin-resolution estimates.
+func (a *streamAccum) stats() sim.Stats {
+	st := sim.Stats{N: int(a.count + a.misses), Misses: int(a.misses)}
+	if a.count == 0 {
+		return st
+	}
+	st.Min = a.min
+	st.Max = a.max
+	sum := float64(a.sumHi)*float64(1<<32)*float64(1<<32) + float64(a.sumLo)
+	st.Mean = sum / float64(a.count)
+	st.P50 = a.quantile(0.50)
+	st.P95 = a.quantile(0.95)
+	st.P99 = a.quantile(0.99)
+	return st
+}
+
+// cdf mirrors empiricalCDF on the histogram: for each grid quantile, the
+// latency is the covering bin's upper edge and the fraction is the exact
+// cumulative count at that bin over all judged pairs.
+func (a *streamAccum) cdf() []CDFPoint {
+	if a.count == 0 {
+		return nil
+	}
+	total := float64(a.count + a.misses)
+	pts := make([]CDFPoint, 0, len(cdfQuantiles))
+	var cum int64
+	b := -1
+	for _, q := range cdfQuantiles {
+		idx := int64(q*float64(a.count)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= a.count {
+			idx = a.count - 1
+		}
+		target := a.rankBin(idx)
+		for b < target {
+			b++
+			cum += a.bins[b]
+		}
+		pts = append(pts, CDFPoint{
+			Latency:  a.binUpper(target),
+			Fraction: float64(cum) / total,
+		})
+	}
+	return pts
+}
+
+// contactBins materializes the churn histogram from the pooled counters.
+func (a *streamAccum) contactBins() []ContactBin {
+	if a.worst <= 0 {
+		return nil
+	}
+	bins := make([]ContactBin, len(contactBinEdges))
+	for i, lo := range contactBinEdges {
+		bins[i].Lo = lo
+		if i+1 < len(contactBinEdges) {
+			bins[i].Hi = contactBinEdges[i+1]
+		}
+		bins[i].Contacts = int(a.contactN[i])
+		bins[i].Discovered = int(a.contactD[i])
+	}
+	return bins
+}
+
+// aggregateStream is the streaming counterpart of aggregate: it finalizes
+// the merged accumulator into the same Aggregate shape, flagged with
+// Streamed and the quantile resolution of its histogram.
+func aggregateStream(sc Scenario, b *built, horizon timebase.Ticks, acc *streamAccum) Aggregate {
+	agg := baseAggregate(sc, b, horizon)
+	agg.Pairs = int(acc.count + acc.misses)
+	agg.Latency = acc.stats()
+	agg.Transmissions = int(acc.transmissions)
+	agg.Collided = int(acc.collided)
+	agg.Streamed = true
+	agg.QuantileResolution = acc.binWidth
+	agg.FailureRate = agg.Latency.FailureRate()
+	if acc.transmissions > 0 {
+		agg.CollisionRate = float64(acc.collided) / float64(acc.transmissions)
+	}
+	agg.CDF = acc.cdf()
+	if sc.Churn != nil && acc.worst > 0 {
+		agg.ContactBins = acc.contactBins()
+	}
+	return agg
+}

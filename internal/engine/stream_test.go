@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/timebase"
+)
+
+// streamScenario exercises every accumulator path at a size where the
+// exact path is still cheap to compare against.
+func streamScenario() Scenario {
+	sc := groupScenario()
+	sc.Name = "stream-test"
+	return sc
+}
+
+// TestStreamMatchesExact pins the accuracy contract: against the exact
+// aggregate, the streaming aggregate's counts, min/max, collision and
+// contact numbers are identical, the mean agrees to float rounding, and
+// every quantile is within one histogram bin above the exact order
+// statistic.
+func TestStreamMatchesExact(t *testing.T) {
+	for _, name := range []string{"group", "churn"} {
+		sc := streamScenario()
+		if name == "churn" {
+			var err error
+			sc, err = Preset("churn-busy")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Trials = 8
+		}
+		exact, err := RunScenario(sc, Options{Stream: StreamOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := RunScenario(sc, Options{Stream: StreamOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if exact.Streamed || !stream.Streamed {
+			t.Fatalf("%s: Streamed flags wrong: exact=%v stream=%v", name, exact.Streamed, stream.Streamed)
+		}
+		if stream.QuantileResolution <= 0 {
+			t.Fatalf("%s: streamed aggregate must report its quantile resolution", name)
+		}
+		if stream.Pairs != exact.Pairs ||
+			stream.Latency.N != exact.Latency.N ||
+			stream.Latency.Misses != exact.Latency.Misses ||
+			stream.Latency.Min != exact.Latency.Min ||
+			stream.Latency.Max != exact.Latency.Max ||
+			stream.Transmissions != exact.Transmissions ||
+			stream.Collided != exact.Collided {
+			t.Fatalf("%s: exact-contract fields diverge:\nexact  %+v\nstream %+v", name, exact.Latency, stream.Latency)
+		}
+		if stream.CollisionRate != exact.CollisionRate || stream.FailureRate != exact.FailureRate {
+			t.Fatalf("%s: pooled rates diverge: coll %v vs %v, fail %v vs %v",
+				name, stream.CollisionRate, exact.CollisionRate, stream.FailureRate, exact.FailureRate)
+		}
+		if relDiff(stream.Latency.Mean, exact.Latency.Mean) > 1e-9 {
+			t.Fatalf("%s: means diverge: %v vs %v", name, stream.Latency.Mean, exact.Latency.Mean)
+		}
+		res := stream.QuantileResolution
+		for _, q := range []struct {
+			name          string
+			exact, stream timebase.Ticks
+		}{
+			{"p50", exact.Latency.P50, stream.Latency.P50},
+			{"p95", exact.Latency.P95, stream.Latency.P95},
+			{"p99", exact.Latency.P99, stream.Latency.P99},
+		} {
+			if q.stream < q.exact || q.stream > q.exact+res {
+				t.Errorf("%s %s: streamed %d outside [%d, %d+%d]", name, q.name, q.stream, q.exact, q.exact, res)
+			}
+		}
+		if !reflect.DeepEqual(stream.ContactBins, exact.ContactBins) {
+			t.Fatalf("%s: contact bins diverge:\nexact  %+v\nstream %+v", name, exact.ContactBins, stream.ContactBins)
+		}
+		// The CDF is monotone and its last point carries the full
+		// discovered mass.
+		for i := 1; i < len(stream.CDF); i++ {
+			if stream.CDF[i].Fraction < stream.CDF[i-1].Fraction || stream.CDF[i].Latency < stream.CDF[i-1].Latency {
+				t.Fatalf("%s: streamed CDF not monotone at %d: %+v", name, i, stream.CDF)
+			}
+		}
+		if n := len(stream.CDF); n > 0 {
+			discovered := float64(exact.Pairs - exact.Latency.Misses)
+			if got := stream.CDF[n-1].Fraction; got != discovered/float64(exact.Pairs) {
+				t.Fatalf("%s: streamed CDF tops out at %v, want %v", name, got, discovered/float64(exact.Pairs))
+			}
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d / m
+}
+
+func TestUseStreamSelection(t *testing.T) {
+	small := Scenario{Population: 2, Trials: 100}
+	big := Scenario{Population: 2, Trials: streamThreshold + 1}
+	group := Scenario{Population: 30, Trials: 1 + streamThreshold/(30*29)}
+	if useStream(small, Options{}) {
+		t.Error("small pair scenario should aggregate exactly")
+	}
+	if !useStream(big, Options{}) {
+		t.Error("large pair scenario should stream")
+	}
+	if !useStream(group, Options{}) {
+		t.Error("large group scenario should stream")
+	}
+	if !useStream(small, Options{Stream: StreamOn}) || useStream(big, Options{Stream: StreamOff}) {
+		t.Error("forced modes ignored")
+	}
+}
+
+// TestStreamAccumMergeOrderInsensitive: merging per-worker accumulators in
+// any order must produce identical state — the property that makes the
+// streamed aggregate independent of worker scheduling.
+func TestStreamAccumMergeOrderInsensitive(t *testing.T) {
+	horizon := timebase.Ticks(1 << 20)
+	parts := make([]*streamAccum, 3)
+	for i := range parts {
+		parts[i] = newStreamAccum(horizon, 0)
+		for k := 0; k < 1000; k++ {
+			parts[i].addSample(timebase.Ticks((i*37 + k*101) % (1 << 20)))
+		}
+		parts[i].misses += int64(i)
+		parts[i].transmissions += int64(10 * i)
+		parts[i].collided += int64(i)
+	}
+	orders := [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}}
+	var merged []*streamAccum
+	for _, ord := range orders {
+		m := newStreamAccum(horizon, 0)
+		for _, i := range ord {
+			m.merge(parts[i])
+		}
+		merged = append(merged, m)
+	}
+	for i := 1; i < len(merged); i++ {
+		if !reflect.DeepEqual(merged[0].stats(), merged[i].stats()) {
+			t.Fatalf("merge order %v changed stats:\n%+v\n%+v", orders[i], merged[0].stats(), merged[i].stats())
+		}
+		if !reflect.DeepEqual(merged[0].cdf(), merged[i].cdf()) {
+			t.Fatalf("merge order %v changed the CDF", orders[i])
+		}
+	}
+}
+
+// TestStreamAccumBoundedAllocation is the bounded-memory guarantee: 1.5
+// million samples stream through an accumulator without allocating — the
+// full sample slice is never materialized.
+func TestStreamAccumBoundedAllocation(t *testing.T) {
+	acc := newStreamAccum(1<<22, 0)
+	out := trialOutput{samples: make([]timebase.Ticks, 1000), misses: 2, transmissions: 40, collided: 3}
+	for i := range out.samples {
+		out.samples[i] = timebase.Ticks((i * 4099) % (1 << 22))
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < 1500; i++ {
+			acc.absorb(out) // 1.5M samples total per run
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("absorbing 1.5M samples allocated %v times; the streaming path must not allocate", allocs)
+	}
+	if acc.count < 1500*1000 {
+		t.Fatalf("accumulator absorbed only %d samples", acc.count)
+	}
+	st := acc.stats()
+	if st.Min != 0 || st.Max >= 1<<22 || st.Mean <= 0 {
+		t.Fatalf("implausible streamed stats: %+v", st)
+	}
+}
+
+// TestMillionTrialSweepPointStreams is the scale acceptance: a sweep point
+// with one million trials runs to completion with the automatically
+// engaged streaming aggregator.
+func TestMillionTrialSweepPointStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-trial point; skipped with -short")
+	}
+	sp := SweepSpec{
+		Name: "bulk",
+		Base: Scenario{
+			Protocol:   ProtocolSpec{Kind: "optimal", Omega: 36, Alpha: 1},
+			Population: 2,
+			Trials:     1_000_000,
+			Horizon:    HorizonSpec{Ticks: 5000},
+			Seed:       9,
+		},
+		Axes: []SweepAxis{{Field: "protocol.eta", Values: []float64{0.05}}},
+	}
+	aggs, err := RunSweep(sp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := aggs[0]
+	if !a.Streamed {
+		t.Fatal("a 1M-trial point must auto-engage the streaming aggregator")
+	}
+	if a.Pairs != 1_000_000 || a.Latency.N != 1_000_000 {
+		t.Fatalf("pair accounting wrong: pairs=%d N=%d", a.Pairs, a.Latency.N)
+	}
+	if a.Latency.N != a.Latency.Misses && a.Latency.Max <= 0 {
+		t.Fatalf("implausible aggregate: %+v", a.Latency)
+	}
+}
+
+// BenchmarkStreamAbsorb1M measures the streaming aggregation rate and, via
+// ReportAllocs, documents the zero-allocation hot path.
+func BenchmarkStreamAbsorb1M(b *testing.B) {
+	out := trialOutput{samples: make([]timebase.Ticks, 1000)}
+	for i := range out.samples {
+		out.samples[i] = timebase.Ticks((i * 4099) % (1 << 22))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		acc := newStreamAccum(1<<22, 0)
+		for i := 0; i < 1000; i++ {
+			acc.absorb(out) // 1M samples
+		}
+		if acc.count != 1_000_000 {
+			b.Fatal("bad count")
+		}
+	}
+}

@@ -117,7 +117,7 @@ func Analyze(cfg Config) (Result, error) {
 		worst     timebase.Ticks
 		meanNum   float64
 		coveredOK = true
-		covered   timebase.Ticks
+		coveredW  float64 // Σ_j gap_j · covered_j, in ticks²
 	)
 	// Starting PDU j: range entry can fall anywhere in the gap before it.
 	// Gaps within an event are IFS-scale; the gap before PDU 0 spans back
@@ -156,10 +156,14 @@ func Analyze(cfg Config) (Result, error) {
 			}
 			lSum += float64(seg.Label) * float64(seg.Iv.Len())
 		}
-		if j == 0 {
-			covered = covSum
-		}
+		// Range entry lands in the gap before PDU j with probability
+		// gapBefore/Ta, and within that branch a fraction covSum/circle
+		// of offsets ever discovers — so the overall covered fraction is
+		// the gap-weighted mean over all starting PDUs, not branch 0's
+		// coverage alone (branches differ whenever the channel/window
+		// geometry does).
 		gapBefore := gapBeforePDU(cfg, pdus, j)
+		coveredW += float64(gapBefore) * float64(covSum)
 		if cov {
 			if l := gapBefore + lMax; l > worst {
 				worst = l
@@ -169,7 +173,7 @@ func Analyze(cfg Config) (Result, error) {
 	}
 	res := Result{
 		Deterministic:   coveredOK,
-		CoveredFraction: float64(covered) / float64(circle),
+		CoveredFraction: coveredW / (float64(cfg.Ta) * float64(circle)),
 	}
 	if coveredOK {
 		res.WorstLatency = worst

@@ -2,9 +2,11 @@ package multichannel
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/coverage"
+	"repro/internal/interval"
 	"repro/internal/schedule"
 	"repro/internal/timebase"
 )
@@ -134,5 +136,112 @@ func TestMeanBelowWorst(t *testing.T) {
 	}
 	if res.MeanLatency <= 0 || res.MeanLatency >= float64(res.WorstLatency) {
 		t.Errorf("mean %v not in (0, %v)", res.MeanLatency, res.WorstLatency)
+	}
+}
+
+// branchCoverage mirrors Analyze's per-starting-PDU item construction and
+// returns branch j's covered fraction plus a per-tick coverage mask of the
+// scanner circle — the independent oracle for the coverage-weighting
+// regression test below.
+func branchCoverage(cfg Config, j int) (float64, []bool) {
+	circle := timebase.Ticks(cfg.Channels) * cfg.Ts
+	pdus := make([]pdu, cfg.Channels)
+	for i := range pdus {
+		pdus[i] = pdu{channel: i, offset: timebase.Ticks(i) * (cfg.Omega + cfg.IFS)}
+	}
+	winStart := func(ch int) timebase.Ticks {
+		return timebase.Ticks(ch)*cfg.Ts + cfg.Ts - cfg.Ds
+	}
+	hyper := timebase.LCM(cfg.Ta, circle)
+	events := int(hyper / cfg.Ta)
+	if events < 1 {
+		events = 1
+	}
+	var items []interval.Labeled
+	start := pdus[j].offset
+	for e := 0; e < events+1; e++ {
+		for _, p := range pdus {
+			at := timebase.Ticks(e)*cfg.Ta + p.offset
+			if at < start {
+				continue
+			}
+			items = append(items, interval.Labeled{
+				Lo:     winStart(p.channel) - (at - start),
+				Length: cfg.Ds,
+				Label:  int64(at - start),
+			})
+		}
+	}
+	segs, _ := interval.SweepMin(circle, items)
+	var covered timebase.Ticks
+	mask := make([]bool, circle)
+	for _, seg := range segs {
+		if seg.Count == 0 {
+			continue
+		}
+		covered += seg.Iv.Len()
+		for t := seg.Iv.Lo; t < seg.Iv.Lo+seg.Iv.Len(); t++ {
+			mask[t.Mod(circle)] = true
+		}
+	}
+	return float64(covered) / float64(circle), mask
+}
+
+// TestCoveredFractionWeighsAllBranches is the regression test for the
+// starting-PDU coverage shortcut: CoveredFraction used to be read from the
+// j == 0 branch alone, even though each starting PDU covers a different
+// offset set. Over a full hyperperiod the branch sets are rotations of
+// each other (so their measures coincide — verified below to document why
+// the shortcut's number happened to agree), but the defined quantity is
+// the entry-probability-weighted coverage over all branches, which is what
+// Analyze must compute: Σ_j (gap_j/Ta)·covered_j/circle. The weighted form
+// stays correct if the per-branch construction ever loses that rotation
+// symmetry (truncated horizons, per-channel window lengths).
+func TestCoveredFractionWeighsAllBranches(t *testing.T) {
+	// Two channels, Ta == Ts: beacons stay phase-locked to the scan
+	// cycle, so coverage is partial and the branch sets are visibly
+	// distinct rotations.
+	cfg := Config{Ta: 10, Omega: 2, IFS: 1, Ts: 10, Ds: 3, Channels: 2}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pdus := make([]pdu, cfg.Channels)
+	for i := range pdus {
+		pdus[i] = pdu{channel: i, offset: timebase.Ticks(i) * (cfg.Omega + cfg.IFS)}
+	}
+	covs := make([]float64, cfg.Channels)
+	masks := make([][]bool, cfg.Channels)
+	var weighted float64
+	var gapSum timebase.Ticks
+	for j := range covs {
+		covs[j], masks[j] = branchCoverage(cfg, j)
+		gap := gapBeforePDU(cfg, pdus, j)
+		gapSum += gap
+		weighted += float64(gap) * covs[j]
+	}
+	weighted /= float64(cfg.Ta)
+	if gapSum != cfg.Ta {
+		t.Fatalf("gaps sum to %d, want Ta=%d", gapSum, cfg.Ta)
+	}
+
+	// The branches must genuinely differ as sets — otherwise the fixture
+	// would not distinguish the weighted computation from any shortcut.
+	if reflect.DeepEqual(masks[0], masks[1]) {
+		t.Fatalf("fixture lost its point: branches cover identical offset sets %v", masks[0])
+	}
+
+	res, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deterministic {
+		t.Fatal("partially covered config reported deterministic")
+	}
+	if res.CoveredFraction <= 0 || res.CoveredFraction >= 1 {
+		t.Fatalf("expected partial coverage, got %v", res.CoveredFraction)
+	}
+	if diff := res.CoveredFraction - weighted; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("CoveredFraction %v, want gap-weighted %v (branches %v)",
+			res.CoveredFraction, weighted, covs)
 	}
 }

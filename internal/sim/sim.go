@@ -275,12 +275,18 @@ type Stats struct {
 
 // Collect computes order statistics over samples; misses counts separately.
 func Collect(samples []timebase.Ticks, misses int) Stats {
-	st := Stats{N: len(samples) + misses, Misses: misses}
-	if len(samples) == 0 {
-		return st
-	}
 	sorted := append([]timebase.Ticks(nil), samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return CollectSorted(sorted, misses)
+}
+
+// CollectSorted is Collect for a sample slice the caller has already
+// sorted ascending, skipping the defensive copy and re-sort.
+func CollectSorted(sorted []timebase.Ticks, misses int) Stats {
+	st := Stats{N: len(sorted) + misses, Misses: misses}
+	if len(sorted) == 0 {
+		return st
+	}
 	st.Min = sorted[0]
 	st.Max = sorted[len(sorted)-1]
 	var sum float64
@@ -337,13 +343,14 @@ func PairLatencies(e, f schedule.Device, trials int, cfg Config) (Stats, error) 
 // GroupResult aggregates a many-device experiment.
 type GroupResult struct {
 	Latency       Stats   // over all ordered (receiver, sender) pairs and trials
-	CollisionRate float64 // average per-packet collision fraction
+	CollisionRate float64 // pooled per-packet collision fraction over all trials
 }
 
 // GroupDiscovery Monte-Carlos S identical devices with random phases and
 // measures pairwise one-way discovery latency and the packet collision
-// rate. horizonMultiple scales the horizon in units of the device's beacon
-// period.
+// rate — the pooled ratio of collided to transmitted packets over all
+// trials, so every packet weighs the same no matter how trials split the
+// traffic.
 func GroupDiscovery(dev schedule.Device, s, trials int, cfg Config) (GroupResult, error) {
 	if s < 2 {
 		return GroupResult{}, fmt.Errorf("sim: group size %d must be ≥ 2", s)
@@ -351,20 +358,22 @@ func GroupDiscovery(dev schedule.Device, s, trials int, cfg Config) (GroupResult
 	rng := cfg.rng()
 	var samples []timebase.Ticks
 	misses := 0
-	var collSum float64
+	transmissions, collided := 0, 0
 	for t := 0; t < trials; t++ {
 		tr, err := GroupTrial(dev, s, cfg, rng)
 		if err != nil {
 			return GroupResult{}, err
 		}
-		collSum += tr.CollisionRate
+		transmissions += tr.Transmissions
+		collided += tr.Collided
 		samples = append(samples, tr.Samples...)
 		misses += tr.Misses
 	}
-	return GroupResult{
-		Latency:       Collect(samples, misses),
-		CollisionRate: collSum / float64(trials),
-	}, nil
+	res := GroupResult{Latency: Collect(samples, misses)}
+	if transmissions > 0 {
+		res.CollisionRate = float64(collided) / float64(transmissions)
+	}
+	return res, nil
 }
 
 // ChurnDiscovery simulates a dynamic neighborhood: s identical devices

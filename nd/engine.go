@@ -23,12 +23,29 @@ type (
 	ChurnSpec = engine.ChurnSpec
 	// HorizonSpec resolves the simulated duration.
 	HorizonSpec = engine.HorizonSpec
-	// EngineOptions tunes execution (worker count, trial override).
+	// EngineOptions tunes execution (worker count, trial override,
+	// streaming aggregation).
 	EngineOptions = engine.Options
 	// ScenarioResult is the aggregate outcome of one scenario.
 	ScenarioResult = engine.Aggregate
 	// SuiteResult is the JSON document ndscen emits.
 	SuiteResult = engine.SuiteResult
+	// SweepSpec is a first-class parameter sweep: a base scenario plus
+	// named axes expanded into a cartesian scenario grid.
+	SweepSpec = engine.SweepSpec
+	// SweepAxis ranges one scenario field over a value list.
+	SweepAxis = engine.SweepAxis
+	// StreamMode selects the aggregation strategy (auto/on/off).
+	StreamMode = engine.StreamMode
+)
+
+// Streaming-aggregator modes for EngineOptions.Stream: StreamAuto engages
+// the bounded-memory accumulator above the engine's sample threshold;
+// StreamOn and StreamOff force the choice.
+const (
+	StreamAuto = engine.StreamAuto
+	StreamOn   = engine.StreamOn
+	StreamOff  = engine.StreamOff
 )
 
 // RunScenario executes one scenario, sharding its Monte-Carlo trials
@@ -49,6 +66,32 @@ func RunSuite(name string, opt EngineOptions) ([]ScenarioResult, error) {
 		return nil, err
 	}
 	return engine.RunSuite(scenarios, opt)
+}
+
+// RunSweep expands a parameter sweep and runs every grid point
+// concurrently over one shared worker pool, returning one aggregate per
+// point in grid order (first axis slowest). Each point's aggregate is
+// bit-identical for any worker count.
+func RunSweep(sp SweepSpec, opt EngineOptions) ([]ScenarioResult, error) {
+	return engine.RunSweep(sp, opt)
+}
+
+// ExpandSweep materializes a sweep's scenario matrix without running it.
+func ExpandSweep(sp SweepSpec) ([]Scenario, error) { return sp.Expand() }
+
+// SweepPreset returns a fresh copy of a named registry sweep.
+func SweepPreset(name string) (SweepSpec, error) { return engine.SweepPreset(name) }
+
+// SweepPresets lists the registry's sweep preset names.
+func SweepPresets() []string { return engine.SweepPresets() }
+
+// SweepFields lists the scenario field paths a sweep axis may range over.
+func SweepFields() []string { return engine.SweepFieldNames() }
+
+// RenderSweepTable renders sweep results with axis-value columns, one row
+// per grid point.
+func RenderSweepTable(sp SweepSpec, results []ScenarioResult) string {
+	return engine.RenderSweepTable(sp, results)
 }
 
 // ScenarioPreset returns a fresh copy of a named registry scenario.
