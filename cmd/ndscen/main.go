@@ -20,9 +20,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -96,6 +98,10 @@ func main() {
 
 	if !*quiet {
 		fmt.Print(engine.RenderTable(aggs))
+		if ch := engine.RenderChannels(aggs); ch != "" {
+			fmt.Println()
+			fmt.Print(ch)
+		}
 	}
 	if *plot {
 		fmt.Println()
@@ -123,6 +129,10 @@ func runSweep(name string, opt engine.Options, out string, plot, quiet bool) {
 
 	if !quiet {
 		fmt.Print(engine.RenderSweepTable(sp, aggs))
+		if ch := engine.RenderChannels(aggs); ch != "" {
+			fmt.Println()
+			fmt.Print(ch)
+		}
 	}
 	if plot {
 		fmt.Println()
@@ -222,21 +232,52 @@ func collect(suite, scenario, spec string) ([]engine.Scenario, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		// Accept either a bare array or a {"scenarios": [...]} document
-		// (the shape ndscen itself emits, minus the results).
-		var arr []engine.Scenario
-		if err := json.Unmarshal(blob, &arr); err == nil {
-			return arr, spec, nil
-		}
-		var doc struct {
-			Scenarios []engine.Scenario `json:"scenarios"`
-		}
-		if err := json.Unmarshal(blob, &doc); err != nil {
-			return nil, "", fmt.Errorf("parsing %s: %w", spec, err)
-		}
-		return doc.Scenarios, spec, nil
+		scenarios, err := parseSpec(spec, blob)
+		return scenarios, spec, err
 	}
 	return nil, "", nil
+}
+
+// parseSpec accepts either a bare scenario array or a {"scenarios": [...]}
+// document (a "suite" key is tolerated, matching the shape ndscen itself
+// emits). Unknown keys are rejected — a typo'd "scenarioz" must not parse
+// as an empty document — empty documents are errors, and when neither
+// shape parses, both errors are reported (so an array with a broken
+// element isn't masked by the unhelpful "cannot unmarshal array into
+// object" of the fallback).
+func parseSpec(path string, blob []byte) ([]engine.Scenario, error) {
+	strict := func(v any) error {
+		dec := json.NewDecoder(bytes.NewReader(blob))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(v); err != nil {
+			return err
+		}
+		// A decoder stops after one value; trailing content (a bad
+		// concatenation, a merge artifact) must not be silently dropped.
+		if _, err := dec.Token(); err != io.EOF {
+			return fmt.Errorf("trailing data after the first JSON value")
+		}
+		return nil
+	}
+	var arr []engine.Scenario
+	arrErr := strict(&arr)
+	if arrErr == nil {
+		if len(arr) == 0 {
+			return nil, fmt.Errorf("parsing %s: empty scenario list", path)
+		}
+		return arr, nil
+	}
+	var doc struct {
+		Suite     string            `json:"suite"`
+		Scenarios []engine.Scenario `json:"scenarios"`
+	}
+	if docErr := strict(&doc); docErr != nil {
+		return nil, fmt.Errorf("parsing %s: not a scenario array (%v) and not a {\"scenarios\": [...]} document (%v)", path, arrErr, docErr)
+	}
+	if len(doc.Scenarios) == 0 {
+		return nil, fmt.Errorf("parsing %s: document has no scenarios (is the \"scenarios\" key present and non-empty?)", path)
+	}
+	return doc.Scenarios, nil
 }
 
 func totalTrials(aggs []engine.Aggregate) int {

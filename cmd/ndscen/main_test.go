@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecBareArray(t *testing.T) {
+	blob := []byte(`[{"name": "a", "protocol": {"kind": "optimal", "omega": 36, "eta": 0.05}, "population": 2, "trials": 10}]`)
+	scenarios, err := parseSpec("spec.json", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 1 || scenarios[0].Name != "a" {
+		t.Fatalf("unexpected scenarios: %+v", scenarios)
+	}
+}
+
+func TestParseSpecDocument(t *testing.T) {
+	blob := []byte(`{"suite": "mine", "scenarios": [{"name": "a", "protocol": {"kind": "optimal", "omega": 36, "eta": 0.05}, "population": 2, "trials": 10}]}`)
+	scenarios, err := parseSpec("spec.json", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 1 || scenarios[0].Name != "a" {
+		t.Fatalf("unexpected scenarios: %+v", scenarios)
+	}
+}
+
+// A typo'd top-level key used to fall through the array parse, match the
+// document shape with zero known fields, and run as an empty document.
+func TestParseSpecRejectsTypoedKey(t *testing.T) {
+	blob := []byte(`{"scenarioz": [{"name": "a"}]}`)
+	_, err := parseSpec("spec.json", blob)
+	if err == nil {
+		t.Fatal("typo'd key parsed as an empty document")
+	}
+	if !strings.Contains(err.Error(), "scenarioz") {
+		t.Fatalf("error does not name the unknown key: %v", err)
+	}
+}
+
+func TestParseSpecRejectsTypoedScenarioField(t *testing.T) {
+	blob := []byte(`[{"name": "a", "trails": 10}]`)
+	_, err := parseSpec("spec.json", blob)
+	if err == nil {
+		t.Fatal("typo'd scenario field accepted")
+	}
+	if !strings.Contains(err.Error(), "trails") {
+		t.Fatalf("error does not name the unknown field: %v", err)
+	}
+}
+
+func TestParseSpecRejectsEmpty(t *testing.T) {
+	for _, blob := range []string{`[]`, `{"scenarios": []}`, `{}`} {
+		if _, err := parseSpec("spec.json", []byte(blob)); err == nil {
+			t.Errorf("%s accepted as a runnable spec", blob)
+		}
+	}
+}
+
+// When neither shape parses, the error must carry both parse failures —
+// the array error used to be swallowed by the fallback's unhelpful
+// type-mismatch message.
+func TestParseSpecReportsBothErrors(t *testing.T) {
+	blob := []byte(`[{"name": "a", "trials": "ten"}]`)
+	_, err := parseSpec("spec.json", blob)
+	if err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "not a scenario array") || !strings.Contains(msg, "document") {
+		t.Fatalf("error does not report both parse failures: %v", err)
+	}
+	// The root cause — the string in an integer field — must be visible.
+	if !strings.Contains(msg, "trials") && !strings.Contains(msg, "string") {
+		t.Fatalf("error hides the underlying cause: %v", err)
+	}
+}
+
+// Trailing content after the first JSON value must not be silently
+// dropped — a decoder stops at the end of one value.
+func TestParseSpecRejectsTrailingData(t *testing.T) {
+	blob := []byte(`[{"name": "a", "protocol": {"kind": "optimal", "omega": 36, "eta": 0.05}, "population": 2, "trials": 10}] {"scenarios": []}`)
+	if _, err := parseSpec("spec.json", blob); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing data accepted: %v", err)
+	}
+}

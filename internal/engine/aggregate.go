@@ -57,6 +57,58 @@ type Aggregate struct {
 	// to the exact worst case L — the deployment-planning view: contacts
 	// of at least L are guaranteed, shorter ones are best-effort.
 	ContactBins []ContactBin `json:"contact_bins,omitempty"`
+
+	// PerChannel, for multi-channel kinds, is the per-advertising-channel
+	// view: Monte-Carlo discovery counts by the channel the successful
+	// PDU used, joined with the exact branch-entry analysis of the
+	// starting-PDU branch on the same channel.
+	PerChannel []ChannelStat `json:"per_channel,omitempty"`
+}
+
+// ChannelStat is one advertising channel's row: integer Monte-Carlo
+// discovery counts (deterministic across worker counts) plus the exact
+// per-branch facts of multichannel.Analyze.
+type ChannelStat struct {
+	Channel     int     `json:"channel"`
+	Discoveries int     `json:"discoveries"`
+	Fraction    float64 `json:"fraction"` // of all discovered trials
+
+	// EntryProb is the probability that range entry falls in the
+	// transmission gap before this channel's PDU; BranchCovered the
+	// fraction of scanner offsets that ever discover in that branch;
+	// BranchWorst/BranchMean that branch's exact worst and mean latency
+	// over its discovering offsets.
+	EntryProb     float64        `json:"entry_prob"`
+	BranchCovered float64        `json:"branch_covered"`
+	BranchWorst   timebase.Ticks `json:"branch_worst,omitempty"`
+	BranchMean    float64        `json:"branch_mean,omitempty"`
+}
+
+// channelStats joins the Monte-Carlo per-channel discovery counts with the
+// exact branch analysis. counts has one slot per channel.
+func channelStats(b *built, counts []int64) []ChannelStat {
+	if len(counts) == 0 {
+		return nil
+	}
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	stats := make([]ChannelStat, len(counts))
+	for c := range stats {
+		stats[c] = ChannelStat{Channel: c, Discoveries: int(counts[c])}
+		if total > 0 {
+			stats[c].Fraction = float64(counts[c]) / float64(total)
+		}
+		if c < len(b.MCBranches) {
+			br := b.MCBranches[c]
+			stats[c].EntryProb = br.EntryProb
+			stats[c].BranchCovered = br.Covered
+			stats[c].BranchWorst = br.Worst
+			stats[c].BranchMean = br.Mean
+		}
+	}
+	return stats
 }
 
 // ContactBin is one row of the churn discovery-ratio histogram: contacts
@@ -92,8 +144,8 @@ func baseAggregate(sc Scenario, b *built, horizon timebase.Ticks) Aggregate {
 		CoveredFraction: b.Analysis.CoveredFraction,
 		EtaE:            b.EtaE,
 		EtaF:            b.EtaF,
-		BetaE:           b.E.B.Beta(),
-		GammaF:          b.F.C.Gamma(),
+		BetaE:           b.BetaE,
+		GammaF:          b.GammaF,
 		Horizon:         horizon,
 		Trials:          sc.Trials,
 	}
@@ -141,6 +193,15 @@ func aggregate(sc Scenario, b *built, horizon timebase.Ticks, outputs []trialOut
 	agg.CDF = empiricalCDF(samples, misses)
 	if sc.Churn != nil && b.WorstTwoWay > 0 {
 		agg.ContactBins = binContacts(outputs, float64(b.WorstTwoWay))
+	}
+	if b.Mode == modeMultiChannel {
+		counts := make([]int64, b.MC.Channels)
+		for i := range outputs {
+			if c := outputs[i].channel; c >= 0 && c < len(counts) {
+				counts[c]++
+			}
+		}
+		agg.PerChannel = channelStats(b, counts)
 	}
 	return agg
 }

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden-result regression harness: every paper suite (and the
+// multi-channel/slot-domain additions) has its full JSON output committed
+// under testdata/golden/, and TestGolden re-runs each against the
+// committed bytes. The engine's determinism contract makes this exact —
+// aggregates are bit-identical for any worker count — so any diff is a
+// real behavioral change: a protocol construction, an analysis, the
+// aggregation pipeline, or the RNG derivation drifted. Intentional changes
+// regenerate the files with
+//
+//	go test ./internal/engine -run TestGolden -update
+//
+// and the diff is reviewed like any other code change.
+var update = flag.Bool("update", false, "regenerate testdata/golden files")
+
+const goldenDir = "testdata/golden"
+
+// goldenSuites names the scenario suites under golden protection. All run
+// at their registry-default trial counts (each is sub-second).
+var goldenSuites = []string{
+	"paper-fig7",
+	"protocols",
+	"examples",
+	"multichannel",
+	"slotgrid",
+}
+
+// goldenSweeps names the sweep presets under golden protection.
+var goldenSweeps = []string{
+	"sweep-channels",
+	"sweep-eta",
+}
+
+func goldenCompare(t *testing.T, name string, res SuiteResult) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(goldenDir, name+".json")
+	if *update {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update to create it): %v", path, err)
+	}
+	if bytes.Equal(buf.Bytes(), want) {
+		return
+	}
+	// Point at the first diverging line rather than dumping two full
+	// documents.
+	gotLines := bytes.Split(buf.Bytes(), []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	for i := range gotLines {
+		if i >= len(wantLines) {
+			t.Fatalf("%s: output has %d extra lines; first extra: %s",
+				path, len(gotLines)-len(wantLines), gotLines[i])
+		}
+		if !bytes.Equal(gotLines[i], wantLines[i]) {
+			t.Fatalf("%s: first divergence at line %d:\n got: %s\nwant: %s\n(run with -update if the change is intentional)",
+				path, i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("%s: committed file has %d extra lines past the %d produced",
+		path, len(wantLines)-len(gotLines), len(gotLines))
+}
+
+func TestGoldenSuites(t *testing.T) {
+	for _, name := range goldenSuites {
+		t.Run(name, func(t *testing.T) {
+			scenarios, err := Suite(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aggs, err := RunSuite(scenarios, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, "suite-"+name, SuiteResult{Suite: name, Scenarios: aggs})
+		})
+	}
+}
+
+func TestGoldenSweeps(t *testing.T) {
+	for _, name := range goldenSweeps {
+		t.Run(name, func(t *testing.T) {
+			sp, err := SweepPreset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aggs, err := RunSweep(sp, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, "sweep-"+name, SuiteResult{Suite: sp.Name, Scenarios: aggs})
+		})
+	}
+}
+
+// TestGoldenFilesAccounted fails when a committed golden file no longer
+// corresponds to any protected suite or sweep — stale files would silently
+// stop regression-checking whatever they once pinned.
+func TestGoldenFilesAccounted(t *testing.T) {
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Fatalf("reading %s (run TestGolden* with -update first): %v", goldenDir, err)
+	}
+	known := make(map[string]bool)
+	for _, n := range goldenSuites {
+		known["suite-"+n+".json"] = true
+	}
+	for _, n := range goldenSweeps {
+		known["sweep-"+n+".json"] = true
+	}
+	seen := 0
+	for _, e := range entries {
+		if !known[e.Name()] {
+			t.Errorf("stray golden file %s: not produced by any protected suite or sweep", e.Name())
+			continue
+		}
+		seen++
+	}
+	if want := len(known); seen != want {
+		missing := fmt.Sprintf("have %d of %d golden files", seen, want)
+		t.Fatalf("%s — run `go test ./internal/engine -run TestGolden -update` and commit the result", missing)
+	}
+}

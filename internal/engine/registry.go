@@ -68,6 +68,14 @@ var presets = map[string]func() Scenario{
 	"ble-balanced": func() Scenario { return blePreset("balanced") },
 	"ble-lowpower": func() Scenario { return blePreset("lowpower") },
 
+	// ble3: the same operating points with the real 3-channel advertising
+	// rotation — each event sends one PDU per channel 37/38/39, the
+	// scanner cycles channels per scan interval — so the effective
+	// problem is the union of three phase-locked single-channel problems
+	// (the paper's Section 7 BLE setting).
+	"ble3-fast":     func() Scenario { return ble3Preset("fast") },
+	"ble3-lowpower": func() Scenario { return ble3Preset("lowpower") },
+
 	// busynetwork: 20 devices on the ALOHA channel. Raw = the two-device
 	// optimum left uncapped; jitter adds BLE-style decorrelation; capped
 	// derives the Appendix B channel cap for Pf ≤ 0.1 %.
@@ -120,6 +128,18 @@ func blePreset(preset string) Scenario {
 		Horizon:     HorizonSpec{WorstMultiple: 3},
 		Channel:     ChannelSpec{Jitter: 10 * timebase.Millisecond},
 		Seed:        3,
+	}
+}
+
+func ble3Preset(preset string) Scenario {
+	return Scenario{
+		Name:        "ble3-" + preset,
+		Description: fmt.Sprintf("BLE %s advertiser vs scanner over 3 advertising channels", preset),
+		Protocol:    ProtocolSpec{Kind: "multichannel", Omega: omegaBLE, Alpha: 1, Preset: preset},
+		Population:  2,
+		Trials:      300,
+		Horizon:     HorizonSpec{WorstMultiple: 3},
+		Seed:        13,
 	}
 }
 
@@ -208,6 +228,37 @@ func protocolsSuite() []Scenario {
 	}
 }
 
+// slotGridSuite runs the Table 1 slotted protocols in the slot domain —
+// aligned slot grids, discovery in the first shared active slot — the
+// model the slotted literature states its guarantees in. Slot alignment
+// makes every schedule deterministic, so horizons scale with the exact
+// worst case (unlike the continuous-time protocolsSuite, whose stripped
+// one-way schedules are not deterministic under arbitrary offsets).
+func slotGridSuite() []Scenario {
+	slot := 5 * timebase.Millisecond
+	base := func(name, desc string, p ProtocolSpec) Scenario {
+		return Scenario{
+			Name:        name,
+			Description: desc,
+			Protocol:    p,
+			Population:  2,
+			Trials:      200,
+			Horizon:     HorizonSpec{WorstMultiple: 2},
+			Seed:        19,
+		}
+	}
+	return []Scenario{
+		base("slot-disco", "Disco(37,43) on an aligned 5 ms slot grid",
+			ProtocolSpec{Kind: "slot-disco", Omega: omegaPaper, Alpha: 1, P1: 37, P2: 43, SlotLen: slot}),
+		base("slot-uconnect", "U-Connect(31) on an aligned 5 ms slot grid",
+			ProtocolSpec{Kind: "slot-uconnect", Omega: omegaPaper, Alpha: 1, P: 31, SlotLen: slot}),
+		base("slot-searchlight", "Searchlight(16) on an aligned 5 ms slot grid",
+			ProtocolSpec{Kind: "slot-searchlight", Omega: omegaPaper, Alpha: 1, T: 16, SlotLen: slot}),
+		base("slot-diffcode", "Diffcode(q=7) on an aligned 5 ms slot grid",
+			ProtocolSpec{Kind: "slot-diffcode", Omega: omegaPaper, Alpha: 1, Q: 7, SlotLen: slot}),
+	}
+}
+
 // Sweep presets reproduce the paper's curve-shaped results: worst case and
 // bound ratio swept over duty-cycle η (the Fig. 6 axis) and population S on
 // the collision channel (the Fig. 7/8 axis).
@@ -264,6 +315,28 @@ var sweepPresets = map[string]func() SweepSpec{
 		}
 	},
 
+	// sweep-channels: the BLE fast operating point with the per-event
+	// channel rotation swept from 1 (the single-channel idealization most
+	// of the ND literature analyzes) to BLE's 3 — the cost of rotating a
+	// fixed advertising budget across channels the scanner visits only a
+	// third of the time.
+	"sweep-channels": func() SweepSpec {
+		return SweepSpec{
+			Name:        "sweep-channels",
+			Description: "BLE fast advertiser vs scanner: discovery latency vs advertising-channel count",
+			Base: Scenario{
+				Protocol:   ProtocolSpec{Kind: "multichannel", Omega: omegaBLE, Alpha: 1, Preset: "fast"},
+				Population: 2,
+				Trials:     256,
+				Horizon:    HorizonSpec{WorstMultiple: 3},
+				Seed:       41,
+			},
+			Axes: []SweepAxis{
+				{Field: "protocol.channels", Values: []float64{1, 2, 3}},
+			},
+		}
+	},
+
 	// sweep-eta-population: a two-axis grid (η × S) on the collision
 	// channel — the cartesian-product smoke sweep.
 	"sweep-eta-population": func() SweepSpec {
@@ -303,6 +376,10 @@ func SweepPresets() []string {
 var suites = map[string]func() []Scenario{
 	"paper-fig7": fig7Suite,
 	"protocols":  protocolsSuite,
+	"slotgrid":   slotGridSuite,
+	"multichannel": func() []Scenario {
+		return []Scenario{presets["ble3-fast"](), presets["ble3-lowpower"]()}
+	},
 	"examples": func() []Scenario {
 		names := []string{
 			"quickstart", "sensornet", "lifetime",

@@ -108,6 +108,34 @@ func RenderSweepTable(sp SweepSpec, aggs []Aggregate) string {
 	return t.String()
 }
 
+// RenderChannels renders the per-channel breakdown of multi-channel
+// aggregates — Monte-Carlo discovery share by advertising channel next to
+// the exact branch-entry analysis — or "" when no aggregate carries one.
+func RenderChannels(aggs []Aggregate) string {
+	t := textplot.NewTable(
+		"scenario", "ch", "entry%", "covered", "worst[s]", "mean[s]", "disc", "disc%")
+	any := false
+	for _, a := range aggs {
+		for _, c := range a.PerChannel {
+			any = true
+			t.Add(
+				a.Scenario.Name,
+				fmt.Sprintf("%d", c.Channel),
+				fmt.Sprintf("%.2f", c.EntryProb*100),
+				fmt.Sprintf("%.4f", c.BranchCovered),
+				seconds(float64(c.BranchWorst)),
+				seconds(c.BranchMean),
+				fmt.Sprintf("%d", c.Discoveries),
+				fmt.Sprintf("%.2f", c.Fraction*100),
+			)
+		}
+	}
+	if !any {
+		return ""
+	}
+	return "Per-channel (multi-channel kinds; entry/covered/worst/mean are exact branch analysis):\n" + t.String()
+}
+
 // cdfMarkers cycles through distinguishable plot markers.
 var cdfMarkers = []rune{'*', '+', 'o', 'x', '#', '@', '%', '&'}
 

@@ -48,6 +48,7 @@ type trialOutput struct {
 	misses                  int
 	transmissions, collided int
 	contacts                []sim.Contact
+	channel                 int // discovery channel (multi-channel kinds); -1 otherwise
 	err                     error
 }
 
@@ -151,6 +152,15 @@ func (p *point) contactWorst() float64 {
 	return float64(p.b.WorstTwoWay)
 }
 
+// chanCount is the advertising-channel count for per-channel discovery
+// accounting; zero disables it.
+func (p *point) chanCount() int {
+	if p.b.Mode != modeMultiChannel {
+		return 0
+	}
+	return p.b.MC.Channels
+}
+
 // workItem addresses one trial of one point.
 type workItem struct {
 	p     *point
@@ -226,7 +236,7 @@ func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 				case p.stream:
 					acc := p.accs[w]
 					if acc == nil {
-						acc = newStreamAccum(p.horizon, p.contactWorst())
+						acc = newStreamAccum(p.horizon, p.contactWorst(), p.chanCount())
 						p.accs[w] = acc
 					}
 					acc.absorb(out)
@@ -241,7 +251,7 @@ func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 				// which worker finalizes.
 				if p.remaining.Add(-1) == 0 && !p.failed.Load() {
 					if p.stream {
-						merged := newStreamAccum(p.horizon, p.contactWorst())
+						merged := newStreamAccum(p.horizon, p.contactWorst(), p.chanCount())
 						for _, acc := range p.accs {
 							merged.merge(acc)
 						}
@@ -290,8 +300,31 @@ func RunSuite(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 // of seeding per instantiation, which dominated the per-trial budget.
 func runTrial(sc Scenario, b *built, cfg sim.Config, stay timebase.Ticks, hash uint64, trial int) trialOutput {
 	rng := rand.New(sim.NewFastSource(trialSeed(hash, trial)))
-	var out trialOutput
+	out := trialOutput{channel: -1}
 	switch {
+	case b.Mode == modeMultiChannel:
+		oc, err := sim.MultiChannelPairTrial(b.MC, cfg.Horizon, rng)
+		if err != nil {
+			return trialOutput{channel: -1, err: err}
+		}
+		if oc.Discovered {
+			out.samples = []timebase.Ticks{oc.Latency}
+			out.channel = oc.Channel
+		} else {
+			out.misses = 1
+		}
+
+	case b.Mode == modeSlotGrid:
+		at, ok, err := b.SlotPair.Trial(cfg.Horizon, rng)
+		if err != nil {
+			return trialOutput{channel: -1, err: err}
+		}
+		if ok {
+			out.samples = []timebase.Ticks{at}
+		} else {
+			out.misses = 1
+		}
+
 	case sc.Churn != nil:
 		contacts, res, err := sim.ChurnTrial(b.E, sc.Population, stay, cfg, rng)
 		if err != nil {

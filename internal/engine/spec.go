@@ -28,7 +28,12 @@ type ProtocolSpec struct {
 	// "pi-optimal" (the optimal construction expressed as BLE-like PI
 	// parameters), "ble" (a named BLE preset), "pi" (explicit Ta/Ts/Ds),
 	// "disco", "uconnect", "searchlight", "diffcode" (the Table 1 slotted
-	// protocols).
+	// protocols simulated in continuous time), "multichannel" (a BLE-style
+	// advertiser rotating each event over several advertising channels
+	// against a channel-cycling scanner), or "slot-disco",
+	// "slot-uconnect", "slot-searchlight", "slot-diffcode" (the slotted
+	// protocols simulated on an aligned slot grid, the slot-domain
+	// literature's model).
 	Kind string `json:"kind"`
 
 	// Omega is the packet airtime ω in ticks; Alpha the TX/RX power ratio
@@ -59,14 +64,37 @@ type ProtocolSpec struct {
 	Striped bool           `json:"striped,omitempty"`
 	SlotLen timebase.Ticks `json:"slot_len,omitempty"`
 
-	// Preset names a BLE operating point for kind "ble":
-	// "fast", "balanced" or "lowpower".
+	// Preset names a BLE operating point for kinds "ble" and
+	// "multichannel": "fast", "balanced" or "lowpower". For
+	// "multichannel" it fills whichever of Ta/Ts/Ds are zero.
 	Preset string `json:"preset,omitempty"`
 
-	// Explicit periodic-interval parameters for kind "pi".
+	// Explicit periodic-interval parameters for kinds "pi" and
+	// "multichannel".
 	Ta timebase.Ticks `json:"ta,omitempty"`
 	Ts timebase.Ticks `json:"ts,omitempty"`
 	Ds timebase.Ticks `json:"ds,omitempty"`
+
+	// The PDU model for kind "multichannel": every advertising interval
+	// the device sends one PDU per channel, Channels channels back to
+	// back, spaced IFS apart, while the scanner listens to one channel
+	// per scan interval, cycling through all of them. Channels defaults
+	// to BLE's 3 advertising channels and IFS to the BLE 150 µs
+	// inter-frame space.
+	Channels int            `json:"channels,omitempty"`
+	IFS      timebase.Ticks `json:"ifs,omitempty"`
+}
+
+// MultiChannel reports whether the spec names the multi-channel kind.
+func (p ProtocolSpec) MultiChannel() bool { return p.Kind == "multichannel" }
+
+// SlotDomain reports whether the spec names a slot-aligned kind.
+func (p ProtocolSpec) SlotDomain() bool {
+	switch p.Kind {
+	case "slot-disco", "slot-uconnect", "slot-searchlight", "slot-diffcode":
+		return true
+	}
+	return false
 }
 
 // ChannelSpec selects the channel and radio semantics of the simulation.
@@ -148,6 +176,26 @@ func (s Scenario) Validate() error {
 	}
 	if s.Channel.Jitter < 0 {
 		return fmt.Errorf("engine: scenario %q: jitter %d must be ≥ 0", s.Name, s.Channel.Jitter)
+	}
+	if s.Protocol.Channels < 0 {
+		return fmt.Errorf("engine: scenario %q: channels %d must be ≥ 0", s.Name, s.Protocol.Channels)
+	}
+	if s.Protocol.IFS < 0 {
+		return fmt.Errorf("engine: scenario %q: ifs %d must be ≥ 0", s.Name, s.Protocol.IFS)
+	}
+	if s.Protocol.MultiChannel() || s.Protocol.SlotDomain() {
+		// These kinds run on their own per-trial primitives, which model
+		// a quiet pair channel: no ALOHA collisions, no jitter, and only
+		// the two-device workload.
+		if s.Population != 2 {
+			return fmt.Errorf("engine: scenario %q: kind %q supports only the pair workload (population 2)", s.Name, s.Protocol.Kind)
+		}
+		if s.Churn != nil {
+			return fmt.Errorf("engine: scenario %q: kind %q does not support churn", s.Name, s.Protocol.Kind)
+		}
+		if s.Channel != (ChannelSpec{}) {
+			return fmt.Errorf("engine: scenario %q: kind %q does not support a channel model (collisions, half-duplex, truncation, jitter)", s.Name, s.Protocol.Kind)
+		}
 	}
 	if s.Churn != nil {
 		// Negative values would skip the > 0 branches of resolveStay and

@@ -92,9 +92,11 @@ type streamAccum struct {
 	transmissions, collided int64
 
 	contactN, contactD []int64 // contacts / discovered per contactBinEdges
+
+	chanDisc []int64 // discoveries per advertising channel (multi-channel)
 }
 
-func newStreamAccum(horizon timebase.Ticks, worst float64) *streamAccum {
+func newStreamAccum(horizon timebase.Ticks, worst float64, channels int) *streamAccum {
 	w := timebase.CeilDiv(horizon+1, streamBins)
 	if w < 1 {
 		w = 1
@@ -106,6 +108,7 @@ func newStreamAccum(horizon timebase.Ticks, worst float64) *streamAccum {
 		bins:     make([]int64, streamBins),
 		contactN: make([]int64, len(contactBinEdges)),
 		contactD: make([]int64, len(contactBinEdges)),
+		chanDisc: make([]int64, channels),
 	}
 }
 
@@ -149,6 +152,9 @@ func (a *streamAccum) absorb(out trialOutput) {
 			}
 		}
 	}
+	if c := out.channel; c >= 0 && c < len(a.chanDisc) {
+		a.chanDisc[c]++
+	}
 }
 
 // merge folds b into a. All state is integer sums and min/max, so the
@@ -178,6 +184,9 @@ func (a *streamAccum) merge(b *streamAccum) {
 	for i := range a.contactN {
 		a.contactN[i] += b.contactN[i]
 		a.contactD[i] += b.contactD[i]
+	}
+	for i := range a.chanDisc {
+		a.chanDisc[i] += b.chanDisc[i]
 	}
 }
 
@@ -304,6 +313,9 @@ func aggregateStream(sc Scenario, b *built, horizon timebase.Ticks, acc *streamA
 	agg.CDF = acc.cdf()
 	if sc.Churn != nil && acc.worst > 0 {
 		agg.ContactBins = acc.contactBins()
+	}
+	if b.Mode == modeMultiChannel {
+		agg.PerChannel = channelStats(b, acc.chanDisc)
 	}
 	return agg
 }

@@ -134,7 +134,7 @@ func TestStreamAccumMergeOrderInsensitive(t *testing.T) {
 	horizon := timebase.Ticks(1 << 20)
 	parts := make([]*streamAccum, 3)
 	for i := range parts {
-		parts[i] = newStreamAccum(horizon, 0)
+		parts[i] = newStreamAccum(horizon, 0, 0)
 		for k := 0; k < 1000; k++ {
 			parts[i].addSample(timebase.Ticks((i*37 + k*101) % (1 << 20)))
 		}
@@ -145,7 +145,7 @@ func TestStreamAccumMergeOrderInsensitive(t *testing.T) {
 	orders := [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}}
 	var merged []*streamAccum
 	for _, ord := range orders {
-		m := newStreamAccum(horizon, 0)
+		m := newStreamAccum(horizon, 0, 0)
 		for _, i := range ord {
 			m.merge(parts[i])
 		}
@@ -165,7 +165,7 @@ func TestStreamAccumMergeOrderInsensitive(t *testing.T) {
 // million samples stream through an accumulator without allocating — the
 // full sample slice is never materialized.
 func TestStreamAccumBoundedAllocation(t *testing.T) {
-	acc := newStreamAccum(1<<22, 0)
+	acc := newStreamAccum(1<<22, 0, 0)
 	out := trialOutput{samples: make([]timebase.Ticks, 1000), misses: 2, transmissions: 40, collided: 3}
 	for i := range out.samples {
 		out.samples[i] = timebase.Ticks((i * 4099) % (1 << 22))
@@ -231,7 +231,7 @@ func BenchmarkStreamAbsorb1M(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		acc := newStreamAccum(1<<22, 0)
+		acc := newStreamAccum(1<<22, 0, 0)
 		for i := 0; i < 1000; i++ {
 			acc.absorb(out) // 1M samples
 		}

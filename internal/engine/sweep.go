@@ -54,6 +54,11 @@ var sweepFields = map[string]sweepField{
 	"protocol.beta_max":       {set: func(s *Scenario, v float64) { s.Protocol.BetaMax = v }},
 	"protocol.pf":             {set: func(s *Scenario, v float64) { s.Protocol.PF = v }},
 	"protocol.omega":          {integer: true, set: func(s *Scenario, v float64) { s.Protocol.Omega = timebase.Ticks(v) }},
+	"protocol.channels":       {integer: true, set: func(s *Scenario, v float64) { s.Protocol.Channels = int(v) }},
+	"protocol.ifs":            {integer: true, set: func(s *Scenario, v float64) { s.Protocol.IFS = timebase.Ticks(v) }},
+	"protocol.ta":             {integer: true, set: func(s *Scenario, v float64) { s.Protocol.Ta = timebase.Ticks(v) }},
+	"protocol.ts":             {integer: true, set: func(s *Scenario, v float64) { s.Protocol.Ts = timebase.Ticks(v) }},
+	"protocol.ds":             {integer: true, set: func(s *Scenario, v float64) { s.Protocol.Ds = timebase.Ticks(v) }},
 	"protocol.slot_len":       {integer: true, set: func(s *Scenario, v float64) { s.Protocol.SlotLen = timebase.Ticks(v) }},
 	"protocol.p1":             {integer: true, set: func(s *Scenario, v float64) { s.Protocol.P1 = int(v) }},
 	"protocol.p2":             {integer: true, set: func(s *Scenario, v float64) { s.Protocol.P2 = int(v) }},

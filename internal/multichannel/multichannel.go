@@ -76,6 +76,35 @@ type Result struct {
 
 	// MeanLatency is the expectation over uniform entry and offset.
 	MeanLatency float64
+
+	// Branches holds the per-starting-PDU breakdown, one entry per
+	// channel, in PDU order.
+	Branches []Branch
+}
+
+// Branch is the exact analysis of one starting-PDU branch: the case where
+// range entry falls in the transmission gap preceding PDU j (whose channel
+// equals its index within the advertising event).
+type Branch struct {
+	// PDU is the starting PDU index, which is also its channel.
+	PDU int
+
+	// EntryProb is the probability that a uniform range entry lands in
+	// this branch: the preceding gap over the advertising interval.
+	EntryProb float64
+
+	// Covered is the fraction of scanner offsets that ever discover when
+	// entry falls in this branch.
+	Covered float64
+
+	// Worst is the supremum latency from range entry within the branch,
+	// over the offsets that discover. Zero when Covered is zero.
+	Worst timebase.Ticks
+
+	// Mean is the expected latency from range entry within the branch,
+	// over uniform entry in the gap and the offsets that discover. Zero
+	// when Covered is zero.
+	Mean float64
 }
 
 // pdu is one advertising PDU within the repeating event.
@@ -118,6 +147,7 @@ func Analyze(cfg Config) (Result, error) {
 		meanNum   float64
 		coveredOK = true
 		coveredW  float64 // Σ_j gap_j · covered_j, in ticks²
+		branches  = make([]Branch, 0, cfg.Channels)
 	)
 	// Starting PDU j: range entry can fall anywhere in the gap before it.
 	// Gaps within an event are IFS-scale; the gap before PDU 0 spans back
@@ -164,6 +194,20 @@ func Analyze(cfg Config) (Result, error) {
 		// geometry does).
 		gapBefore := gapBeforePDU(cfg, pdus, j)
 		coveredW += float64(gapBefore) * float64(covSum)
+		br := Branch{
+			PDU:       j,
+			EntryProb: float64(gapBefore) / float64(cfg.Ta),
+			Covered:   float64(covSum) / float64(circle),
+		}
+		if covSum > 0 {
+			// Branch latency over discovering offsets: the expected
+			// remaining gap (gap/2 for uniform entry) plus the mean label
+			// over the covered offsets; the branch worst is the full gap
+			// plus the largest label.
+			br.Worst = gapBefore + lMax
+			br.Mean = lSum/float64(covSum) + float64(gapBefore)/2
+		}
+		branches = append(branches, br)
 		if cov {
 			if l := gapBefore + lMax; l > worst {
 				worst = l
@@ -174,6 +218,7 @@ func Analyze(cfg Config) (Result, error) {
 	res := Result{
 		Deterministic:   coveredOK,
 		CoveredFraction: coveredW / (float64(cfg.Ta) * float64(circle)),
+		Branches:        branches,
 	}
 	if coveredOK {
 		res.WorstLatency = worst

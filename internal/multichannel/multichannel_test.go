@@ -245,3 +245,51 @@ func TestCoveredFractionWeighsAllBranches(t *testing.T) {
 			res.CoveredFraction, weighted, covs)
 	}
 }
+
+// TestBranchStatsConsistent: the per-branch breakdown must reassemble into
+// the aggregate facts — entry probabilities sum to 1, the gap-weighted
+// branch coverages give CoveredFraction, and for deterministic configs the
+// worst branch worst equals WorstLatency and the entry-weighted branch
+// means give MeanLatency.
+func TestBranchStatsConsistent(t *testing.T) {
+	for _, cfg := range []Config{
+		BLE(20_000, 128, 30_000, 30_000),
+		BLE(90_000, 128, 30_000, 3_000), // gappy
+		{Ta: 5_000, Omega: 100, IFS: 50, Ts: 2_000, Ds: 700, Channels: 2},
+	} {
+		res, err := Analyze(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Branches) != cfg.Channels {
+			t.Fatalf("%d branches for %d channels", len(res.Branches), cfg.Channels)
+		}
+		var entrySum, covSum, meanSum float64
+		var worst timebase.Ticks
+		for j, br := range res.Branches {
+			if br.PDU != j {
+				t.Fatalf("branch %d labeled PDU %d", j, br.PDU)
+			}
+			entrySum += br.EntryProb
+			covSum += br.EntryProb * br.Covered
+			meanSum += br.EntryProb * br.Mean
+			if br.Worst > worst {
+				worst = br.Worst
+			}
+		}
+		if diff := entrySum - 1; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("entry probabilities sum to %v", entrySum)
+		}
+		if diff := covSum - res.CoveredFraction; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("gap-weighted branch coverage %v vs CoveredFraction %v", covSum, res.CoveredFraction)
+		}
+		if res.Deterministic {
+			if worst != res.WorstLatency {
+				t.Errorf("max branch worst %d vs WorstLatency %d", worst, res.WorstLatency)
+			}
+			if diff := (meanSum - res.MeanLatency) / res.MeanLatency; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("entry-weighted branch means %v vs MeanLatency %v", meanSum, res.MeanLatency)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/multichannel"
+	"repro/internal/slots"
+	"repro/internal/timebase"
+)
+
+// This file holds the per-trial Monte-Carlo primitives for the two
+// workload families the continuous-time event simulator does not model:
+// multi-channel BLE-style discovery (package multichannel owns the exact
+// analysis) and slot-aligned slotted protocols (package slots). Both
+// follow the same contract as PairTrial: all randomness comes from the
+// caller-supplied rng, so a caller owning one rng per trial can shard
+// trials across goroutines with results bit-identical to a serial loop.
+
+// MultiChannelOutcome is the result of one multi-channel pair trial.
+type MultiChannelOutcome struct {
+	// Discovered reports whether a PDU was received within the horizon.
+	Discovered bool
+
+	// Latency is the time from range entry to the start of the first
+	// received PDU — the same convention multichannel.Analyze labels
+	// latencies with. Valid iff Discovered.
+	Latency timebase.Ticks
+
+	// Channel is the advertising channel of the received PDU. Valid iff
+	// Discovered.
+	Channel int
+}
+
+// MultiChannelPairTrial runs one trial of a multi-channel advertiser
+// against a channel-cycling scanner: the advertiser's event phase is drawn
+// uniform over the advertising interval (so range entry is uniform in
+// time) and the scanner's cycle offset uniform over its channel cycle,
+// exactly the ensemble multichannel.Analyze integrates over. A PDU on
+// channel c is received iff it starts inside the scanner's window on c;
+// PDUs that began before range entry are lost.
+func MultiChannelPairTrial(cfg multichannel.Config, horizon timebase.Ticks, rng *rand.Rand) (MultiChannelOutcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return MultiChannelOutcome{}, err
+	}
+	if horizon <= 0 {
+		return MultiChannelOutcome{}, fmt.Errorf("sim: horizon %d must be positive", horizon)
+	}
+	circle := timebase.Ticks(cfg.Channels) * cfg.Ts
+
+	// u places range entry u ticks after an advertising-event start; x is
+	// the scanner's cycle position at range entry.
+	u := timebase.Ticks(rng.Int63n(int64(cfg.Ta)))
+	x := timebase.Ticks(rng.Int63n(int64(circle)))
+
+	for event := timebase.Ticks(0); ; event++ {
+		for c := 0; c < cfg.Channels; c++ {
+			// PDU start, measured from range entry.
+			at := event*cfg.Ta + timebase.Ticks(c)*(cfg.Omega+cfg.IFS) - u
+			if at < 0 {
+				continue // began before entry: heard partially, lost
+			}
+			if at >= horizon {
+				return MultiChannelOutcome{}, nil
+			}
+			// The scanner listens to channel c during cycle positions
+			// [c·Ts + Ts − Ds, (c+1)·Ts).
+			pos := (at + x).Mod(circle)
+			winStart := timebase.Ticks(c)*cfg.Ts + cfg.Ts - cfg.Ds
+			if pos >= winStart && pos < winStart+cfg.Ds {
+				return MultiChannelOutcome{Discovered: true, Latency: at, Channel: c}, nil
+			}
+		}
+	}
+}
+
+// SlotGridPair is the prepared form of a slot-aligned pair: the schedules
+// validated and their active-set lookup tables and hyperperiod computed
+// once, so per-trial work is O(discovery delay) with no allocation — the
+// engine runs up to millions of trials against one prepared pair.
+type SlotGridPair struct {
+	setA, setB []bool
+	pa, pb     int64
+	hyper      int64
+	slotLen    timebase.Ticks
+}
+
+// NewSlotGridPair prepares schedules a and b on a shared grid of
+// slotLen-tick slots.
+func NewSlotGridPair(a, b slots.Schedule, slotLen timebase.Ticks) (*SlotGridPair, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if slotLen <= 0 {
+		return nil, fmt.Errorf("sim: slot length %d must be positive", slotLen)
+	}
+	p := &SlotGridPair{
+		setA:    make([]bool, a.Period),
+		setB:    make([]bool, b.Period),
+		pa:      int64(a.Period),
+		pb:      int64(b.Period),
+		hyper:   int64(timebase.LCM(timebase.Ticks(a.Period), timebase.Ticks(b.Period))),
+		slotLen: slotLen,
+	}
+	for _, s := range a.Active {
+		p.setA[s] = true
+	}
+	for _, s := range b.Active {
+		p.setB[s] = true
+	}
+	return p, nil
+}
+
+// Trial runs one slot-aligned trial: both phases are drawn uniform over
+// the schedules' own periods, and discovery happens in the first slot
+// where both are active (completing at that slot's end, so discovery in
+// slot t costs (t+1)·slotLen). This is the slot-domain literature's model
+// executed literally — the ensemble slots.Analyze integrates over — as
+// opposed to the continuous-time path, which draws arbitrary tick-level
+// offsets and therefore sees the misalignment losses of the paper's
+// Figure 5.
+func (p *SlotGridPair) Trial(horizon timebase.Ticks, rng *rand.Rand) (timebase.Ticks, bool, error) {
+	if horizon <= 0 {
+		return 0, false, fmt.Errorf("sim: horizon %d must be positive", horizon)
+	}
+	u := int64(rng.Intn(int(p.pa)))
+	v := int64(rng.Intn(int(p.pb)))
+	// The joint state repeats after the hyperperiod; searching past it (or
+	// past the horizon) cannot succeed.
+	limit := p.hyper
+	if h := int64(horizon / p.slotLen); h < limit {
+		limit = h
+	}
+	for t := int64(0); t < limit; t++ {
+		if p.setA[(u+t)%p.pa] && p.setB[(v+t)%p.pb] {
+			return timebase.Ticks(t+1) * p.slotLen, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// SlotGridPairTrial is the one-shot convenience form of SlotGridPair:
+// prepare and run a single trial. Callers running many trials should
+// prepare once and call Trial.
+func SlotGridPairTrial(a, b slots.Schedule, slotLen, horizon timebase.Ticks, rng *rand.Rand) (timebase.Ticks, bool, error) {
+	p, err := NewSlotGridPair(a, b, slotLen)
+	if err != nil {
+		return 0, false, err
+	}
+	return p.Trial(horizon, rng)
+}

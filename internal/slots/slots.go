@@ -105,6 +105,102 @@ func WorstCase(a, b Schedule) (int, bool) {
 // Symmetric computes the worst case of a schedule against itself.
 func Symmetric(s Schedule) (int, bool) { return WorstCase(s, s) }
 
+// Result is the exact outcome of a slot-aligned pair analysis.
+type Result struct {
+	// Deterministic reports whether every phase pair leads to a shared
+	// active slot.
+	Deterministic bool
+
+	// CoveredFraction is the fraction of phase pairs that ever discover.
+	CoveredFraction float64
+
+	// WorstSlots is the exact worst-case discovery slot count over the
+	// phase pairs that discover (discovery within slot t counts t+1
+	// slots), matching WorstCase when the pair is deterministic.
+	WorstSlots int
+
+	// MeanSlots is the expected discovery slot count over uniform phase
+	// pairs, conditional on discovery.
+	MeanSlots float64
+}
+
+// Analyze computes the exact worst-case and mean discovery slot counts of
+// schedules a and b under slot alignment, over independent uniform initial
+// phases — the quantity the slot-grid Monte-Carlo trials sample.
+//
+// Both schedules advance one slot per tick of the shared grid, so the
+// joint state repeats with the hyperperiod P = lcm(Ta, Tb) and the phase
+// difference d = (v − u) mod P is invariant. For each d the positions
+// where both are active form a set S_d; the first-overlap delay from phase
+// u is the circular distance from u to the next element of S_d, so worst
+// and mean reduce to the gap structure of S_d. Complexity O(P²), far below
+// WorstCase's O(Ta·Tb·P).
+func Analyze(a, b Schedule) (Result, error) {
+	if err := a.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := b.Validate(); err != nil {
+		return Result{}, err
+	}
+	p := lcm(a.Period, b.Period)
+	setA := a.activeSet()
+	setB := b.activeSet()
+	actA := make([]bool, p)
+	actB := make([]bool, p)
+	for i := 0; i < p; i++ {
+		actA[i] = setA[i%a.Period]
+		actB[i] = setB[i%b.Period]
+	}
+
+	var (
+		worst      int
+		meanNum    float64 // Σ_d Σ_u delay(u, d)
+		coveredD   int     // phase differences with any overlap
+		uncoveredD int
+	)
+	for d := 0; d < p; d++ {
+		// Walk the circle once, accumulating the gap structure of
+		// S_d = { s : actA[s] ∧ actB[(s+d) mod p] }: per gap of length g
+		// the delays are 0..g−1, summing to g(g−1)/2 with maximum g−1.
+		first, prev := -1, -1
+		for s := 0; s < p; s++ {
+			if !(actA[s] && actB[(s+d)%p]) {
+				continue
+			}
+			if first < 0 {
+				first = s
+			} else {
+				g := s - prev
+				meanNum += float64(g) * float64(g-1) / 2
+				if g-1 > worst {
+					worst = g - 1
+				}
+			}
+			prev = s
+		}
+		if first < 0 {
+			uncoveredD++
+			continue
+		}
+		coveredD++
+		g := p - prev + first // wraparound gap
+		meanNum += float64(g) * float64(g-1) / 2
+		if g-1 > worst {
+			worst = g - 1
+		}
+	}
+	res := Result{
+		Deterministic:   uncoveredD == 0,
+		CoveredFraction: float64(coveredD) / float64(p),
+	}
+	if coveredD > 0 {
+		// Discovery within slot t completes after t+1 slots.
+		res.WorstSlots = worst + 1
+		res.MeanSlots = meanNum/(float64(coveredD)*float64(p)) + 1
+	}
+	return res, nil
+}
+
 // Disco returns the slot-domain Disco schedule for primes p1 < p2.
 func Disco(p1, p2 int) (Schedule, error) {
 	if !gf.IsPrime(p1) || !gf.IsPrime(p2) || p1 >= p2 {

@@ -205,3 +205,97 @@ func TestSlotDomainMatchesTickDomain(t *testing.T) {
 		})
 	}
 }
+
+// TestAnalyzeMatchesWorstCase: the O(P²) gap-structure analysis must agree
+// with the brute-force WorstCase enumeration on worst case and coverage,
+// for identical and differing-period pairs alike.
+func TestAnalyzeMatchesWorstCase(t *testing.T) {
+	mk := func(f func() (Schedule, error)) Schedule {
+		s, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	pairs := [][2]Schedule{
+		{mk(func() (Schedule, error) { return Disco(3, 5) }), mk(func() (Schedule, error) { return Disco(3, 5) })},
+		{mk(func() (Schedule, error) { return Disco(5, 7) }), mk(func() (Schedule, error) { return Disco(5, 7) })},
+		{mk(func() (Schedule, error) { return UConnect(5) }), mk(func() (Schedule, error) { return UConnect(5) })},
+		{mk(func() (Schedule, error) { return Diffcode(3) }), mk(func() (Schedule, error) { return Diffcode(3) })},
+		{mk(func() (Schedule, error) { return Searchlight(6) }), mk(func() (Schedule, error) { return Searchlight(6) })},
+		// Different periods: Disco against U-Connect.
+		{mk(func() (Schedule, error) { return Disco(3, 5) }), mk(func() (Schedule, error) { return UConnect(5) })},
+		// A non-deterministic pair: two disjoint single-slot schedules of
+		// the same period never overlap for most phase differences.
+		{{Period: 4, Active: []int{0}}, {Period: 4, Active: []int{0}}},
+	}
+	for i, pr := range pairs {
+		res, err := Analyze(pr[0], pr[1])
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		worst, ok := WorstCase(pr[0], pr[1])
+		if ok != res.Deterministic {
+			t.Errorf("pair %d: determinism disagrees: WorstCase %v, Analyze %v", i, ok, res.Deterministic)
+			continue
+		}
+		if ok && worst != res.WorstSlots {
+			t.Errorf("pair %d: worst disagrees: WorstCase %d, Analyze %d", i, worst, res.WorstSlots)
+		}
+		if res.Deterministic && res.CoveredFraction != 1 {
+			t.Errorf("pair %d: deterministic but covered %v", i, res.CoveredFraction)
+		}
+		if res.Deterministic && (res.MeanSlots < 1 || res.MeanSlots > float64(res.WorstSlots)) {
+			t.Errorf("pair %d: mean %v outside [1, %d]", i, res.MeanSlots, res.WorstSlots)
+		}
+	}
+}
+
+// TestAnalyzeMeanByEnumeration cross-checks MeanSlots against a direct
+// enumeration of all phase pairs on a small schedule.
+func TestAnalyzeMeanByEnumeration(t *testing.T) {
+	s, err := Disco(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make([]bool, s.Period)
+	for _, a := range s.Active {
+		set[a] = true
+	}
+	var sum, n float64
+	for u := 0; u < s.Period; u++ {
+		for v := 0; v < s.Period; v++ {
+			for dt := 0; dt < s.Period; dt++ {
+				if set[(u+dt)%s.Period] && set[(v+dt)%s.Period] {
+					sum += float64(dt + 1)
+					n++
+					break
+				}
+			}
+		}
+	}
+	want := sum / n
+	if diff := res.MeanSlots - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Analyze mean %v, enumeration %v", res.MeanSlots, want)
+	}
+}
+
+// TestAnalyzeCoveredFraction: a single active slot against itself overlaps
+// only when the phase difference is zero.
+func TestAnalyzeCoveredFraction(t *testing.T) {
+	s := Schedule{Period: 8, Active: []int{0}}
+	res, err := Analyze(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deterministic {
+		t.Fatal("single-slot schedule cannot be deterministic")
+	}
+	if res.CoveredFraction != 1.0/8 {
+		t.Fatalf("covered fraction %v, want 1/8", res.CoveredFraction)
+	}
+}

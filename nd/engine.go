@@ -28,6 +28,10 @@ type (
 	EngineOptions = engine.Options
 	// ScenarioResult is the aggregate outcome of one scenario.
 	ScenarioResult = engine.Aggregate
+	// ChannelStat is one advertising channel's row of a multi-channel
+	// scenario's per-channel breakdown: Monte-Carlo discovery counts by
+	// channel plus the exact branch-entry analysis.
+	ChannelStat = engine.ChannelStat
 	// SuiteResult is the JSON document ndscen emits.
 	SuiteResult = engine.SuiteResult
 	// SweepSpec is a first-class parameter sweep: a base scenario plus
@@ -114,6 +118,12 @@ func RenderScenarioTable(results []ScenarioResult) string {
 // RenderScenarioCDF renders pooled latency CDFs as an ASCII plot.
 func RenderScenarioCDF(results []ScenarioResult) string {
 	return engine.RenderCDF(results)
+}
+
+// RenderScenarioChannels renders the per-channel breakdown of
+// multi-channel results, or "" when none carries one.
+func RenderScenarioChannels(results []ScenarioResult) string {
+	return engine.RenderChannels(results)
 }
 
 // WriteScenarioJSON emits results as deterministic, indented JSON.

@@ -180,3 +180,36 @@ func TestLifetimePlanThroughPublicAPI(t *testing.T) {
 		t.Errorf("plan implausible: %+v", plan)
 	}
 }
+
+func TestBLE3ScenarioThroughPublicAPI(t *testing.T) {
+	sc, err := nd.ScenarioPreset("ble3-fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Trials = 50
+	res, err := nd.RunScenario(sc, nd.EngineOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic || res.FailureRate != 0 {
+		t.Fatalf("ble3-fast should discover deterministically: %+v", res.Latency)
+	}
+	if len(res.PerChannel) != 3 {
+		t.Fatalf("want a 3-row per-channel breakdown, got %+v", res.PerChannel)
+	}
+	if nd.RenderScenarioChannels([]nd.ScenarioResult{res}) == "" {
+		t.Error("per-channel renderer produced nothing")
+	}
+	slot, err := nd.SuiteScenarios("slotgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot[0].Trials = 50
+	sres, err := nd.RunScenario(slot[0], nd.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sres.Deterministic || sres.FailureRate != 0 {
+		t.Fatalf("slot-grid scenario should discover deterministically: %+v", sres.Latency)
+	}
+}
