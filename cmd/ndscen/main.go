@@ -2,7 +2,10 @@
 // neighbor-discovery scenarios — registry presets, named suites, parameter
 // sweeps, or specs loaded from a JSON file — sharding Monte-Carlo trials
 // across one shared worker pool, and reports aggregate results as a text
-// table, optional ASCII CDF plot, and deterministic JSON.
+// table, optional ASCII CDF plot, and deterministic JSON. Multi-channel
+// scenarios additionally get a per-channel table: discovery shares, the
+// multi-node kinds' per-channel transmission and collision columns
+// (tx/coll%), and the exact branch-entry analysis.
 //
 // Results are bit-identical for any -workers value: every trial runs on
 // its own RNG stream derived from the scenario's identity hash and the

@@ -66,12 +66,20 @@ type Aggregate struct {
 }
 
 // ChannelStat is one advertising channel's row: integer Monte-Carlo
-// discovery counts (deterministic across worker counts) plus the exact
-// per-branch facts of multichannel.Analyze.
+// discovery and traffic counts (deterministic across worker counts) plus
+// the exact per-branch facts of multichannel.Analyze.
 type ChannelStat struct {
 	Channel     int     `json:"channel"`
 	Discoveries int     `json:"discoveries"`
 	Fraction    float64 `json:"fraction"` // of all discovered trials
+
+	// Per-channel traffic accounting of the multi-node kinds: packets on
+	// air on this channel, packets destroyed by same-channel overlap, and
+	// their pooled ratio. All zero for the pair kind, whose model is a
+	// quiet channel.
+	Transmissions int     `json:"transmissions,omitempty"`
+	Collided      int     `json:"collided,omitempty"`
+	CollisionRate float64 `json:"collision_rate,omitempty"`
 
 	// EntryProb is the probability that range entry falls in the
 	// transmission gap before this channel's PDU; BranchCovered the
@@ -85,8 +93,10 @@ type ChannelStat struct {
 }
 
 // channelStats joins the Monte-Carlo per-channel discovery counts with the
-// exact branch analysis. counts has one slot per channel.
-func channelStats(b *built, counts []int64) []ChannelStat {
+// per-channel traffic counters and the exact branch analysis. counts has
+// one slot per channel; tx and coll may be nil (the pair kind's quiet
+// channel carries no traffic accounting).
+func channelStats(b *built, counts, tx, coll []int64) []ChannelStat {
 	if len(counts) == 0 {
 		return nil
 	}
@@ -99,6 +109,13 @@ func channelStats(b *built, counts []int64) []ChannelStat {
 		stats[c] = ChannelStat{Channel: c, Discoveries: int(counts[c])}
 		if total > 0 {
 			stats[c].Fraction = float64(counts[c]) / float64(total)
+		}
+		if c < len(tx) {
+			stats[c].Transmissions = int(tx[c])
+			stats[c].Collided = int(coll[c])
+			if tx[c] > 0 {
+				stats[c].CollisionRate = float64(coll[c]) / float64(tx[c])
+			}
 		}
 		if c < len(b.MCBranches) {
 			br := b.MCBranches[c]
@@ -194,14 +211,29 @@ func aggregate(sc Scenario, b *built, horizon timebase.Ticks, outputs []trialOut
 	if sc.Churn != nil && b.WorstTwoWay > 0 {
 		agg.ContactBins = binContacts(outputs, float64(b.WorstTwoWay))
 	}
-	if b.Mode == modeMultiChannel {
+	switch b.Mode {
+	case modeMultiChannel:
 		counts := make([]int64, b.MC.Channels)
 		for i := range outputs {
 			if c := outputs[i].channel; c >= 0 && c < len(counts) {
 				counts[c]++
 			}
 		}
-		agg.PerChannel = channelStats(b, counts)
+		agg.PerChannel = channelStats(b, counts, nil, nil)
+	case modeMultiChannelGroup:
+		counts := make([]int64, b.MC.Channels)
+		tx := make([]int64, b.MC.Channels)
+		coll := make([]int64, b.MC.Channels)
+		for i := range outputs {
+			for c, n := range outputs[i].chanDisc {
+				counts[c] += int64(n)
+			}
+			for c, l := range outputs[i].perChannel {
+				tx[c] += int64(l.Transmissions)
+				coll[c] += int64(l.Collided)
+			}
+		}
+		agg.PerChannel = channelStats(b, counts, tx, coll)
 	}
 	return agg
 }

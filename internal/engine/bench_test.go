@@ -29,6 +29,54 @@ func BenchmarkRunScenario1Worker(b *testing.B) { runBench(b, 1) }
 
 func BenchmarkRunScenarioAllCores(b *testing.B) { runBench(b, runtime.GOMAXPROCS(0)) }
 
+// benchKind runs a scenario-shaped benchmark for one protocol kind: the
+// per-trial primitive plus the engine's sharding and aggregation overhead.
+func benchKind(b *testing.B, sc Scenario, trials int) {
+	b.Helper()
+	sc.Trials = trials
+	// Warm the build cache so the loop measures trials, not analysis.
+	if _, err := RunScenario(sc, Options{Trials: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunScenario(sc, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiChannelPairScenario measures the multi-channel pair path
+// (sim.MultiChannelPairTrial on the world kernel).
+func BenchmarkMultiChannelPairScenario(b *testing.B) {
+	sc, err := Preset("ble3-fast")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchKind(b, sc, 64)
+}
+
+// BenchmarkSlotGridPairScenario measures the slot-aligned pair path
+// (sim.SlotGridPair.Trial on the world kernel).
+func BenchmarkSlotGridPairScenario(b *testing.B) {
+	suite, err := Suite("slotgrid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchKind(b, suite[0], 64)
+}
+
+// BenchmarkMultiChannelGroupScenario measures the kernel's multi-node
+// multi-channel group path with per-channel collisions and half-duplex
+// radios (sim.MultiChannelGroupTrial).
+func BenchmarkMultiChannelGroupScenario(b *testing.B) {
+	sc, err := Preset("ble3-crowd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchKind(b, sc, 16)
+}
+
 // BenchmarkScheduleCache measures a cached re-build: the memoized path
 // must be orders of magnitude below buildUncached.
 func BenchmarkScheduleCache(b *testing.B) {

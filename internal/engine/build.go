@@ -34,6 +34,12 @@ const (
 	// modeSlotGrid is the slot-aligned slotted pair
 	// (sim.SlotGridPairTrial against slots.Analyze).
 	modeSlotGrid
+	// modeMultiChannelGroup is the multi-node multi-channel workload on
+	// the world kernel (sim.MultiChannelGroupTrial /
+	// sim.MultiChannelChurnTrial with per-channel collision accounting);
+	// the pairwise multichannel.Analyze facts stay attached as the
+	// quiet-channel baseline.
+	modeMultiChannelGroup
 )
 
 // built is the materialized form of a ProtocolSpec: the two device
@@ -206,7 +212,7 @@ func buildUncached(p ProtocolSpec, population int) (*built, error) {
 	}
 	params := core.Params{Omega: p.Omega, Alpha: alpha}
 
-	if p.MultiChannel() {
+	if p.MultiChannel() || p.MultiChannelGroup() {
 		return buildMultiChannel(p, params, alpha)
 	}
 	if p.SlotDomain() {
@@ -401,9 +407,12 @@ func multiChannelConfig(p ProtocolSpec) (multichannel.Config, error) {
 	}, nil
 }
 
-// buildMultiChannel materializes the "multichannel" kind: the exact facts
-// come from multichannel.Analyze, translated into the Analysis shape the
-// aggregator reads for every mode.
+// buildMultiChannel materializes the "multichannel" kind and its
+// multi-node siblings ("multichannel-group", "multichannel-churn"): the
+// exact facts come from multichannel.Analyze, translated into the Analysis
+// shape the aggregator reads for every mode. For the multi-node kinds the
+// analysis is the quiet-channel pairwise baseline the crowd is measured
+// against; every device plays both roles, so the build is symmetric.
 func buildMultiChannel(p ProtocolSpec, params core.Params, alpha float64) (*built, error) {
 	cfg, err := multiChannelConfig(p)
 	if err != nil {
@@ -425,6 +434,10 @@ func buildMultiChannel(p ProtocolSpec, params core.Params, alpha float64) (*buil
 			MeanLatency:     res.MeanLatency,
 		},
 	}
+	if p.MultiChannelGroup() {
+		b.Mode = modeMultiChannelGroup
+		b.Symmetric = true // every device advertises and scans
+	}
 	if res.Deterministic {
 		b.WorstTwoWay = res.WorstLatency
 	}
@@ -432,6 +445,15 @@ func buildMultiChannel(p ProtocolSpec, params core.Params, alpha float64) (*buil
 	// scanner listens Ds out of every scan interval.
 	b.BetaE = float64(cfg.Channels) * float64(cfg.Omega) / float64(cfg.Ta)
 	b.GammaF = float64(cfg.Ds) / float64(cfg.Ts)
+	if b.Symmetric {
+		// Multi-node kinds: each device spends the advertiser's and the
+		// scanner's budget, so the symmetric bound at the combined
+		// duty-cycle is the yardstick.
+		b.EtaE = alpha*b.BetaE + b.GammaF
+		b.EtaF = b.EtaE
+		b.Bound = params.Symmetric(b.EtaE)
+		return b, nil
+	}
 	b.EtaE = alpha * b.BetaE
 	b.EtaF = b.GammaF
 	// As for "ble"/"pi": each side's budget doubled to express a one-way
@@ -498,7 +520,7 @@ func buildSlotGrid(p ProtocolSpec, params core.Params, alpha float64) (*built, e
 // fallback horizon unit for non-deterministic schedules.
 func (b *built) maxPeriod() timebase.Ticks {
 	switch b.Mode {
-	case modeMultiChannel:
+	case modeMultiChannel, modeMultiChannelGroup:
 		// The longer of the advertiser's interval and the scanner's full
 		// channel cycle (the hyperperiod can be impractically long).
 		m := b.MC.Ta

@@ -32,12 +32,14 @@ var goldenSuites = []string{
 	"protocols",
 	"examples",
 	"multichannel",
+	"multichannel-group",
 	"slotgrid",
 }
 
 // goldenSweeps names the sweep presets under golden protection.
 var goldenSweeps = []string{
 	"sweep-channels",
+	"sweep-density",
 	"sweep-eta",
 }
 

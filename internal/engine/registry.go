@@ -76,6 +76,40 @@ var presets = map[string]func() Scenario{
 	"ble3-fast":     func() Scenario { return ble3Preset("fast") },
 	"ble3-lowpower": func() Scenario { return ble3Preset("lowpower") },
 
+	// ble3-crowd / ble3-churn: the multi-node multi-channel workloads on
+	// the world kernel — N full BLE devices (each advertising on every
+	// channel and scanning the cycle) with per-channel ALOHA collisions
+	// and half-duplex radios, statically present or churning in and out.
+	"ble3-crowd": func() Scenario {
+		return Scenario{
+			Name:        "ble3-crowd",
+			Description: "10 BLE fast devices, 3-channel rotation, per-channel collisions, half-duplex",
+			Protocol:    ProtocolSpec{Kind: "multichannel-group", Omega: omegaBLE, Alpha: 1, Preset: "fast"},
+			Population:  10,
+			Trials:      40,
+			Horizon:     HorizonSpec{WorstMultiple: 6},
+			Channel:     ChannelSpec{Collisions: true, HalfDuplex: true},
+			Seed:        53,
+		}
+	},
+	"ble3-churn": func() Scenario {
+		return Scenario{
+			Name:        "ble3-churn",
+			Description: "8 churning BLE fast devices, 3-channel rotation: discovery ratio vs contact length",
+			Protocol:    ProtocolSpec{Kind: "multichannel-churn", Omega: omegaBLE, Alpha: 1, Preset: "fast"},
+			Population:  8,
+			Trials:      40,
+			Horizon:     HorizonSpec{WorstMultiple: 10},
+			// Contacts are judged only when joint presence covers the
+			// scanner's full channel cycle (≈ 2.3× the pairwise worst case
+			// at the fast operating point), so the stay must comfortably
+			// exceed it for bounded contacts to be exercised at all.
+			Churn:   &ChurnSpec{StayWorstMultiple: 4},
+			Channel: ChannelSpec{Collisions: true, HalfDuplex: true},
+			Seed:    57,
+		}
+	},
+
 	// busynetwork: 20 devices on the ALOHA channel. Raw = the two-device
 	// optimum left uncapped; jitter adds BLE-style decorrelation; capped
 	// derives the Appendix B channel cap for Pf ≤ 0.1 %.
@@ -337,6 +371,29 @@ var sweepPresets = map[string]func() SweepSpec{
 		}
 	},
 
+	// sweep-density: the multi-node multi-channel crowd swept over
+	// population density — how fast the 3-channel rotation's per-channel
+	// collision rates and discovery latency degrade as the neighborhood
+	// fills up (the group/multi-channel regime of the Karowski-style
+	// multi-channel discovery analyses).
+	"sweep-density": func() SweepSpec {
+		return SweepSpec{
+			Name:        "sweep-density",
+			Description: "BLE fast crowd, 3-channel rotation: per-channel collisions vs population",
+			Base: Scenario{
+				Protocol:   ProtocolSpec{Kind: "multichannel-group", Omega: omegaBLE, Alpha: 1, Preset: "fast"},
+				Population: 4,
+				Trials:     16,
+				Horizon:    HorizonSpec{WorstMultiple: 6},
+				Channel:    ChannelSpec{Collisions: true, HalfDuplex: true},
+				Seed:       61,
+			},
+			Axes: []SweepAxis{
+				{Field: "population", Values: []float64{4, 8, 12, 16}},
+			},
+		}
+	},
+
 	// sweep-eta-population: a two-axis grid (η × S) on the collision
 	// channel — the cartesian-product smoke sweep.
 	"sweep-eta-population": func() SweepSpec {
@@ -379,6 +436,9 @@ var suites = map[string]func() []Scenario{
 	"slotgrid":   slotGridSuite,
 	"multichannel": func() []Scenario {
 		return []Scenario{presets["ble3-fast"](), presets["ble3-lowpower"]()}
+	},
+	"multichannel-group": func() []Scenario {
+		return []Scenario{presets["ble3-crowd"](), presets["ble3-churn"]()}
 	},
 	"examples": func() []Scenario {
 		names := []string{
@@ -431,4 +491,75 @@ func Suites() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// checkRegistry validates the preset namespaces at startup: a scenario
+// preset, suite or sweep name may appear in only one namespace (ndscen
+// resolves all three by name, and a collision would make -list ambiguous
+// and shadow one entry), every preset must build an entry whose
+// self-reported name matches its registry key (the golden harness and the
+// CLI both join on it), and a suite must not contain two scenarios with
+// the same name (aggregates would be indistinguishable in every report).
+func checkRegistry(
+	scenarioPresets map[string]func() Scenario,
+	suitePresets map[string]func() []Scenario,
+	sweeps map[string]func() SweepSpec,
+) error {
+	owner := make(map[string]string)
+	claim := func(name, ns string) error {
+		if name == "" {
+			return fmt.Errorf("engine: registry has an unnamed %s", ns)
+		}
+		if prev, ok := owner[name]; ok {
+			return fmt.Errorf("engine: registry name %q registered as both %s and %s", name, prev, ns)
+		}
+		owner[name] = ns
+		return nil
+	}
+	// Deterministic iteration so a broken registry always panics with the
+	// same message.
+	for _, name := range sortedKeys(scenarioPresets) {
+		if err := claim(name, "scenario preset"); err != nil {
+			return err
+		}
+		if sc := scenarioPresets[name](); sc.Name != name {
+			return fmt.Errorf("engine: scenario preset %q builds a scenario named %q", name, sc.Name)
+		}
+	}
+	for _, name := range sortedKeys(suitePresets) {
+		if err := claim(name, "suite"); err != nil {
+			return err
+		}
+		seen := make(map[string]bool)
+		for _, sc := range suitePresets[name]() {
+			if seen[sc.Name] {
+				return fmt.Errorf("engine: suite %q contains two scenarios named %q", name, sc.Name)
+			}
+			seen[sc.Name] = true
+		}
+	}
+	for _, name := range sortedKeys(sweeps) {
+		if err := claim(name, "sweep preset"); err != nil {
+			return err
+		}
+		if sp := sweeps[name](); sp.Name != name {
+			return fmt.Errorf("engine: sweep preset %q builds a sweep named %q", name, sp.Name)
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	if err := checkRegistry(presets, suites, sweepPresets); err != nil {
+		panic(fmt.Sprintf("invalid preset registry: %v", err))
+	}
 }

@@ -115,3 +115,85 @@ func TestFig7SuiteRuns(t *testing.T) {
 	}
 	_ = RenderCDF(aggs)
 }
+
+// TestCheckRegistryAcceptsCurrent: the live registry passes its own
+// startup validation (init would have panicked otherwise; this pins the
+// contract explicitly).
+func TestCheckRegistryAcceptsCurrent(t *testing.T) {
+	if err := checkRegistry(presets, suites, sweepPresets); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckRegistryRejectsCollisions: duplicate or colliding names across
+// the scenario/suite/sweep namespaces — and presets whose entries
+// misreport their own name — fail startup validation with a message
+// naming the offender.
+func TestCheckRegistryRejectsCollisions(t *testing.T) {
+	sc := func(name string) func() Scenario {
+		return func() Scenario { return Scenario{Name: name} }
+	}
+	sw := func(name string) func() SweepSpec {
+		return func() SweepSpec { return SweepSpec{Name: name} }
+	}
+	for _, tc := range []struct {
+		name    string
+		presets map[string]func() Scenario
+		suites  map[string]func() []Scenario
+		sweeps  map[string]func() SweepSpec
+		want    string
+	}{
+		{
+			name:    "preset-suite collision",
+			presets: map[string]func() Scenario{"dup": sc("dup")},
+			suites: map[string]func() []Scenario{
+				"dup": func() []Scenario { return []Scenario{sc("a")()} },
+			},
+			want: `"dup" registered as both scenario preset and suite`,
+		},
+		{
+			name:    "preset-sweep collision",
+			presets: map[string]func() Scenario{"dup": sc("dup")},
+			sweeps:  map[string]func() SweepSpec{"dup": sw("dup")},
+			want:    `"dup" registered as both scenario preset and sweep preset`,
+		},
+		{
+			name:   "suite-sweep collision",
+			suites: map[string]func() []Scenario{"dup": func() []Scenario { return nil }},
+			sweeps: map[string]func() SweepSpec{"dup": sw("dup")},
+			want:   `"dup" registered as both suite and sweep preset`,
+		},
+		{
+			name:    "preset misnames its scenario",
+			presets: map[string]func() Scenario{"right": sc("wrong")},
+			want:    `scenario preset "right" builds a scenario named "wrong"`,
+		},
+		{
+			name:   "sweep misnames itself",
+			sweeps: map[string]func() SweepSpec{"right": sw("wrong")},
+			want:   `sweep preset "right" builds a sweep named "wrong"`,
+		},
+		{
+			name: "suite with duplicate scenario names",
+			suites: map[string]func() []Scenario{
+				"s": func() []Scenario { return []Scenario{sc("x")(), sc("x")()} },
+			},
+			want: `suite "s" contains two scenarios named "x"`,
+		},
+		{
+			name:    "unnamed preset",
+			presets: map[string]func() Scenario{"": sc("")},
+			want:    "unnamed scenario preset",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkRegistry(tc.presets, tc.suites, tc.sweeps)
+			if err == nil {
+				t.Fatal("invalid registry accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

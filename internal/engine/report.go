@@ -110,14 +110,21 @@ func RenderSweepTable(sp SweepSpec, aggs []Aggregate) string {
 
 // RenderChannels renders the per-channel breakdown of multi-channel
 // aggregates — Monte-Carlo discovery share by advertising channel next to
-// the exact branch-entry analysis — or "" when no aggregate carries one.
+// the exact branch-entry analysis, plus the per-channel traffic and
+// collision accounting of the multi-node kinds — or "" when no aggregate
+// carries one.
 func RenderChannels(aggs []Aggregate) string {
 	t := textplot.NewTable(
-		"scenario", "ch", "entry%", "covered", "worst[s]", "mean[s]", "disc", "disc%")
+		"scenario", "ch", "entry%", "covered", "worst[s]", "mean[s]", "disc", "disc%", "tx", "coll%")
 	any := false
 	for _, a := range aggs {
 		for _, c := range a.PerChannel {
 			any = true
+			tx, coll := "—", "—"
+			if c.Transmissions > 0 {
+				tx = fmt.Sprintf("%d", c.Transmissions)
+				coll = fmt.Sprintf("%.2f", c.CollisionRate*100)
+			}
 			t.Add(
 				a.Scenario.Name,
 				fmt.Sprintf("%d", c.Channel),
@@ -127,13 +134,14 @@ func RenderChannels(aggs []Aggregate) string {
 				seconds(c.BranchMean),
 				fmt.Sprintf("%d", c.Discoveries),
 				fmt.Sprintf("%.2f", c.Fraction*100),
+				tx, coll,
 			)
 		}
 	}
 	if !any {
 		return ""
 	}
-	return "Per-channel (multi-channel kinds; entry/covered/worst/mean are exact branch analysis):\n" + t.String()
+	return "Per-channel (multi-channel kinds; entry/covered/worst/mean are exact branch analysis,\ntx/coll% the per-channel packet traffic of the multi-node kinds):\n" + t.String()
 }
 
 // cdfMarkers cycles through distinguishable plot markers.

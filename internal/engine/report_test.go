@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/timebase"
+)
+
+// reportAggregates builds a deterministic fixture pair: one fully
+// deterministic aggregate with bound facts, CDF and per-channel rows
+// (traffic included), and one non-deterministic aggregate without them —
+// the two rendering regimes every table distinguishes.
+func reportAggregates() []Aggregate {
+	det := Aggregate{
+		Scenario: Scenario{
+			Name:       "det-point",
+			Protocol:   ProtocolSpec{Kind: "multichannel-group", Omega: 128},
+			Population: 10,
+		},
+		Deterministic: true,
+		ExactWorst:    2 * timebase.Second,
+		ExactMean:     float64(timebase.Second),
+		Bound:         float64(4 * timebase.Second),
+		BoundRatio:    0.5,
+		EtaE:          0.02,
+		EtaF:          0.02,
+		Horizon:       6 * timebase.Second,
+		Trials:        100,
+		Pairs:         200,
+		Latency: sim.Stats{
+			N: 200, Misses: 20,
+			Min: 1000, Max: 2 * timebase.Second,
+			Mean: 5e5, P50: 4e5, P95: 1.5e6, P99: 1.9e6,
+		},
+		FailureRate:   0.10,
+		CollisionRate: 0.25,
+		Transmissions: 4000,
+		Collided:      1000,
+		CDF: []CDFPoint{
+			{Latency: 4e5, Fraction: 0.45},
+			{Latency: 2e6, Fraction: 0.90},
+		},
+		PerChannel: []ChannelStat{
+			{Channel: 0, Discoveries: 100, Fraction: 0.56, Transmissions: 2000, Collided: 600,
+				CollisionRate: 0.30, EntryProb: 0.4, BranchCovered: 1, BranchWorst: 1e6, BranchMean: 4e5},
+			{Channel: 1, Discoveries: 80, Fraction: 0.44, Transmissions: 2000, Collided: 400,
+				CollisionRate: 0.20, EntryProb: 0.6, BranchCovered: 1, BranchWorst: 2e6, BranchMean: 5e5},
+		},
+	}
+	nondet := Aggregate{
+		Scenario: Scenario{
+			Name:       "nondet-point",
+			Protocol:   ProtocolSpec{Kind: "disco", Omega: 36},
+			Population: 2,
+		},
+		Horizon: timebase.Second,
+		Trials:  50,
+		Pairs:   50,
+		Latency: sim.Stats{N: 50, Misses: 50},
+	}
+	return []Aggregate{det, nondet}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable(reportAggregates())
+	for _, want := range []string{
+		"scenario", "worst[s]", "bound[s]", "ratio", "fail%", "coll%",
+		"det-point", "multichannel-group", // name and kind columns
+		"2",     // worst in seconds
+		"0.500", // bound ratio
+		"10.00", // failure percent
+		"25.00", // collision percent
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table misses %q:\n%s", want, out)
+		}
+	}
+	// The non-deterministic row renders em dashes for the exact facts.
+	var nondetRow string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "nondet-point") {
+			nondetRow = line
+		}
+	}
+	if !strings.Contains(nondetRow, "—") {
+		t.Errorf("non-deterministic row should render — placeholders: %q", nondetRow)
+	}
+}
+
+func TestRenderSweepTable(t *testing.T) {
+	sp := SweepSpec{
+		Name: "rt-sweep",
+		Base: Scenario{
+			Name:       "base",
+			Protocol:   ProtocolSpec{Kind: "optimal", Omega: 36, Alpha: 1},
+			Population: 2,
+			Trials:     1,
+			Seed:       1,
+		},
+		Axes: []SweepAxis{
+			{Field: "protocol.eta", Values: []float64{0.01, 0.02}},
+		},
+	}
+	if _, err := sp.Expand(); err != nil {
+		t.Fatal(err)
+	}
+	aggs := reportAggregates()
+	out := RenderSweepTable(sp, aggs)
+	// Axis columns are labeled with the last path segment.
+	for _, want := range []string{"eta", "0.01", "0.02", "worst[s]", "fail%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep table misses %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "det-point") {
+		t.Error("sweep table should lead with axis values, not scenario names")
+	}
+}
+
+func TestRenderChannels(t *testing.T) {
+	out := RenderChannels(reportAggregates())
+	for _, want := range []string{
+		"tx", "coll%", // the per-channel traffic columns
+		"2000", "30.00", "20.00", // channel loads and collision rates
+		"disc", "100", "80",
+		"entry%", "40.00", "60.00",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("channel table misses %q:\n%s", want, out)
+		}
+	}
+
+	// A pair-kind row (no traffic accounting) renders — placeholders.
+	pair := reportAggregates()[:1]
+	pair[0].PerChannel = []ChannelStat{{Channel: 0, Discoveries: 5, Fraction: 1, EntryProb: 1, BranchCovered: 1}}
+	out = RenderChannels(pair)
+	if !strings.Contains(out, "—") {
+		t.Errorf("quiet-channel row should render — for tx/coll%%:\n%s", out)
+	}
+
+	// No per-channel rows anywhere → empty string, so callers can skip the
+	// section entirely.
+	if got := RenderChannels(reportAggregates()[1:]); got != "" {
+		t.Errorf("aggregates without per-channel rows should render \"\", got:\n%s", got)
+	}
+}
+
+func TestRenderCDF(t *testing.T) {
+	out := RenderCDF(reportAggregates())
+	for _, want := range []string{"Discovery latency CDF", "latency [s]", "det-point"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CDF plot misses %q:\n%s", want, out)
+		}
+	}
+	if got := RenderCDF(nil); !strings.Contains(got, "no latency samples") {
+		t.Errorf("empty CDF should say so, got %q", got)
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	res := SuiteResult{Suite: "s", Scenarios: reportAggregates()}
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteJSON is not deterministic")
+	}
+	if !strings.Contains(a.String(), "\"per_channel\"") {
+		t.Error("JSON misses the per_channel field")
+	}
+	if !strings.Contains(a.String(), "\"collision_rate\"") {
+		t.Error("JSON misses the per-channel collision_rate field")
+	}
+	if !strings.HasSuffix(a.String(), "\n") {
+		t.Error("JSON document should end with a newline")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		ticks float64
+		want  string
+	}{
+		{float64(timebase.Second), "1"},
+		{float64(timebase.Second) / 2, "0.5"},
+		{float64(2500 * timebase.Millisecond), "2.5"},
+	} {
+		if got := seconds(tc.ticks); got != tc.want {
+			t.Errorf("seconds(%v) = %q, want %q", tc.ticks, got, tc.want)
+		}
+	}
+}

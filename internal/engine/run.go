@@ -48,7 +48,9 @@ type trialOutput struct {
 	misses                  int
 	transmissions, collided int
 	contacts                []sim.Contact
-	channel                 int // discovery channel (multi-channel kinds); -1 otherwise
+	channel                 int               // discovery channel (multi-channel pair kind); -1 otherwise
+	perChannel              []sim.ChannelLoad // per-channel traffic (multi-node multi-channel kinds)
+	chanDisc                []int             // per-channel discovery counts (multi-node multi-channel kinds)
 	err                     error
 }
 
@@ -153,9 +155,9 @@ func (p *point) contactWorst() float64 {
 }
 
 // chanCount is the advertising-channel count for per-channel discovery
-// accounting; zero disables it.
+// and collision accounting; zero disables it.
 func (p *point) chanCount() int {
-	if p.b.Mode != modeMultiChannel {
+	if p.b.Mode != modeMultiChannel && p.b.Mode != modeMultiChannelGroup {
 		return 0
 	}
 	return p.b.MC.Channels
@@ -313,6 +315,25 @@ func runTrial(sc Scenario, b *built, cfg sim.Config, stay timebase.Ticks, hash u
 		} else {
 			out.misses = 1
 		}
+
+	case b.Mode == modeMultiChannelGroup:
+		var res sim.MultiChannelGroupResult
+		var err error
+		if sc.Churn != nil {
+			res, err = sim.MultiChannelChurnTrial(b.MC, sc.Population, stay, cfg, rng)
+		} else {
+			res, err = sim.MultiChannelGroupTrial(b.MC, sc.Population, cfg, rng)
+		}
+		if err != nil {
+			return trialOutput{channel: -1, err: err}
+		}
+		out.samples = res.Samples
+		out.misses = res.Misses
+		out.contacts = res.Contacts
+		out.transmissions = res.Transmissions
+		out.collided = res.Collided
+		out.perChannel = res.PerChannel
+		out.chanDisc = res.Discoveries
 
 	case b.Mode == modeSlotGrid:
 		at, ok, err := b.SlotPair.Trial(cfg.Horizon, rng)

@@ -30,10 +30,13 @@ type ProtocolSpec struct {
 	// "disco", "uconnect", "searchlight", "diffcode" (the Table 1 slotted
 	// protocols simulated in continuous time), "multichannel" (a BLE-style
 	// advertiser rotating each event over several advertising channels
-	// against a channel-cycling scanner), or "slot-disco",
-	// "slot-uconnect", "slot-searchlight", "slot-diffcode" (the slotted
-	// protocols simulated on an aligned slot grid, the slot-domain
-	// literature's model).
+	// against a channel-cycling scanner), "multichannel-group" /
+	// "multichannel-churn" (N such devices, each advertising on every
+	// channel and scanning the cycle, with per-channel collision
+	// accounting — statically present or arriving/departing), or
+	// "slot-disco", "slot-uconnect", "slot-searchlight", "slot-diffcode"
+	// (the slotted protocols simulated on an aligned slot grid, the
+	// slot-domain literature's model).
 	Kind string `json:"kind"`
 
 	// Omega is the packet airtime ω in ticks; Alpha the TX/RX power ratio
@@ -85,8 +88,15 @@ type ProtocolSpec struct {
 	IFS      timebase.Ticks `json:"ifs,omitempty"`
 }
 
-// MultiChannel reports whether the spec names the multi-channel kind.
+// MultiChannel reports whether the spec names the multi-channel pair kind.
 func (p ProtocolSpec) MultiChannel() bool { return p.Kind == "multichannel" }
+
+// MultiChannelGroup reports whether the spec names a multi-node
+// multi-channel kind, which runs on the world kernel with per-channel
+// collision accounting.
+func (p ProtocolSpec) MultiChannelGroup() bool {
+	return p.Kind == "multichannel-group" || p.Kind == "multichannel-churn"
+}
 
 // SlotDomain reports whether the spec names a slot-aligned kind.
 func (p ProtocolSpec) SlotDomain() bool {
@@ -196,6 +206,12 @@ func (s Scenario) Validate() error {
 		if s.Channel != (ChannelSpec{}) {
 			return fmt.Errorf("engine: scenario %q: kind %q does not support a channel model (collisions, half-duplex, truncation, jitter)", s.Name, s.Protocol.Kind)
 		}
+	}
+	if s.Protocol.Kind == "multichannel-group" && s.Churn != nil {
+		return fmt.Errorf("engine: scenario %q: kind multichannel-group models a static population; use multichannel-churn", s.Name)
+	}
+	if s.Protocol.Kind == "multichannel-churn" && s.Churn == nil {
+		return fmt.Errorf("engine: scenario %q: kind multichannel-churn needs a churn spec", s.Name)
 	}
 	if s.Churn != nil {
 		// Negative values would skip the > 0 branches of resolveStay and

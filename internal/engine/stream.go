@@ -51,10 +51,11 @@ const (
 
 // expectedSamples bounds the latency samples a scenario can produce: one
 // per trial for the pair workload, S·(S−1) ordered pairs per trial
-// otherwise (churn contacts are a subset of the ordered pairs).
+// otherwise (churn contacts are a subset of the ordered pairs; the
+// multi-node multi-channel kinds judge every ordered pair even at S = 2).
 func expectedSamples(sc Scenario) int64 {
 	perTrial := int64(1)
-	if sc.Population > 2 || sc.Churn != nil {
+	if sc.Population > 2 || sc.Churn != nil || sc.Protocol.MultiChannelGroup() {
 		perTrial = int64(sc.Population) * int64(sc.Population-1)
 	}
 	return int64(sc.Trials) * perTrial
@@ -94,6 +95,8 @@ type streamAccum struct {
 	contactN, contactD []int64 // contacts / discovered per contactBinEdges
 
 	chanDisc []int64 // discoveries per advertising channel (multi-channel)
+	chanTx   []int64 // transmissions per advertising channel (multi-node)
+	chanColl []int64 // collided packets per advertising channel (multi-node)
 }
 
 func newStreamAccum(horizon timebase.Ticks, worst float64, channels int) *streamAccum {
@@ -109,6 +112,8 @@ func newStreamAccum(horizon timebase.Ticks, worst float64, channels int) *stream
 		contactN: make([]int64, len(contactBinEdges)),
 		contactD: make([]int64, len(contactBinEdges)),
 		chanDisc: make([]int64, channels),
+		chanTx:   make([]int64, channels),
+		chanColl: make([]int64, channels),
 	}
 }
 
@@ -155,6 +160,17 @@ func (a *streamAccum) absorb(out trialOutput) {
 	if c := out.channel; c >= 0 && c < len(a.chanDisc) {
 		a.chanDisc[c]++
 	}
+	for c, n := range out.chanDisc {
+		if c < len(a.chanDisc) {
+			a.chanDisc[c] += int64(n)
+		}
+	}
+	for c, l := range out.perChannel {
+		if c < len(a.chanTx) {
+			a.chanTx[c] += int64(l.Transmissions)
+			a.chanColl[c] += int64(l.Collided)
+		}
+	}
 }
 
 // merge folds b into a. All state is integer sums and min/max, so the
@@ -187,6 +203,8 @@ func (a *streamAccum) merge(b *streamAccum) {
 	}
 	for i := range a.chanDisc {
 		a.chanDisc[i] += b.chanDisc[i]
+		a.chanTx[i] += b.chanTx[i]
+		a.chanColl[i] += b.chanColl[i]
 	}
 }
 
@@ -314,8 +332,11 @@ func aggregateStream(sc Scenario, b *built, horizon timebase.Ticks, acc *streamA
 	if sc.Churn != nil && acc.worst > 0 {
 		agg.ContactBins = acc.contactBins()
 	}
-	if b.Mode == modeMultiChannel {
-		agg.PerChannel = channelStats(b, acc.chanDisc)
+	switch b.Mode {
+	case modeMultiChannel:
+		agg.PerChannel = channelStats(b, acc.chanDisc, nil, nil)
+	case modeMultiChannelGroup:
+		agg.PerChannel = channelStats(b, acc.chanDisc, acc.chanTx, acc.chanColl)
 	}
 	return agg
 }

@@ -4,85 +4,30 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/multichannel"
+	"repro/internal/schedule"
 	"repro/internal/slots"
 	"repro/internal/timebase"
 )
 
-// This file holds the per-trial Monte-Carlo primitives for the two
-// workload families the continuous-time event simulator does not model:
-// multi-channel BLE-style discovery (package multichannel owns the exact
-// analysis) and slot-aligned slotted protocols (package slots). Both
-// follow the same contract as PairTrial: all randomness comes from the
-// caller-supplied rng, so a caller owning one rng per trial can shard
-// trials across goroutines with results bit-identical to a serial loop.
-
-// MultiChannelOutcome is the result of one multi-channel pair trial.
-type MultiChannelOutcome struct {
-	// Discovered reports whether a PDU was received within the horizon.
-	Discovered bool
-
-	// Latency is the time from range entry to the start of the first
-	// received PDU — the same convention multichannel.Analyze labels
-	// latencies with. Valid iff Discovered.
-	Latency timebase.Ticks
-
-	// Channel is the advertising channel of the received PDU. Valid iff
-	// Discovered.
-	Channel int
-}
-
-// MultiChannelPairTrial runs one trial of a multi-channel advertiser
-// against a channel-cycling scanner: the advertiser's event phase is drawn
-// uniform over the advertising interval (so range entry is uniform in
-// time) and the scanner's cycle offset uniform over its channel cycle,
-// exactly the ensemble multichannel.Analyze integrates over. A PDU on
-// channel c is received iff it starts inside the scanner's window on c;
-// PDUs that began before range entry are lost.
-func MultiChannelPairTrial(cfg multichannel.Config, horizon timebase.Ticks, rng *rand.Rand) (MultiChannelOutcome, error) {
-	if err := cfg.Validate(); err != nil {
-		return MultiChannelOutcome{}, err
-	}
-	if horizon <= 0 {
-		return MultiChannelOutcome{}, fmt.Errorf("sim: horizon %d must be positive", horizon)
-	}
-	circle := timebase.Ticks(cfg.Channels) * cfg.Ts
-
-	// u places range entry u ticks after an advertising-event start; x is
-	// the scanner's cycle position at range entry.
-	u := timebase.Ticks(rng.Int63n(int64(cfg.Ta)))
-	x := timebase.Ticks(rng.Int63n(int64(circle)))
-
-	for event := timebase.Ticks(0); ; event++ {
-		for c := 0; c < cfg.Channels; c++ {
-			// PDU start, measured from range entry.
-			at := event*cfg.Ta + timebase.Ticks(c)*(cfg.Omega+cfg.IFS) - u
-			if at < 0 {
-				continue // began before entry: heard partially, lost
-			}
-			if at >= horizon {
-				return MultiChannelOutcome{}, nil
-			}
-			// The scanner listens to channel c during cycle positions
-			// [c·Ts + Ts − Ds, (c+1)·Ts).
-			pos := (at + x).Mod(circle)
-			winStart := timebase.Ticks(c)*cfg.Ts + cfg.Ts - cfg.Ds
-			if pos >= winStart && pos < winStart+cfg.Ds {
-				return MultiChannelOutcome{Discovered: true, Latency: at, Channel: c}, nil
-			}
-		}
-	}
-}
+// This file holds the per-trial Monte-Carlo primitive for slot-aligned
+// slotted protocols (package slots owns the exact analysis): the
+// slot-domain literature's model — both schedules on a shared grid of
+// slotLen-tick slots, discovery in the first slot where both are active —
+// executed as a configuration of the world kernel. The trial follows the
+// same contract as PairTrial: all randomness comes from the caller-supplied
+// rng, so a caller owning one rng per trial can shard trials across
+// goroutines with results bit-identical to a serial loop.
 
 // SlotGridPair is the prepared form of a slot-aligned pair: the schedules
-// validated and their active-set lookup tables and hyperperiod computed
-// once, so per-trial work is O(discovery delay) with no allocation — the
-// engine runs up to millions of trials against one prepared pair.
+// validated and their kernel schedule templates built once, so per-trial
+// work is just phase placement plus one kernel run — the engine runs up to
+// millions of trials against one prepared pair.
 type SlotGridPair struct {
-	setA, setB []bool
-	pa, pb     int64
-	hyper      int64
-	slotLen    timebase.Ticks
+	beacons schedule.BeaconSeq // a's active slots as slot-long beacons
+	windows schedule.WindowSeq // b's active slots as slot-long windows
+	pa, pb  int64              // schedule periods in slots
+	hyper   int64              // joint-state repetition period in slots
+	slotLen timebase.Ticks
 }
 
 // NewSlotGridPair prepares schedules a and b on a shared grid of
@@ -98,18 +43,29 @@ func NewSlotGridPair(a, b slots.Schedule, slotLen timebase.Ticks) (*SlotGridPair
 		return nil, fmt.Errorf("sim: slot length %d must be positive", slotLen)
 	}
 	p := &SlotGridPair{
-		setA:    make([]bool, a.Period),
-		setB:    make([]bool, b.Period),
+		beacons: schedule.BeaconSeq{
+			Beacons: make([]schedule.Beacon, len(a.Active)),
+			Period:  timebase.Ticks(a.Period) * slotLen,
+		},
+		windows: schedule.WindowSeq{
+			Windows: make([]schedule.Window, len(b.Active)),
+			Period:  timebase.Ticks(b.Period) * slotLen,
+		},
 		pa:      int64(a.Period),
 		pb:      int64(b.Period),
 		hyper:   int64(timebase.LCM(timebase.Ticks(a.Period), timebase.Ticks(b.Period))),
 		slotLen: slotLen,
 	}
-	for _, s := range a.Active {
-		p.setA[s] = true
+	// Active slots are validated strictly increasing, so both sequences
+	// come out sorted as the kernel requires. The sender's beacon fills its
+	// whole slot: reception needs the packet start inside a window, and
+	// completes at the slot's end — discovery in slot t costs (t+1)·slotLen,
+	// the slot-domain latency convention.
+	for i, s := range a.Active {
+		p.beacons.Beacons[i] = schedule.Beacon{Time: timebase.Ticks(s) * slotLen, Len: slotLen}
 	}
-	for _, s := range b.Active {
-		p.setB[s] = true
+	for i, s := range b.Active {
+		p.windows.Windows[i] = schedule.Window{Start: timebase.Ticks(s) * slotLen, Len: slotLen}
 	}
 	return p, nil
 }
@@ -128,18 +84,45 @@ func (p *SlotGridPair) Trial(horizon timebase.Ticks, rng *rand.Rand) (timebase.T
 	}
 	u := int64(rng.Intn(int(p.pa)))
 	v := int64(rng.Intn(int(p.pb)))
-	// The joint state repeats after the hyperperiod; searching past it (or
-	// past the horizon) cannot succeed.
-	limit := p.hyper
-	if h := int64(horizon / p.slotLen); h < limit {
-		limit = h
+	// The joint state repeats after the hyperperiod, so a longer horizon
+	// cannot change the outcome — capping the kernel run there bounds
+	// per-trial work by the schedule structure, not the caller's horizon.
+	// (A discovery in slot t needs (t+1)·slotLen ≤ horizon, which the cap
+	// preserves: t < hyper and the capped horizon is ≤ the real one.)
+	// Compare in slot units: hyper × slotLen could overflow for huge
+	// near-coprime periods, but once hyper is known smaller than the
+	// horizon's slot count the product is bounded by the horizon.
+	limit := horizon
+	if p.hyper < int64(horizon/p.slotLen) {
+		limit = timebase.Ticks(p.hyper) * p.slotLen
 	}
-	for t := int64(0); t < limit; t++ {
-		if p.setA[(u+t)%p.pa] && p.setB[(v+t)%p.pb] {
-			return timebase.Ticks(t+1) * p.slotLen, true, nil
+	// Phase -u·slotLen places the sender's local slot u at global slot 0,
+	// so global slot t shows the sender's slot (u+t) mod pa against the
+	// receiver's (v+t) mod pb.
+	nodes := []WorldNode{
+		{Emits: []Emission{{Channel: 0, B: p.beacons, Phase: -timebase.Ticks(u) * p.slotLen}}},
+		{Listens: []Listening{{Channel: 0, C: p.windows, Phase: -timebase.Ticks(v) * p.slotLen}}},
+	}
+	// Escalating horizon: discovery typically lands within a couple of
+	// schedule periods, so start the kernel there and double up to the cap
+	// only on a miss. All packets are one slot long, so a reception found
+	// in a truncated run IS the overall first (an earlier one would end
+	// earlier still and be present in the same run) — trials that
+	// discover cost O(discovery delay), not O(horizon), and the geometric
+	// escalation bounds a missing trial at ~2× one capped run.
+	start := maxTicks(timebase.Ticks(p.pa), timebase.Ticks(p.pb)) * p.slotLen
+	for h := minTicks(start, limit); ; h = minTicks(2*h, limit) {
+		wr, err := RunWorld(nodes, Config{Horizon: h})
+		if err != nil {
+			return 0, false, err
+		}
+		if rec, ok := wr.FirstReception(1, 0); ok {
+			return rec.End, true, nil
+		}
+		if h == limit {
+			return 0, false, nil
 		}
 	}
-	return 0, false, nil
 }
 
 // SlotGridPairTrial is the one-shot convenience form of SlotGridPair:

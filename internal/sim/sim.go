@@ -1,16 +1,20 @@
 // Package sim is a discrete-event simulator for neighbor discovery among S
-// devices sharing one radio channel.
+// devices sharing one or more radio channels.
 //
 // The coverage engine (package coverage) answers the two-device question
 // exactly; this simulator answers the questions the closed forms cannot:
 // what happens when many devices discover each other simultaneously, their
-// beacons collide (unslotted ALOHA: any airtime overlap destroys both
-// packets), radios are half-duplex, and schedules are jittered for
-// decorrelation (the BLE advDelay mechanism the paper's conclusion points
-// to). It is the workload generator behind the Figure 7 and Appendix B
-// experiments.
+// beacons collide (unslotted ALOHA: any airtime overlap on the same
+// channel destroys both packets), radios are half-duplex, schedules are
+// jittered for decorrelation (the BLE advDelay mechanism the paper's
+// conclusion points to), and transmissions rotate over several advertising
+// channels. It is the workload generator behind the Figure 7 and
+// Appendix B experiments and the engine's multi-channel crowd workloads.
 //
-// Time is integer ticks. Every run is deterministic given its seed.
+// All trial paths are configurations of one event-driven kernel over a
+// world of nodes × radios × channels (RunWorld, world.go); Run is its
+// single-channel form. Time is integer ticks. Every run is deterministic
+// given its seed.
 package sim
 
 import (
@@ -83,6 +87,7 @@ func (c Config) rng() *rand.Rand {
 // transmission is one on-air packet.
 type transmission struct {
 	sender     int
+	channel    int
 	start, end timebase.Ticks
 	collided   bool
 }
@@ -122,146 +127,37 @@ func (r Result) FirstDiscovery(receiver, sender int) (timebase.Ticks, bool) {
 	return t, ok
 }
 
-// Run simulates the node set under cfg.
+// Run simulates the node set under cfg: the single-channel configuration
+// of the world kernel (see world.go), with every node's beacon and window
+// schedules on channel 0 and discoveries reported at packet completion.
 func Run(nodes []Node, cfg Config) (Result, error) {
-	if cfg.Horizon <= 0 {
-		return Result{}, fmt.Errorf("sim: horizon %d must be positive", cfg.Horizon)
-	}
-	if len(nodes) < 2 {
-		return Result{}, fmt.Errorf("sim: need at least 2 nodes, got %d", len(nodes))
-	}
-	rng := cfg.rng()
-
-	// Generate all transmissions, jittered, sorted by start.
-	var txs []transmission
+	ws := make([]WorldNode, len(nodes))
 	for i, n := range nodes {
-		if n.Device.B.Empty() {
-			continue
+		ws[i] = WorldNode{Arrive: n.Arrive, Depart: n.Depart}
+		if !n.Device.B.Empty() {
+			ws[i].Emits = []Emission{{Channel: 0, B: n.Device.B, Phase: n.Phase}}
 		}
-		// Include beacons that started before 0 but might overlap into the
-		// horizon; BeaconsWithin works in schedule-local time.
-		local := n.Device.B.BeaconsWithin(-n.Phase-n.Device.B.Period, cfg.Horizon-n.Phase)
-		depart := n.departOr(cfg.Horizon)
-		for _, bc := range local {
-			start := bc.Time + n.Phase
-			if cfg.Jitter > 0 {
-				start += timebase.Ticks(rng.Int63n(int64(cfg.Jitter) + 1))
-			}
-			end := start + bc.Len
-			if end <= 0 || start >= cfg.Horizon {
-				continue
-			}
-			// A node only transmits while present.
-			if start < n.Arrive || end > depart {
-				continue
-			}
-			txs = append(txs, transmission{sender: i, start: start, end: end})
+		if !n.Device.C.Empty() {
+			ws[i].Listens = []Listening{{Channel: 0, C: n.Device.C, Phase: n.Phase}}
 		}
 	}
-	sort.Slice(txs, func(a, b int) bool { return txs[a].start < txs[b].start })
-
-	// Mark collisions: a packet is destroyed iff its airtime overlaps any
-	// other packet's. One pass over the start-sorted list with a running
-	// furthest-end suffices: any packet starting before the furthest end
-	// overlaps the packet holding it, and every overlapping pair is
-	// witnessed this way (if X overlaps a later W, then at W's turn the
-	// running maximum either is X or belongs to a packet that overlaps X,
-	// which marked X earlier).
-	if cfg.Collisions {
-		maxEnd := timebase.Ticks(0)
-		maxIdx := -1
-		for i := range txs {
-			if maxIdx >= 0 && txs[i].start < maxEnd {
-				txs[i].collided = true
-				txs[maxIdx].collided = true
-			}
-			if txs[i].end > maxEnd {
-				maxEnd = txs[i].end
-				maxIdx = i
-			}
-		}
+	wr, err := RunWorld(ws, cfg)
+	if err != nil {
+		return Result{}, err
 	}
-
-	res := Result{First: make(map[int]map[int]timebase.Ticks)}
-	res.Transmissions = len(txs)
-	for _, tx := range txs {
-		if tx.collided {
-			res.Collided++
-		}
+	res := Result{
+		First:         make(map[int]map[int]timebase.Ticks, len(wr.First)),
+		Transmissions: wr.Transmissions,
+		Collided:      wr.Collided,
 	}
-
-	starts := make([]timebase.Ticks, len(txs))
-	for i, tx := range txs {
-		starts[i] = tx.start
-	}
-
-	// Reception: walk every receiver's windows. Windows that started
-	// before t = 0 still receive packets sent after t = 0 (the schedule ran
-	// before the devices came into range), so the range extends one period
-	// into the past; packets that started before t = 0, however, were only
-	// partially in range and are never received.
-	for r, n := range nodes {
-		if n.Device.C.Empty() {
-			continue
+	for r, m := range wr.First {
+		rm := make(map[int]timebase.Ticks, len(m))
+		for s, rec := range m {
+			rm[s] = rec.End
 		}
-		windows := n.Device.C.WindowsWithin(-n.Phase-n.Device.C.Period, cfg.Horizon-n.Phase)
-		rDepart := n.departOr(cfg.Horizon)
-		for _, w := range windows {
-			wStart := w.Start + n.Phase
-			wEnd := wStart + w.Len
-			// Candidate packets starting inside the window.
-			lo := sort.Search(len(txs), func(i int) bool { return starts[i] >= wStart })
-			for i := lo; i < len(txs) && txs[i].start < wEnd; i++ {
-				tx := txs[i]
-				// Receivable only from other senders, only for packets
-				// sent entirely while the receiver is present (a packet
-				// straddling the receiver's arrival is heard partially
-				// and lost).
-				if tx.sender == r || tx.start < n.Arrive || tx.end > rDepart {
-					continue
-				}
-				if cfg.TruncatedWindows && tx.end > wEnd {
-					continue
-				}
-				if cfg.Collisions && tx.collided {
-					continue
-				}
-				if cfg.HalfDuplex && transmitsDuring(nodes[r], r, tx.start, tx.end) {
-					continue
-				}
-				if m := res.First[r]; m == nil {
-					res.First[r] = map[int]timebase.Ticks{tx.sender: tx.end}
-				} else if _, seen := m[tx.sender]; !seen {
-					m[tx.sender] = tx.end
-				}
-			}
-		}
+		res.First[r] = rm
 	}
 	return res, nil
-}
-
-// transmitsDuring reports whether node (with index idx) has any own beacon
-// on air overlapping [from, to).
-func transmitsDuring(n Node, idx int, from, to timebase.Ticks) bool {
-	if n.Device.B.Empty() {
-		return false
-	}
-	// A beacon overlaps [from, to) if it starts before to and ends after
-	// from; beacons starting up to one airtime before from qualify.
-	maxLen := timebase.Ticks(0)
-	for _, bc := range n.Device.B.Beacons {
-		if bc.Len > maxLen {
-			maxLen = bc.Len
-		}
-	}
-	local := n.Device.B.BeaconsWithin(from-n.Phase-maxLen, to-n.Phase)
-	for _, bc := range local {
-		s := bc.Time + n.Phase
-		if s < to && s+bc.Len > from {
-			return true
-		}
-	}
-	return false
 }
 
 // Stats summarizes a latency sample set.

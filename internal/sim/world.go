@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/schedule"
+	"repro/internal/timebase"
+)
+
+// This file is the simulation kernel: one event-driven engine over a world
+// of nodes × radios × channels. Every node owns a set of channel-tagged
+// periodic beacon schedules (emissions) and window schedules (listens); the
+// kernel merges all transmissions into one start-sorted timeline, resolves
+// ALOHA collisions per channel, and walks every listener's windows to find
+// first receptions. All trial paths — the single-channel pair/group/churn
+// workloads (Run), the multi-channel advertiser/scanner pair
+// (MultiChannelPairTrial), the slot-aligned pairs (SlotGridPair.Trial) and
+// the multi-node multi-channel workloads (MultiChannelGroupTrial,
+// MultiChannelChurnTrial) — are thin configurations of this kernel; the
+// former per-kind event loops are gone.
+
+// Emission is one periodic beacon schedule a node transmits on a channel.
+// Phase places the schedule's origin at absolute time Phase.
+type Emission struct {
+	Channel int
+	B       schedule.BeaconSeq
+	Phase   timebase.Ticks
+}
+
+// Listening is one periodic reception-window schedule a node runs on a
+// channel. Phase places the schedule's origin at absolute time Phase.
+type Listening struct {
+	Channel int
+	C       schedule.WindowSeq
+	Phase   timebase.Ticks
+}
+
+// WorldNode is one device of the world: its channel-tagged transmit and
+// receive schedules plus its presence interval [Arrive, Depart). The zero
+// values mean "present from the start" and "never departs".
+type WorldNode struct {
+	Emits   []Emission
+	Listens []Listening
+	Arrive  timebase.Ticks
+	Depart  timebase.Ticks // 0 = stays for the whole horizon
+}
+
+func (n WorldNode) departOr(horizon timebase.Ticks) timebase.Ticks {
+	if n.Depart <= 0 {
+		return horizon
+	}
+	return n.Depart
+}
+
+// transmitsDuring reports whether the node has any own beacon on air
+// overlapping [from, to), over all of its emissions. The check consults the
+// un-jittered schedules — the deliberate approximation the half-duplex
+// model has always used.
+func (n WorldNode) transmitsDuring(from, to timebase.Ticks) bool {
+	for _, em := range n.Emits {
+		if em.B.Empty() {
+			continue
+		}
+		// A beacon overlaps [from, to) if it starts before to and ends
+		// after from; beacons starting up to one airtime before from
+		// qualify.
+		maxLen := timebase.Ticks(0)
+		for _, bc := range em.B.Beacons {
+			if bc.Len > maxLen {
+				maxLen = bc.Len
+			}
+		}
+		local := em.B.BeaconsWithin(from-em.Phase-maxLen, to-em.Phase)
+		for _, bc := range local {
+			s := bc.Time + em.Phase
+			if s < to && s+bc.Len > from {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reception is one received packet: its airtime and channel.
+type Reception struct {
+	Start, End timebase.Ticks
+	Channel    int
+}
+
+// ChannelLoad is one channel's traffic accounting.
+type ChannelLoad struct {
+	Transmissions, Collided int
+}
+
+// WorldResult aggregates one kernel run.
+type WorldResult struct {
+	// First[r][s] is the earliest reception of sender s at receiver r
+	// (earliest packet start; ties broken by channel); a missing key means
+	// no reception within the horizon.
+	First map[int]map[int]Reception
+
+	// Transmissions and Collided count packets on air and packets
+	// destroyed by the per-channel collision model, over all channels;
+	// PerChannel splits both by channel (indexed by channel id).
+	Transmissions, Collided int
+	PerChannel              []ChannelLoad
+}
+
+// FirstReception returns receiver's earliest reception of sender, if any.
+func (r WorldResult) FirstReception(receiver, sender int) (Reception, bool) {
+	m, ok := r.First[receiver]
+	if !ok {
+		return Reception{}, false
+	}
+	rec, ok := m[sender]
+	return rec, ok
+}
+
+// channelCount returns 1 + the highest channel id used by any emission or
+// listening (at least 1, so a world always has a channel 0).
+func channelCount(nodes []WorldNode) (int, error) {
+	max := 0
+	for _, n := range nodes {
+		for _, em := range n.Emits {
+			if em.Channel < 0 {
+				return 0, fmt.Errorf("sim: negative emission channel %d", em.Channel)
+			}
+			if em.Channel > max {
+				max = em.Channel
+			}
+		}
+		for _, ls := range n.Listens {
+			if ls.Channel < 0 {
+				return 0, fmt.Errorf("sim: negative listening channel %d", ls.Channel)
+			}
+			if ls.Channel > max {
+				max = ls.Channel
+			}
+		}
+	}
+	return max + 1, nil
+}
+
+// RunWorld simulates the node set under cfg: it materializes every
+// emission's jittered transmissions, sorts the merged timeline, marks
+// per-channel collisions, and records every listener's first reception per
+// sender. Every run is deterministic given cfg's RNG stream.
+func RunWorld(nodes []WorldNode, cfg Config) (WorldResult, error) {
+	if cfg.Horizon <= 0 {
+		return WorldResult{}, fmt.Errorf("sim: horizon %d must be positive", cfg.Horizon)
+	}
+	if len(nodes) < 2 {
+		return WorldResult{}, fmt.Errorf("sim: need at least 2 nodes, got %d", len(nodes))
+	}
+	nCh, err := channelCount(nodes)
+	if err != nil {
+		return WorldResult{}, err
+	}
+	// The RNG only feeds jitter; materializing it lazily spares jitter-free
+	// configurations without an injected Source the (expensive) default
+	// math/rand seeding.
+	var rng *rand.Rand
+	if cfg.Jitter > 0 {
+		rng = cfg.rng()
+	}
+
+	// Generate all transmissions in (node, emission, beacon) order —
+	// jitter is drawn in exactly this order — then sort by start.
+	// BeaconsWithin extends one period into the past so beacons that
+	// started before t = 0 can still overlap into the horizon.
+	var txs []transmission
+	for i, n := range nodes {
+		depart := n.departOr(cfg.Horizon)
+		for _, em := range n.Emits {
+			if em.B.Empty() {
+				continue
+			}
+			local := em.B.BeaconsWithin(-em.Phase-em.B.Period, cfg.Horizon-em.Phase)
+			for _, bc := range local {
+				start := bc.Time + em.Phase
+				if cfg.Jitter > 0 {
+					start += timebase.Ticks(rng.Int63n(int64(cfg.Jitter) + 1))
+				}
+				end := start + bc.Len
+				if end <= 0 || start >= cfg.Horizon {
+					continue
+				}
+				// A node only transmits while present.
+				if start < n.Arrive || end > depart {
+					continue
+				}
+				txs = append(txs, transmission{sender: i, channel: em.Channel, start: start, end: end})
+			}
+		}
+	}
+	sort.Slice(txs, func(a, b int) bool { return txs[a].start < txs[b].start })
+
+	// Mark collisions per channel: a packet is destroyed iff its airtime
+	// overlaps another packet's on the same channel. One pass over the
+	// start-sorted list with a per-channel running furthest-end suffices:
+	// any packet starting before its channel's furthest end overlaps the
+	// packet holding it, and every overlapping pair is witnessed this way
+	// (if X overlaps a later W on its channel, then at W's turn the
+	// channel's running maximum either is X or belongs to a packet that
+	// overlaps X, which marked X earlier).
+	if cfg.Collisions {
+		maxEnd := make([]timebase.Ticks, nCh)
+		maxIdx := make([]int, nCh)
+		for c := range maxIdx {
+			maxIdx[c] = -1
+		}
+		for i := range txs {
+			c := txs[i].channel
+			if maxIdx[c] >= 0 && txs[i].start < maxEnd[c] {
+				txs[i].collided = true
+				txs[maxIdx[c]].collided = true
+			}
+			if txs[i].end > maxEnd[c] {
+				maxEnd[c] = txs[i].end
+				maxIdx[c] = i
+			}
+		}
+	}
+
+	res := WorldResult{
+		First:      make(map[int]map[int]Reception),
+		PerChannel: make([]ChannelLoad, nCh),
+	}
+	res.Transmissions = len(txs)
+	for _, tx := range txs {
+		res.PerChannel[tx.channel].Transmissions++
+		if tx.collided {
+			res.Collided++
+			res.PerChannel[tx.channel].Collided++
+		}
+	}
+
+	// Per-channel start-sorted views of the timeline. A single-channel
+	// world reuses the merged slices directly.
+	perChan := make([][]transmission, nCh)
+	if nCh == 1 {
+		perChan[0] = txs
+	} else {
+		for _, tx := range txs {
+			perChan[tx.channel] = append(perChan[tx.channel], tx)
+		}
+	}
+	perStarts := make([][]timebase.Ticks, nCh)
+	for c, ctxs := range perChan {
+		starts := make([]timebase.Ticks, len(ctxs))
+		for i, tx := range ctxs {
+			starts[i] = tx.start
+		}
+		perStarts[c] = starts
+	}
+
+	// Reception: walk every listener's windows. Windows that started
+	// before t = 0 still receive packets sent after t = 0 (the schedule ran
+	// before the devices came into range), so the range extends one period
+	// into the past; packets that started before t = 0, however, were only
+	// partially in range and are never received (start ≥ Arrive ≥ 0).
+	for r := range nodes {
+		n := &nodes[r]
+		rDepart := n.departOr(cfg.Horizon)
+		for _, ls := range n.Listens {
+			if ls.C.Empty() {
+				continue
+			}
+			ctxs, cstarts := perChan[ls.Channel], perStarts[ls.Channel]
+			windows := ls.C.WindowsWithin(-ls.Phase-ls.C.Period, cfg.Horizon-ls.Phase)
+			for _, w := range windows {
+				wStart := w.Start + ls.Phase
+				wEnd := wStart + w.Len
+				// Candidate packets starting inside the window.
+				lo := sort.Search(len(ctxs), func(i int) bool { return cstarts[i] >= wStart })
+				for i := lo; i < len(ctxs) && ctxs[i].start < wEnd; i++ {
+					tx := ctxs[i]
+					// Receivable only from other senders, only for packets
+					// sent entirely while the receiver is present (a packet
+					// straddling the receiver's arrival is heard partially
+					// and lost).
+					if tx.sender == r || tx.start < n.Arrive || tx.end > rDepart {
+						continue
+					}
+					if cfg.TruncatedWindows && tx.end > wEnd {
+						continue
+					}
+					if cfg.Collisions && tx.collided {
+						continue
+					}
+					if cfg.HalfDuplex && n.transmitsDuring(tx.start, tx.end) {
+						continue
+					}
+					rec := Reception{Start: tx.start, End: tx.end, Channel: tx.channel}
+					m := res.First[r]
+					if m == nil {
+						res.First[r] = map[int]Reception{tx.sender: rec}
+						continue
+					}
+					prev, seen := m[tx.sender]
+					if !seen || rec.Start < prev.Start ||
+						(rec.Start == prev.Start && rec.Channel < prev.Channel) {
+						m[tx.sender] = rec
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}

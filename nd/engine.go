@@ -30,7 +30,9 @@ type (
 	ScenarioResult = engine.Aggregate
 	// ChannelStat is one advertising channel's row of a multi-channel
 	// scenario's per-channel breakdown: Monte-Carlo discovery counts by
-	// channel plus the exact branch-entry analysis.
+	// channel, the per-channel packet traffic and collision accounting of
+	// the multi-node kinds ("multichannel-group", "multichannel-churn"),
+	// plus the exact branch-entry analysis.
 	ChannelStat = engine.ChannelStat
 	// SuiteResult is the JSON document ndscen emits.
 	SuiteResult = engine.SuiteResult
@@ -121,7 +123,9 @@ func RenderScenarioCDF(results []ScenarioResult) string {
 }
 
 // RenderScenarioChannels renders the per-channel breakdown of
-// multi-channel results, or "" when none carries one.
+// multi-channel results — discovery shares, the multi-node kinds'
+// per-channel transmission/collision columns, and the exact branch
+// analysis — or "" when none carries one.
 func RenderScenarioChannels(results []ScenarioResult) string {
 	return engine.RenderChannels(results)
 }
