@@ -12,6 +12,11 @@
 // trial index, and aggregation is either trial-ordered (exact) or built
 // from order-insensitive integer accumulators (streaming).
 //
+// Adaptive sweeps (-adaptive) search the parameter space coarse-to-fine
+// instead of on a fixed grid: a coarse pass, then refinement rounds that
+// bracket the best objective value seen so far, reported as a
+// refinement-trace table.
+//
 // Usage:
 //
 //	ndscen -list
@@ -19,6 +24,7 @@
 //	ndscen -scenario quickstart,sensornet -plot
 //	ndscen -sweep sweep-eta -out eta.json
 //	ndscen -sweep mysweep.json -stream on
+//	ndscen -adaptive adaptive-eta -out eta-refined.json
 //	ndscen -spec myscenarios.json -trials 100
 package main
 
@@ -41,6 +47,7 @@ func main() {
 		scenario = flag.String("scenario", "", "run comma-separated presets (see -list)")
 		spec     = flag.String("spec", "", "run scenarios from a JSON file ([]Scenario or {\"scenarios\": [...]})")
 		sweep    = flag.String("sweep", "", "run a named sweep preset or a SweepSpec JSON file (see -list)")
+		adaptive = flag.String("adaptive", "", "run a named adaptive sweep preset or an AdaptiveSpec JSON file (see -list)")
 		list     = flag.Bool("list", false, "list presets, suites and sweeps, then exit")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		trials   = flag.Int("trials", 0, "override every scenario's trial count")
@@ -67,6 +74,11 @@ func main() {
 			sp, _ := engine.SweepPreset(n)
 			fmt.Printf("  %-24s %d points — %s\n", n, sp.Points(), sp.Description)
 		}
+		fmt.Println("\nAdaptive sweeps:")
+		for _, n := range engine.AdaptivePresets() {
+			ap, _ := engine.AdaptivePreset(n)
+			fmt.Printf("  %-24s %s %s — %s\n", n, ap.Goal, ap.Objective, ap.Description)
+		}
 		return
 	}
 
@@ -76,11 +88,15 @@ func main() {
 	}
 	opt := engine.Options{Workers: *workers, Trials: *trials, Stream: mode}
 
-	if *sweep != "" {
-		if *suite != "" || *scenario != "" || *spec != "" {
-			fatal(fmt.Errorf("pass only one of -suite, -scenario, -spec, -sweep"))
+	if *sweep != "" || *adaptive != "" {
+		if *suite != "" || *scenario != "" || *spec != "" || (*sweep != "" && *adaptive != "") {
+			fatal(fmt.Errorf("pass only one of -suite, -scenario, -spec, -sweep, -adaptive"))
 		}
-		runSweep(*sweep, opt, *out, *plot, *quiet)
+		if *adaptive != "" {
+			runAdaptive(*adaptive, opt, *out, *quiet)
+		} else {
+			runSweep(*sweep, opt, *out, *plot, *quiet)
+		}
 		return
 	}
 
@@ -89,7 +105,7 @@ func main() {
 		fatal(err)
 	}
 	if len(scenarios) == 0 {
-		fatal(fmt.Errorf("nothing to run: pass -suite, -scenario, -spec or -sweep (or -list)"))
+		fatal(fmt.Errorf("nothing to run: pass -suite, -scenario, -spec, -sweep or -adaptive (or -list)"))
 	}
 
 	start := time.Now()
@@ -147,8 +163,43 @@ func runSweep(name string, opt engine.Options, out string, plot, quiet bool) {
 	writeResult(out, engine.SuiteResult{Suite: sp.Name, Scenarios: aggs})
 }
 
+// runAdaptive resolves (registry name, else AdaptiveSpec JSON file), runs
+// the coarse-to-fine search, and reports the refinement trace.
+func runAdaptive(name string, opt engine.Options, out string, quiet bool) {
+	ap, err := resolveAdaptive(name)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	res, err := engine.RunAdaptive(ap, opt)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if !quiet {
+		fmt.Print(engine.RenderAdaptiveTable(res))
+	}
+	fmt.Fprintf(os.Stderr, "ndscen: adaptive %s: %d evaluations over %d rounds in %v\n",
+		res.Name, res.Evaluations, len(res.Rounds), elapsed.Round(time.Millisecond))
+
+	writeOut(out, func(w io.Writer) error { return engine.WriteAdaptiveJSON(w, res) })
+}
+
+func resolveAdaptive(name string) (engine.AdaptiveSpec, error) {
+	return resolveSpecArg(name, "adaptive sweep spec", engine.AdaptivePreset)
+}
+
 func resolveSweep(name string) (engine.SweepSpec, error) {
-	sp, err := engine.SweepPreset(name)
+	return resolveSpecArg(name, "sweep spec", engine.SweepPreset)
+}
+
+// resolveSpecArg resolves a -sweep/-adaptive argument: a registry preset
+// name first, else a strict JSON spec file (unknown keys rejected, like
+// -spec files — a typo'd field must not silently vanish).
+func resolveSpecArg[T any](name, what string, preset func(string) (T, error)) (T, error) {
+	var zero T
+	sp, err := preset(name)
 	if err == nil {
 		return sp, nil
 	}
@@ -157,13 +208,15 @@ func resolveSweep(name string) (engine.SweepSpec, error) {
 		if os.IsNotExist(ferr) {
 			// Not a preset and no such file: the preset error (which
 			// lists the valid names) is the useful one.
-			return engine.SweepSpec{}, err
+			return zero, err
 		}
-		return engine.SweepSpec{}, fmt.Errorf("%v; reading it as a sweep file also failed: %w", err, ferr)
+		return zero, fmt.Errorf("%v; reading it as a %s file also failed: %w", err, what, ferr)
 	}
-	var fromFile engine.SweepSpec
-	if jerr := json.Unmarshal(blob, &fromFile); jerr != nil {
-		return engine.SweepSpec{}, fmt.Errorf("parsing sweep %s: %w", name, jerr)
+	var fromFile T
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	dec.DisallowUnknownFields()
+	if jerr := dec.Decode(&fromFile); jerr != nil {
+		return zero, fmt.Errorf("parsing %s %s: %w", what, name, jerr)
 	}
 	return fromFile, nil
 }
@@ -182,11 +235,16 @@ func streamMode(s string) (engine.StreamMode, error) {
 }
 
 func writeResult(out string, res engine.SuiteResult) {
+	writeOut(out, func(w io.Writer) error { return engine.WriteJSON(w, res) })
+}
+
+// writeOut routes a JSON document to -out: nowhere, stdout ("-"), or a file.
+func writeOut(out string, write func(io.Writer) error) {
 	if out == "" {
 		return
 	}
 	if out == "-" {
-		if err := engine.WriteJSON(os.Stdout, res); err != nil {
+		if err := write(os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -195,7 +253,7 @@ func writeResult(out string, res engine.SuiteResult) {
 	if err != nil {
 		fatal(err)
 	}
-	if err := engine.WriteJSON(f, res); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		fatal(err)
 	}
@@ -214,7 +272,7 @@ func collect(suite, scenario, spec string) ([]engine.Scenario, string, error) {
 		}
 	}
 	if set > 1 {
-		return nil, "", fmt.Errorf("pass only one of -suite, -scenario, -spec, -sweep")
+		return nil, "", fmt.Errorf("pass only one of -suite, -scenario, -spec, -sweep, -adaptive")
 	}
 	switch {
 	case suite != "":

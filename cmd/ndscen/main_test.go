@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -75,6 +77,57 @@ func TestParseSpecReportsBothErrors(t *testing.T) {
 	// The root cause — the string in an integer field — must be visible.
 	if !strings.Contains(msg, "trials") && !strings.Contains(msg, "string") {
 		t.Fatalf("error hides the underlying cause: %v", err)
+	}
+}
+
+// -adaptive resolves registry presets first, then falls back to a JSON
+// spec file; unknown names must surface the preset error (which lists the
+// valid names), and typo'd spec fields must be rejected.
+func TestResolveAdaptive(t *testing.T) {
+	if _, err := resolveAdaptive("adaptive-eta"); err != nil {
+		t.Fatalf("preset lookup failed: %v", err)
+	}
+	if _, err := resolveAdaptive("no-such-adaptive"); err == nil || !strings.Contains(err.Error(), "unknown adaptive sweep") {
+		t.Fatalf("expected unknown-preset error, got %v", err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "search.json")
+	blob := `{
+		"name": "file-search",
+		"base": {"protocol": {"kind": "optimal", "omega": 36, "alpha": 1}, "population": 2, "trials": 8, "seed": 1},
+		"axes": [{"field": "protocol.eta", "values": [0.01, 0.05]}],
+		"objective": "bound_ratio", "goal": "max"
+	}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ap, err := resolveAdaptive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Name != "file-search" || ap.Objective != "bound_ratio" {
+		t.Fatalf("unexpected spec from file: %+v", ap)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name": "x", "objectivez": "bound_ratio"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resolveAdaptive(bad); err == nil || !strings.Contains(err.Error(), "objectivez") {
+		t.Fatalf("typo'd field accepted: %v", err)
+	}
+}
+
+// Sweep spec files share the strict resolver: a typo'd key must error,
+// not silently vanish.
+func TestResolveSweepRejectsTypoedField(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(`{"name": "x", "axez": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resolveSweep(path); err == nil || !strings.Contains(err.Error(), "axez") {
+		t.Fatalf("typo'd sweep field accepted: %v", err)
 	}
 }
 

@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// syntheticSpec is a valid adaptive spec whose points never reach the
+// executor: tests pair it with a synthetic evaluator to drive the search
+// logic against an objective with a known optimum.
+func syntheticSpec(axis SweepAxis) AdaptiveSpec {
+	return AdaptiveSpec{
+		Name: "synthetic",
+		Base: Scenario{
+			Protocol:   ProtocolSpec{Kind: "optimal", Omega: 36, Alpha: 1, Eta: 0.05},
+			Population: 4,
+			Trials:     1,
+			Seed:       1,
+		},
+		Axes:      []SweepAxis{axis},
+		Objective: "exact_mean",
+		Goal:      "min",
+		Rounds:    8,
+		Budget:    9,
+		Tolerance: 0.01,
+	}
+}
+
+// syntheticEval evaluates f over the scenario's axis value, recording every
+// coordinate it is asked for.
+func syntheticEval(value func(Scenario) float64, f func(float64) float64, log *[]float64) adaptiveEvaluator {
+	return func(scs []Scenario) ([]Aggregate, error) {
+		aggs := make([]Aggregate, len(scs))
+		for i, sc := range scs {
+			x := value(sc)
+			if log != nil {
+				*log = append(*log, x)
+			}
+			aggs[i] = Aggregate{Scenario: sc, ExactMean: f(x)}
+		}
+		return aggs, nil
+	}
+}
+
+func etaOf(sc Scenario) float64        { return sc.Protocol.Eta }
+func populationOf(sc Scenario) float64 { return float64(sc.Population) }
+
+// TestAdaptiveConvergesOnKnownMinimum: a smooth objective with an interior
+// minimum off the coarse grid must be bracketed within the tolerance, with
+// the minimum inside the final bracket.
+func TestAdaptiveConvergesOnKnownMinimum(t *testing.T) {
+	const xstar = 0.37
+	sp := syntheticSpec(SweepAxis{Field: "protocol.eta", Values: []float64{0.1, 0.3, 0.5, 0.7, 0.9}})
+	f := func(x float64) float64 { return (x - xstar) * (x - xstar) }
+
+	res, err := runAdaptive(sp, syntheticEval(etaOf, f, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("search did not converge in %d rounds: %+v", sp.Rounds, res.Rounds[len(res.Rounds)-1].Brackets)
+	}
+	br := res.Rounds[len(res.Rounds)-1].Brackets[0]
+	span := 0.9 - 0.1
+	if w := (br.Hi - br.Lo) / span; w > sp.Tolerance {
+		t.Fatalf("final bracket [%g, %g] rel width %g exceeds tolerance %g", br.Lo, br.Hi, w, sp.Tolerance)
+	}
+	if xstar < br.Lo || xstar > br.Hi {
+		t.Fatalf("known minimum %g outside final bracket [%g, %g]", xstar, br.Lo, br.Hi)
+	}
+	if d := math.Abs(res.Best.Values[0] - xstar); d > sp.Tolerance*span {
+		t.Fatalf("best point %g is %g away from the minimum %g", res.Best.Values[0], d, xstar)
+	}
+}
+
+// TestAdaptiveMaxGoal: goal "max" brackets an interior maximum the same way.
+func TestAdaptiveMaxGoal(t *testing.T) {
+	const xstar = 0.62
+	sp := syntheticSpec(SweepAxis{Field: "protocol.eta", Values: []float64{0.1, 0.3, 0.5, 0.7, 0.9}})
+	sp.Goal = "max"
+	f := func(x float64) float64 { return -(x - xstar) * (x - xstar) }
+
+	res, err := runAdaptive(sp, syntheticEval(etaOf, f, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("max search did not converge")
+	}
+	br := res.Rounds[len(res.Rounds)-1].Brackets[0]
+	if xstar < br.Lo || xstar > br.Hi {
+		t.Fatalf("known maximum %g outside final bracket [%g, %g]", xstar, br.Lo, br.Hi)
+	}
+}
+
+// TestAdaptiveIntegerAxis: an integer axis refines onto whole values and
+// converges when no untried integer is left in the bracket, even under a
+// tolerance too tight for the float rule.
+func TestAdaptiveIntegerAxis(t *testing.T) {
+	sp := syntheticSpec(SweepAxis{Field: "population", Values: []float64{4, 16, 28}})
+	sp.Tolerance = 0.001
+	f := func(p float64) float64 { return (p - 11) * (p - 11) }
+
+	var asked []float64
+	res, err := runAdaptive(sp, syntheticEval(populationOf, f, &asked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("integer search did not converge")
+	}
+	if res.Best.Values[0] != 11 {
+		t.Fatalf("best population %g, want 11", res.Best.Values[0])
+	}
+	for _, x := range asked {
+		if x != math.Trunc(x) {
+			t.Fatalf("integer axis evaluated fractional population %g", x)
+		}
+	}
+}
+
+// TestAdaptiveNeverReevaluates: the memo must make every evaluated
+// coordinate unique, so refinement endpoints (already on the ladder) cost
+// nothing.
+func TestAdaptiveNeverReevaluates(t *testing.T) {
+	sp := syntheticSpec(SweepAxis{Field: "protocol.eta", Values: []float64{0.1, 0.3, 0.5, 0.7, 0.9}})
+	var asked []float64
+	res, err := runAdaptive(sp, syntheticEval(etaOf, func(x float64) float64 { return (x - 0.42) * (x - 0.42) }, &asked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[float64]bool)
+	for _, x := range asked {
+		if seen[x] {
+			t.Fatalf("coordinate %g evaluated twice", x)
+		}
+		seen[x] = true
+	}
+	if len(asked) != res.Evaluations {
+		t.Fatalf("evaluator saw %d points, result reports %d", len(asked), res.Evaluations)
+	}
+}
+
+// TestAdaptiveBudgetCapsRounds: no refinement round may lay a grid larger
+// than the budget.
+func TestAdaptiveBudgetCapsRounds(t *testing.T) {
+	sp := AdaptiveSpec{
+		Name: "budgeted",
+		Base: Scenario{
+			Protocol:   ProtocolSpec{Kind: "optimal", Omega: 36, Alpha: 1, Eta: 0.05},
+			Population: 4, Trials: 1, Seed: 1,
+		},
+		Axes: []SweepAxis{
+			{Field: "protocol.eta", Values: []float64{0.1, 0.5, 0.9}},
+			{Field: "horizon.worst_multiple", Values: []float64{2, 6, 10}},
+		},
+		Objective: "exact_mean",
+		Rounds:    4,
+		Budget:    9,
+		Tolerance: 0.01,
+	}
+	f := func(sc Scenario) float64 {
+		dx := sc.Protocol.Eta - 0.33
+		dy := sc.Horizon.WorstMultiple - 7.2
+		return dx*dx + dy*dy
+	}
+	eval := func(scs []Scenario) ([]Aggregate, error) {
+		aggs := make([]Aggregate, len(scs))
+		for i, sc := range scs {
+			aggs[i] = Aggregate{Scenario: sc, ExactMean: f(sc)}
+		}
+		return aggs, nil
+	}
+	res, err := runAdaptive(sp, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rounds[1:] {
+		if len(r.Points) > sp.Budget {
+			t.Fatalf("round %d evaluated %d new points, budget %d", r.Round, len(r.Points), sp.Budget)
+		}
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	valid := func() AdaptiveSpec {
+		return AdaptiveSpec{
+			Name: "v",
+			Base: Scenario{
+				Protocol:   ProtocolSpec{Kind: "optimal", Omega: 36, Alpha: 1, Eta: 0.05},
+				Population: 2, Trials: 1, Seed: 1,
+			},
+			Axes:      []SweepAxis{{Field: "protocol.eta", Values: []float64{0.01, 0.05}}},
+			Objective: "latency.mean",
+		}
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*AdaptiveSpec)
+		want   string
+	}{
+		{"unknown objective", func(ap *AdaptiveSpec) { ap.Objective = "latency.p42" }, "unknown objective"},
+		{"bad goal", func(ap *AdaptiveSpec) { ap.Goal = "best" }, "goal must be"},
+		{"negative rounds", func(ap *AdaptiveSpec) { ap.Rounds = -1 }, "rounds"},
+		{"tiny budget", func(ap *AdaptiveSpec) { ap.Budget = 2 }, "budget"},
+		{"tolerance too large", func(ap *AdaptiveSpec) { ap.Tolerance = 1 }, "tolerance"},
+		{"unknown axis", func(ap *AdaptiveSpec) { ap.Axes[0].Field = "protocol.nope" }, "unknown field"},
+		{"no axes", func(ap *AdaptiveSpec) { ap.Axes = nil }, "at least one axis"},
+		{"too many axes", func(ap *AdaptiveSpec) {
+			// 11 distinct axes of 2 values each: the coarse grid (2048)
+			// passes the sweep cap, but a 3-point refinement grid (3^11)
+			// could not honor any budget.
+			ap.Axes = nil
+			for _, f := range []string{
+				"protocol.eta", "protocol.eta_e", "protocol.eta_f", "protocol.alpha",
+				"protocol.beta_max", "protocol.pf", "population", "trials",
+				"seed", "horizon.worst_multiple", "channel.jitter",
+			} {
+				ap.Axes = append(ap.Axes, SweepAxis{Field: f, Values: []float64{1, 2}})
+			}
+		}, "axis limit"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ap := valid()
+			tc.mutate(&ap)
+			err := ap.Validate()
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestAdaptiveWorkerInvariance: the full refinement trace — every evaluated
+// aggregate, bracket and best choice — must be byte-identical whether one
+// worker or eight execute the trials.
+func TestAdaptiveWorkerInvariance(t *testing.T) {
+	ap, err := AdaptivePreset("adaptive-eta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blobs [2][]byte
+	for i, workers := range []int{1, 8} {
+		res, err := RunAdaptive(ap, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteAdaptiveJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		blobs[i] = buf.Bytes()
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Fatal("adaptive trace differs between -workers 1 and -workers 8")
+	}
+}
+
+// TestAdaptivePresetsRun: every registry adaptive preset executes end to
+// end (at reduced trials) and produces a renderable trace.
+func TestAdaptivePresetsRun(t *testing.T) {
+	for _, name := range AdaptivePresets() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ap, err := AdaptivePreset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunAdaptive(ap, Options{Trials: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Evaluations == 0 || len(res.Rounds) == 0 {
+				t.Fatalf("empty result: %+v", res)
+			}
+			if res.Best.Name == "" || res.Best.Aggregate != nil {
+				t.Fatalf("best point malformed: %+v", res.Best)
+			}
+			table := RenderAdaptiveTable(res)
+			if !strings.Contains(table, res.Best.Name) {
+				t.Fatalf("trace table does not mention the best point %q:\n%s", res.Best.Name, table)
+			}
+		})
+	}
+}
+
+// TestAdaptiveEtaFindsInteriorPeak: the committed adaptive-eta preset must
+// actually refine — the discretization penalty peaks strictly inside the
+// coarse grid, so refinement rounds must evaluate new η values and the
+// winner must beat every coarse point.
+func TestAdaptiveEtaFindsInteriorPeak(t *testing.T) {
+	ap, err := AdaptivePreset("adaptive-eta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAdaptive(ap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("adaptive-eta did not converge")
+	}
+	if res.Best.Round == 0 {
+		t.Fatalf("best η %g already on the coarse grid — refinement found nothing", res.Best.Values[0])
+	}
+	var coarseBest float64
+	for _, pt := range res.Rounds[0].Points {
+		if pt.Objective > coarseBest {
+			coarseBest = pt.Objective
+		}
+	}
+	if res.Best.Objective <= coarseBest {
+		t.Fatalf("refined best %g does not improve on the coarse grid's %g", res.Best.Objective, coarseBest)
+	}
+}

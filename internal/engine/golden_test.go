@@ -43,10 +43,18 @@ var goldenSweeps = []string{
 	"sweep-eta",
 }
 
-func goldenCompare(t *testing.T, name string, res SuiteResult) {
+// goldenAdaptives names the adaptive presets whose full refinement trace
+// (every evaluated point, bracket and best choice) is under golden
+// protection.
+var goldenAdaptives = []string{
+	"adaptive-density",
+	"adaptive-eta",
+}
+
+func goldenCompare(t *testing.T, name string, res any) {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := WriteJSON(&buf, res); err != nil {
+	if err := writeIndentedJSON(&buf, res); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(goldenDir, name+".json")
@@ -117,6 +125,22 @@ func TestGoldenSweeps(t *testing.T) {
 	}
 }
 
+func TestGoldenAdaptives(t *testing.T) {
+	for _, name := range goldenAdaptives {
+		t.Run(name, func(t *testing.T) {
+			ap, err := AdaptivePreset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunAdaptive(ap, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, "adaptive-"+name, res)
+		})
+	}
+}
+
 // TestGoldenFilesAccounted fails when a committed golden file no longer
 // corresponds to any protected suite or sweep — stale files would silently
 // stop regression-checking whatever they once pinned.
@@ -131,6 +155,9 @@ func TestGoldenFilesAccounted(t *testing.T) {
 	}
 	for _, n := range goldenSweeps {
 		known["sweep-"+n+".json"] = true
+	}
+	for _, n := range goldenAdaptives {
+		known["adaptive-"+n+".json"] = true
 	}
 	seen := 0
 	for _, e := range entries {

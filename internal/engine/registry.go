@@ -371,15 +371,15 @@ var sweepPresets = map[string]func() SweepSpec{
 		}
 	},
 
-	// sweep-density: the multi-node multi-channel crowd swept over
-	// population density — how fast the 3-channel rotation's per-channel
-	// collision rates and discovery latency degrade as the neighborhood
-	// fills up (the group/multi-channel regime of the Karowski-style
+	// sweep-density: the multi-node multi-channel crowd on a fixed
+	// population grid — kept as the coarse baseline; the adaptive-density
+	// preset refines the same axis adaptively where the objective moves
+	// fastest (the group/multi-channel regime of the Karowski-style
 	// multi-channel discovery analyses).
 	"sweep-density": func() SweepSpec {
 		return SweepSpec{
 			Name:        "sweep-density",
-			Description: "BLE fast crowd, 3-channel rotation: per-channel collisions vs population",
+			Description: "BLE fast crowd, 3-channel rotation, fixed population grid (adaptive-density refines it)",
 			Base: Scenario{
 				Protocol:   ProtocolSpec{Kind: "multichannel-group", Omega: omegaBLE, Alpha: 1, Preset: "fast"},
 				Population: 4,
@@ -409,6 +409,78 @@ var sweepPresets = map[string]func() SweepSpec{
 			},
 		}
 	},
+}
+
+// Adaptive presets reproduce the paper's frontier-shaped results by
+// searching the parameter space coarse-to-fine instead of on a fixed grid.
+var adaptivePresets = map[string]func() AdaptiveSpec{
+	// adaptive-eta: the optimality frontier of Theorem 5.5, searched. The
+	// symmetric construction rounds its parameters to integers, so the
+	// achieved worst case strays above the continuous bound by an amount
+	// that wiggles with η; the search refines the coarse Fig. 6 grid
+	// around the η where the discretization penalty (bound_ratio) peaks.
+	"adaptive-eta": func() AdaptiveSpec {
+		return AdaptiveSpec{
+			Name:        "adaptive-eta",
+			Description: "optimal symmetric pair: refine the η curve around the worst discretization penalty",
+			Base: Scenario{
+				Protocol:   ProtocolSpec{Kind: "optimal", Omega: omegaPaper, Alpha: 1},
+				Population: 2,
+				Trials:     64,
+				Horizon:    HorizonSpec{WorstMultiple: 3},
+				Seed:       31,
+			},
+			Axes: []SweepAxis{
+				{Field: "protocol.eta", Values: []float64{0.005, 0.01, 0.02, 0.05, 0.10}},
+			},
+			Objective: "bound_ratio",
+			Goal:      "max",
+			Rounds:    4,
+			Budget:    9,
+			Tolerance: 0.02,
+		}
+	},
+
+	// adaptive-density: the adaptive replacement for the fixed
+	// sweep-density grid — refine the BLE crowd's population axis toward
+	// the density where per-channel collisions bite hardest, stopping when
+	// no untried population is left in the bracket.
+	"adaptive-density": func() AdaptiveSpec {
+		return AdaptiveSpec{
+			Name:        "adaptive-density",
+			Description: "BLE fast crowd, 3-channel rotation: refine population toward the worst collision rate",
+			Base: Scenario{
+				Protocol:   ProtocolSpec{Kind: "multichannel-group", Omega: omegaBLE, Alpha: 1, Preset: "fast"},
+				Population: 4,
+				Trials:     16,
+				Horizon:    HorizonSpec{WorstMultiple: 6},
+				Channel:    ChannelSpec{Collisions: true, HalfDuplex: true},
+				Seed:       61,
+			},
+			Axes: []SweepAxis{
+				{Field: "population", Values: []float64{4, 8, 12, 16}},
+			},
+			Objective: "collision_rate",
+			Goal:      "max",
+			Rounds:    3,
+			Budget:    4,
+			Tolerance: 0.05,
+		}
+	},
+}
+
+// AdaptivePreset returns a fresh copy of the named adaptive sweep.
+func AdaptivePreset(name string) (AdaptiveSpec, error) {
+	f, ok := adaptivePresets[name]
+	if !ok {
+		return AdaptiveSpec{}, fmt.Errorf("engine: unknown adaptive sweep %q (have %v)", name, AdaptivePresets())
+	}
+	return f(), nil
+}
+
+// AdaptivePresets lists the adaptive preset names, sorted.
+func AdaptivePresets() []string {
+	return sortedKeys(adaptivePresets)
 }
 
 // SweepPreset returns a fresh copy of the named sweep.
@@ -494,16 +566,17 @@ func Suites() []string {
 }
 
 // checkRegistry validates the preset namespaces at startup: a scenario
-// preset, suite or sweep name may appear in only one namespace (ndscen
-// resolves all three by name, and a collision would make -list ambiguous
-// and shadow one entry), every preset must build an entry whose
-// self-reported name matches its registry key (the golden harness and the
-// CLI both join on it), and a suite must not contain two scenarios with
+// preset, suite, sweep or adaptive-sweep name may appear in only one
+// namespace (ndscen resolves all four by name, and a collision would make
+// -list ambiguous and shadow one entry), every preset must build an entry
+// whose self-reported name matches its registry key (the golden harness and
+// the CLI both join on it), and a suite must not contain two scenarios with
 // the same name (aggregates would be indistinguishable in every report).
 func checkRegistry(
 	scenarioPresets map[string]func() Scenario,
 	suitePresets map[string]func() []Scenario,
 	sweeps map[string]func() SweepSpec,
+	adaptives map[string]func() AdaptiveSpec,
 ) error {
 	owner := make(map[string]string)
 	claim := func(name, ns string) error {
@@ -546,6 +619,20 @@ func checkRegistry(
 			return fmt.Errorf("engine: sweep preset %q builds a sweep named %q", name, sp.Name)
 		}
 	}
+	for _, name := range sortedKeys(adaptives) {
+		if err := claim(name, "adaptive preset"); err != nil {
+			return err
+		}
+		ap := adaptives[name]()
+		if ap.Name != name {
+			return fmt.Errorf("engine: adaptive preset %q builds a spec named %q", name, ap.Name)
+		}
+		// Adaptive specs generate their grids at run time, so a broken
+		// preset would otherwise surface only when first run.
+		if err := ap.Validate(); err != nil {
+			return fmt.Errorf("engine: adaptive preset %q: %w", name, err)
+		}
+	}
 	return nil
 }
 
@@ -559,7 +646,7 @@ func sortedKeys[V any](m map[string]V) []string {
 }
 
 func init() {
-	if err := checkRegistry(presets, suites, sweepPresets); err != nil {
+	if err := checkRegistry(presets, suites, sweepPresets, adaptivePresets); err != nil {
 		panic(fmt.Sprintf("invalid preset registry: %v", err))
 	}
 }

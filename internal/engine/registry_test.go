@@ -120,7 +120,7 @@ func TestFig7SuiteRuns(t *testing.T) {
 // startup validation (init would have panicked otherwise; this pins the
 // contract explicitly).
 func TestCheckRegistryAcceptsCurrent(t *testing.T) {
-	if err := checkRegistry(presets, suites, sweepPresets); err != nil {
+	if err := checkRegistry(presets, suites, sweepPresets, adaptivePresets); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -136,12 +136,16 @@ func TestCheckRegistryRejectsCollisions(t *testing.T) {
 	sw := func(name string) func() SweepSpec {
 		return func() SweepSpec { return SweepSpec{Name: name} }
 	}
+	ad := func(name string) func() AdaptiveSpec {
+		return func() AdaptiveSpec { return AdaptiveSpec{Name: name} }
+	}
 	for _, tc := range []struct {
-		name    string
-		presets map[string]func() Scenario
-		suites  map[string]func() []Scenario
-		sweeps  map[string]func() SweepSpec
-		want    string
+		name      string
+		presets   map[string]func() Scenario
+		suites    map[string]func() []Scenario
+		sweeps    map[string]func() SweepSpec
+		adaptives map[string]func() AdaptiveSpec
+		want      string
 	}{
 		{
 			name:    "preset-suite collision",
@@ -185,9 +189,33 @@ func TestCheckRegistryRejectsCollisions(t *testing.T) {
 			presets: map[string]func() Scenario{"": sc("")},
 			want:    "unnamed scenario preset",
 		},
+		{
+			name:      "sweep-adaptive collision",
+			sweeps:    map[string]func() SweepSpec{"dup": sw("dup")},
+			adaptives: map[string]func() AdaptiveSpec{"dup": ad("dup")},
+			want:      `"dup" registered as both sweep preset and adaptive preset`,
+		},
+		{
+			name:      "adaptive misnames itself",
+			adaptives: map[string]func() AdaptiveSpec{"right": ad("wrong")},
+			want:      `adaptive preset "right" builds a spec named "wrong"`,
+		},
+		{
+			name: "adaptive preset fails validation",
+			adaptives: map[string]func() AdaptiveSpec{
+				"bad": func() AdaptiveSpec {
+					return AdaptiveSpec{
+						Name:      "bad",
+						Axes:      []SweepAxis{{Field: "protocol.eta", Values: []float64{0.01, 0.02}}},
+						Objective: "no-such-objective",
+					}
+				},
+			},
+			want: `unknown objective "no-such-objective"`,
+		},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			err := checkRegistry(tc.presets, tc.suites, tc.sweeps)
+			err := checkRegistry(tc.presets, tc.suites, tc.sweeps, tc.adaptives)
 			if err == nil {
 				t.Fatal("invalid registry accepted")
 			}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"repro/internal/textplot"
 	"repro/internal/timebase"
@@ -20,9 +22,19 @@ type SuiteResult struct {
 
 // WriteJSON emits the result as deterministic, indented JSON.
 func WriteJSON(w io.Writer, res SuiteResult) error {
+	return writeIndentedJSON(w, res)
+}
+
+// WriteAdaptiveJSON emits an adaptive refinement trace as deterministic,
+// indented JSON — the same encoding the golden harness pins.
+func WriteAdaptiveJSON(w io.Writer, res AdaptiveResult) error {
+	return writeIndentedJSON(w, res)
+}
+
+func writeIndentedJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(res)
+	return enc.Encode(v)
 }
 
 // seconds renders a tick quantity in seconds with sensible precision.
@@ -106,6 +118,66 @@ func RenderSweepTable(sp SweepSpec, aggs []Aggregate) string {
 		t.Add(row...)
 	}
 	return t.String()
+}
+
+// RenderAdaptiveTable renders an adaptive search as a refinement-trace
+// table — one row per evaluated point in evaluation order, with its round,
+// axis coordinates, objective value, and a marker on the overall best —
+// followed by the final per-axis brackets and the convergence verdict.
+func RenderAdaptiveTable(res AdaptiveResult) string {
+	if len(res.Rounds) == 0 {
+		return "(empty adaptive trace)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Adaptive %s: %s %s, tolerance %g (%d evaluations)\n",
+		res.Name, res.Goal, res.Objective, res.Tolerance, res.Evaluations)
+
+	cols := []string{"round"}
+	if len(res.Rounds) > 0 {
+		for _, br := range res.Rounds[0].Brackets {
+			cols = append(cols, axisLabel(br.Field))
+		}
+	}
+	cols = append(cols, res.Objective, "best")
+	t := textplot.NewTable(cols...)
+	for _, r := range res.Rounds {
+		for _, pt := range r.Points {
+			row := make([]string, 0, len(cols))
+			row = append(row, fmt.Sprintf("%d", pt.Round))
+			for _, v := range pt.Values {
+				row = append(row, formatAxisValue(v))
+			}
+			marker := ""
+			if pt.Name == res.Best.Name {
+				marker = "*"
+			}
+			row = append(row, formatObjective(pt.Objective), marker)
+			t.Add(row...)
+		}
+	}
+	b.WriteString(t.String())
+
+	last := res.Rounds[len(res.Rounds)-1]
+	for _, br := range last.Brackets {
+		state := "open"
+		if br.Converged {
+			state = "converged"
+		}
+		fmt.Fprintf(&b, "bracket %s ∈ [%s, %s]  width %.2f%% of span  (%s)\n",
+			axisLabel(br.Field), formatAxisValue(br.Lo), formatAxisValue(br.Hi),
+			br.RelWidth*100, state)
+	}
+	verdict := "stopped before convergence (raise rounds or budget, or loosen tolerance)"
+	if res.Converged {
+		verdict = fmt.Sprintf("converged after %d refinement rounds", len(res.Rounds)-1)
+	}
+	fmt.Fprintf(&b, "best %s: %s = %s — %s\n",
+		res.Best.Name, res.Objective, formatObjective(res.Best.Objective), verdict)
+	return b.String()
+}
+
+func formatObjective(v float64) string {
+	return strconv.FormatFloat(v, 'g', 8, 64)
 }
 
 // RenderChannels renders the per-channel breakdown of multi-channel

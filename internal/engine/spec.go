@@ -1,14 +1,33 @@
-// Package engine is the batch-experiment subsystem: declarative,
-// JSON-serializable scenario specifications, a registry of named presets
-// that generalizes the examples/ programs, a worker-pool executor that
-// shards Monte-Carlo trials across goroutines with deterministic per-trial
-// RNG streams, a memoizing schedule cache, and result aggregation with
-// JSON and text-table reporting.
+// Package engine is the batch-experiment subsystem. A scenario flows
+// through a fixed pipeline, one file per stage:
 //
-// The determinism contract: for a given Scenario (including its Seed),
-// the aggregate result is bit-identical no matter how many workers execute
-// it. Each trial draws randomness from its own stream, seeded from the
-// scenario's identity hash and the trial index — never from shared state.
+//   - spec.go: declarative, JSON-serializable Scenario specifications
+//     (protocol kind, population, channel model, churn, horizon, trials,
+//     seed), validated before anything is built.
+//   - build.go: the protocol-kind dispatch — schedule construction, exact
+//     coverage/branch/slot analyses, duty-cycles and fundamental bounds,
+//     memoized in a capped LRU.
+//   - run.go: the scheduler — every trial of every scenario shards over
+//     one shared worker pool, each on its own deterministic RNG stream.
+//   - aggregate.go, stream.go: two aggregation paths with one output
+//     shape — exact trial-ordered pooling, and bounded-memory streaming
+//     accumulators whose all-integer state merges order-insensitively.
+//   - sweep.go, adaptive.go: the search layer — fixed cartesian grids
+//     (SweepSpec) and coarse-to-fine adaptive refinement toward an
+//     objective (AdaptiveSpec), both generating ordinary scenarios.
+//   - report.go: text tables, per-channel tables, ASCII CDF plots,
+//     adaptive refinement traces, deterministic indented JSON.
+//   - registry.go: named presets, suites, sweeps and adaptive searches
+//     (disjoint namespaces, self-validated at init), generalizing the
+//     examples/ programs.
+//
+// The determinism contract: for a given spec (including its Seed), every
+// result — scenario aggregate, sweep grid, adaptive refinement trace — is
+// bit-identical no matter how many workers execute it. Each trial draws
+// randomness from its own stream, seeded from the scenario's identity
+// hash and the trial index — never from shared state. The committed
+// golden files under testdata/golden/ pin this end to end; see
+// docs/ARCHITECTURE.md for the full layer map and extension recipes.
 package engine
 
 import (

@@ -13,7 +13,9 @@
 // scanner's channel schedule repeats with period channels·Ts (the
 // analysis circle), every advertising event contributes one offset
 // interval per (PDU, matching window) pair, and the labeled sweep yields
-// the per-offset first-success delay.
+// the per-offset first-success delay. The engine's "multichannel" kinds
+// pair this analysis (including the per-starting-PDU branch stats) with
+// the multi-channel Monte-Carlo trials of package sim.
 package multichannel
 
 import (

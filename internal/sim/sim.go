@@ -13,8 +13,11 @@
 //
 // All trial paths are configurations of one event-driven kernel over a
 // world of nodes × radios × channels (RunWorld, world.go); Run is its
-// single-channel form. Time is integer ticks. Every run is deterministic
-// given its seed.
+// single-channel form. The per-trial primitives (PairTrial, GroupTrial,
+// ChurnTrial, the MultiChannel* trials, SlotGridPair.Trial) take an
+// injected rand source so the engine can derive one stream per trial —
+// the root of its bit-identical-across-workers contract. Time is integer
+// ticks. Every run is deterministic given its seed.
 package sim
 
 import (

@@ -8,7 +8,9 @@
 // The package serves as an independent verification path: its worst-case
 // slot counts are computed combinatorially, with no shared code with the
 // tick-domain coverage engine, and the test suites of both packages
-// cross-validate each other via latency = slots × slot length.
+// cross-validate each other via latency = slots × slot length. The
+// engine's "slot-*" protocol kinds pair Analyze with the slot-grid
+// Monte-Carlo trials of package sim.
 package slots
 
 import (

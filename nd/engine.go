@@ -7,10 +7,11 @@ import (
 )
 
 // The scenario engine: declarative, JSON-serializable experiment specs, a
-// registry of named presets and suites, and a parallel Monte-Carlo
-// executor whose aggregate results are bit-identical for any worker count
-// (each trial runs on its own RNG stream derived from the scenario's
-// identity hash and trial index).
+// registry of named presets and suites, parameter sweeps (fixed grids and
+// adaptive coarse-to-fine searches), and a parallel Monte-Carlo executor
+// whose aggregate results are bit-identical for any worker count (each
+// trial runs on its own RNG stream derived from the scenario's identity
+// hash and trial index).
 type (
 	// Scenario is one declarative experiment: protocol + population +
 	// channel model + optional churn + trial count.
@@ -43,6 +44,18 @@ type (
 	SweepAxis = engine.SweepAxis
 	// StreamMode selects the aggregation strategy (auto/on/off).
 	StreamMode = engine.StreamMode
+	// AdaptiveSpec is a coarse-to-fine parameter search: sweep axes plus
+	// an objective, refined by bracketing the best point each round.
+	AdaptiveSpec = engine.AdaptiveSpec
+	// AdaptiveResult is the full refinement trace of an adaptive search.
+	AdaptiveResult = engine.AdaptiveResult
+	// AdaptiveRound is one round of an adaptive trace: newly evaluated
+	// points, the best point so far, and the per-axis brackets.
+	AdaptiveRound = engine.AdaptiveRound
+	// AdaptivePoint is one evaluated point of an adaptive search.
+	AdaptivePoint = engine.AdaptivePoint
+	// AxisBracket is one axis's refinement interval and convergence state.
+	AxisBracket = engine.AxisBracket
 )
 
 // Streaming-aggregator modes for EngineOptions.Stream: StreamAuto engages
@@ -98,6 +111,38 @@ func SweepFields() []string { return engine.SweepFieldNames() }
 // per grid point.
 func RenderSweepTable(sp SweepSpec, results []ScenarioResult) string {
 	return engine.RenderSweepTable(sp, results)
+}
+
+// RunAdaptive executes a coarse-to-fine adaptive search: the coarse axis
+// grid first, then refinement rounds that subdivide the bracket around the
+// best objective value until every axis converges within the tolerance.
+// Each round's points run concurrently over one shared worker pool;
+// previously evaluated coordinates are memoized, and the whole trace is
+// bit-identical for any worker count.
+func RunAdaptive(ap AdaptiveSpec, opt EngineOptions) (AdaptiveResult, error) {
+	return engine.RunAdaptive(ap, opt)
+}
+
+// AdaptivePreset returns a fresh copy of a named registry adaptive sweep.
+func AdaptivePreset(name string) (AdaptiveSpec, error) { return engine.AdaptivePreset(name) }
+
+// AdaptivePresets lists the registry's adaptive sweep preset names.
+func AdaptivePresets() []string { return engine.AdaptivePresets() }
+
+// AdaptiveObjectives lists the aggregate field paths an adaptive search
+// may optimize (e.g. "latency.mean", "bound_ratio").
+func AdaptiveObjectives() []string { return engine.ObjectiveNames() }
+
+// RenderAdaptiveTable renders an adaptive result as a refinement-trace
+// table with the final brackets and convergence verdict.
+func RenderAdaptiveTable(res AdaptiveResult) string {
+	return engine.RenderAdaptiveTable(res)
+}
+
+// WriteAdaptiveJSON emits an adaptive refinement trace as deterministic,
+// indented JSON.
+func WriteAdaptiveJSON(w io.Writer, res AdaptiveResult) error {
+	return engine.WriteAdaptiveJSON(w, res)
 }
 
 // ScenarioPreset returns a fresh copy of a named registry scenario.

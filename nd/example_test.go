@@ -85,6 +85,82 @@ func ExampleOptimalPI() {
 	// Output: advertise every 3.564ms, scan 36µs every 3.6ms
 }
 
+// A declarative scenario run through the engine: the optimal symmetric
+// construction at η = 2 %, Monte-Carlo'd on the worker pool. Results are
+// bit-identical for any worker count.
+func ExampleRunScenario() {
+	sc := nd.Scenario{
+		Name:       "example",
+		Protocol:   nd.ProtocolSpec{Kind: "optimal", Omega: 36 * nd.Microsecond, Alpha: 1, Eta: 0.02},
+		Population: 2,
+		Trials:     50,
+		Horizon:    nd.HorizonSpec{WorstMultiple: 3},
+		Seed:       7,
+	}
+	res, err := nd.RunScenario(sc, nd.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("deterministic=%v worst=%v ratio=%.4f misses=%d\n",
+		res.Deterministic, res.ExactWorst, res.BoundRatio, res.Latency.Misses)
+	// Output: deterministic=true worst=356.4ms ratio=1.0000 misses=0
+}
+
+// A sweep's cartesian grid, materialized without running it: every point
+// is a named, validated scenario (first axis slowest).
+func ExampleExpandSweep() {
+	sp := nd.SweepSpec{
+		Name: "grid",
+		Base: nd.Scenario{
+			Protocol:   nd.ProtocolSpec{Kind: "optimal", Omega: 36 * nd.Microsecond, Alpha: 1},
+			Population: 2, Trials: 1, Seed: 1,
+		},
+		Axes: []nd.SweepAxis{
+			{Field: "protocol.eta", Values: []float64{0.01, 0.02}},
+			{Field: "population", Values: []float64{2, 10}},
+		},
+	}
+	scenarios, err := nd.ExpandSweep(sp)
+	if err != nil {
+		panic(err)
+	}
+	for _, sc := range scenarios {
+		fmt.Println(sc.Name)
+	}
+	// Output:
+	// grid/eta=0.01,population=2
+	// grid/eta=0.01,population=10
+	// grid/eta=0.02,population=2
+	// grid/eta=0.02,population=10
+}
+
+// A coarse-to-fine adaptive search: one refinement round around the η
+// with the largest discretization penalty (worst case above the bound).
+// The round-1 winner lies strictly between the coarse grid points.
+func ExampleRunAdaptive() {
+	ap := nd.AdaptiveSpec{
+		Name: "refine-eta",
+		Base: nd.Scenario{
+			Protocol:   nd.ProtocolSpec{Kind: "optimal", Omega: 36 * nd.Microsecond, Alpha: 1},
+			Population: 2, Trials: 2,
+			Horizon: nd.HorizonSpec{WorstMultiple: 2}, Seed: 1,
+		},
+		Axes:      []nd.SweepAxis{{Field: "protocol.eta", Values: []float64{0.01, 0.02, 0.05}}},
+		Objective: "bound_ratio",
+		Goal:      "max",
+		Rounds:    1,
+		Budget:    5,
+		Tolerance: 0.05,
+	}
+	res, err := nd.RunAdaptive(ap, nd.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("evaluations=%d best_eta=%.3f refined=%v\n",
+		res.Evaluations, res.Best.Values[0], res.Best.Round > 0)
+	// Output: evaluations=5 best_eta=0.030 refined=true
+}
+
 // A Section 4.1 coverage map: each beacon covers the offsets that translate
 // a reception window image onto it; the union covering the circle is the
 // determinism proof, drawn.
