@@ -17,6 +17,14 @@
 // bracket the best objective value seen so far, reported as a
 // refinement-trace table.
 //
+// Every run records a RunMetrics document — wall time, trials/sec, worker
+// utilization, build-cache traffic, aggregation paths — rendered as a
+// summary block after the tables and carried in the -out JSON under
+// "runtime" (outside the determinism contract: the deterministic content
+// is still byte-identical across -workers values). -progress streams a
+// live ticker to stderr, and -cpuprofile/-memprofile/-trace capture
+// standard Go profiles of the run.
+//
 // Usage:
 //
 //	ndscen -list
@@ -26,6 +34,7 @@
 //	ndscen -sweep mysweep.json -stream on
 //	ndscen -adaptive adaptive-eta -out eta-refined.json
 //	ndscen -spec myscenarios.json -trials 100
+//	ndscen -sweep sweep-density -progress -cpuprofile cpu.out
 package main
 
 import (
@@ -35,10 +44,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -54,7 +67,11 @@ func main() {
 		stream   = flag.String("stream", "auto", "streaming aggregator: auto|on|off")
 		out      = flag.String("out", "", "write JSON results to this file (\"-\" = stdout)")
 		plot     = flag.Bool("plot", false, "render the latency CDFs as an ASCII plot")
-		quiet    = flag.Bool("quiet", false, "suppress the text table")
+		quiet    = flag.Bool("quiet", false, "suppress the text table and metrics summary")
+		progress = flag.Bool("progress", false, "stream a progress ticker to stderr while trials run")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceOut = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -86,7 +103,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := engine.Options{Workers: *workers, Trials: *trials, Stream: mode}
+	stopProfiles := startProfiles(*cpuProf, *memProf, *traceOut)
+	defer stopProfiles()
+
+	var metrics obs.RunMetrics
+	opt := engine.Options{
+		Workers: *workers, Trials: *trials, Stream: mode,
+		Metrics: &metrics,
+	}
+	if *progress {
+		opt.Progress = progressPrinter()
+	}
 
 	if *sweep != "" || *adaptive != "" {
 		if *suite != "" || *scenario != "" || *spec != "" || (*sweep != "" && *adaptive != "") {
@@ -108,12 +135,10 @@ func main() {
 		fatal(fmt.Errorf("nothing to run: pass -suite, -scenario, -spec, -sweep or -adaptive (or -list)"))
 	}
 
-	start := time.Now()
 	aggs, err := engine.RunSuite(scenarios, opt)
 	if err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(start)
 
 	if !*quiet {
 		fmt.Print(engine.RenderTable(aggs))
@@ -126,10 +151,10 @@ func main() {
 		fmt.Println()
 		fmt.Print(engine.RenderCDF(aggs))
 	}
-	fmt.Fprintf(os.Stderr, "ndscen: %d scenarios, %d trials in %v\n",
-		len(aggs), totalTrials(aggs), elapsed.Round(time.Millisecond))
+	summarize(metrics, *quiet)
+	exitLine(fmt.Sprintf("%d scenarios", len(aggs)), metrics)
 
-	writeResult(*out, engine.SuiteResult{Suite: label, Scenarios: aggs})
+	writeResult(*out, engine.SuiteResult{Suite: label, Scenarios: aggs, Runtime: &metrics})
 }
 
 // runSweep resolves (registry name, else SweepSpec JSON file), expands and
@@ -139,12 +164,10 @@ func runSweep(name string, opt engine.Options, out string, plot, quiet bool) {
 	if err != nil {
 		fatal(err)
 	}
-	start := time.Now()
 	aggs, err := engine.RunSweep(sp, opt)
 	if err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(start)
 
 	if !quiet {
 		fmt.Print(engine.RenderSweepTable(sp, aggs))
@@ -157,10 +180,10 @@ func runSweep(name string, opt engine.Options, out string, plot, quiet bool) {
 		fmt.Println()
 		fmt.Print(engine.RenderCDF(aggs))
 	}
-	fmt.Fprintf(os.Stderr, "ndscen: sweep %s: %d points, %d trials in %v\n",
-		sp.Name, len(aggs), totalTrials(aggs), elapsed.Round(time.Millisecond))
+	summarize(*opt.Metrics, quiet)
+	exitLine(fmt.Sprintf("sweep %s: %d points", sp.Name, len(aggs)), *opt.Metrics)
 
-	writeResult(out, engine.SuiteResult{Suite: sp.Name, Scenarios: aggs})
+	writeResult(out, engine.SuiteResult{Suite: sp.Name, Scenarios: aggs, Runtime: opt.Metrics})
 }
 
 // runAdaptive resolves (registry name, else AdaptiveSpec JSON file), runs
@@ -170,20 +193,119 @@ func runAdaptive(name string, opt engine.Options, out string, quiet bool) {
 	if err != nil {
 		fatal(err)
 	}
-	start := time.Now()
 	res, err := engine.RunAdaptive(ap, opt)
 	if err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(start)
 
 	if !quiet {
 		fmt.Print(engine.RenderAdaptiveTable(res))
 	}
-	fmt.Fprintf(os.Stderr, "ndscen: adaptive %s: %d evaluations over %d rounds in %v\n",
-		res.Name, res.Evaluations, len(res.Rounds), elapsed.Round(time.Millisecond))
+	summarize(*opt.Metrics, quiet)
+	exitLine(fmt.Sprintf("adaptive %s: %d evaluations over %d rounds",
+		res.Name, res.Evaluations, len(res.Rounds)), *opt.Metrics)
 
 	writeOut(out, func(w io.Writer) error { return engine.WriteAdaptiveJSON(w, res) })
+}
+
+// summarize prints the metrics summary block after the tables (suppressed
+// by -quiet, like the tables themselves).
+func summarize(m obs.RunMetrics, quiet bool) {
+	if quiet {
+		return
+	}
+	fmt.Println()
+	fmt.Print(engine.RenderRunMetrics(m))
+}
+
+// exitLine is the always-on stderr closing line: what ran, the total wall
+// time, the throughput, and the worker count actually used — straight
+// from the run's RunMetrics record.
+func exitLine(what string, m obs.RunMetrics) {
+	wall := time.Duration(m.WallMS * float64(time.Millisecond)).Round(time.Millisecond)
+	fmt.Fprintf(os.Stderr, "ndscen: %s, %d trials in %v — %.0f trials/s, %d workers\n",
+		what, m.Trials, wall, m.TrialsPerSec, m.Workers)
+}
+
+// progressPrinter renders Progress snapshots on stderr: in-place updates
+// when stderr is a terminal, one line per snapshot otherwise (so logs
+// redirected to a file stay readable). Safe alongside -out: progress goes
+// to stderr, results to stdout or the -out file.
+func progressPrinter() func(obs.Progress) {
+	tty := false
+	if fi, err := os.Stderr.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		tty = true
+	}
+	return func(p obs.Progress) {
+		if tty {
+			fmt.Fprintf(os.Stderr, "\r\x1b[Kndscen: %s", p)
+			if p.Final {
+				fmt.Fprintln(os.Stderr)
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "ndscen: %s\n", p)
+	}
+}
+
+// profileStop holds the active profiling teardown so fatal() can flush
+// profiles before exiting — a run that dies mid-sweep still leaves a
+// valid CPU profile and trace behind.
+var profileStop = func() {}
+
+// startProfiles arms the requested profilers and returns (and registers)
+// the idempotent teardown. The heap profile is written at teardown, after
+// a GC, so it reflects live state rather than transient garbage.
+func startProfiles(cpu, mem, traceFile string) func() {
+	var stops []func()
+	create := func(path string) *os.File {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		return f
+	}
+	if cpu != "" {
+		f := create(cpu)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if traceFile != "" {
+		f := create(traceFile)
+		if err := trace.Start(f); err != nil {
+			fatal(err)
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	if mem != "" {
+		f := create(mem)
+		stops = append(stops, func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ndscen: writing heap profile: %v\n", err)
+			}
+			f.Close()
+		})
+	}
+	done := false
+	profileStop = func() {
+		if done {
+			return
+		}
+		done = true
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	return profileStop
 }
 
 func resolveAdaptive(name string) (engine.AdaptiveSpec, error) {
@@ -341,15 +463,8 @@ func parseSpec(path string, blob []byte) ([]engine.Scenario, error) {
 	return doc.Scenarios, nil
 }
 
-func totalTrials(aggs []engine.Aggregate) int {
-	n := 0
-	for _, a := range aggs {
-		n += a.Trials
-	}
-	return n
-}
-
 func fatal(err error) {
+	profileStop()
 	fmt.Fprintf(os.Stderr, "ndscen: %v\n", err)
 	os.Exit(1)
 }

@@ -133,6 +133,44 @@ func checkGenDecl(t *testing.T, fset *token.FileSet, root, fname string, d *ast.
 	}
 }
 
+// TestRequiredDocSections: the observability layer must stay documented —
+// the architecture guide needs its Observability section, and the README
+// must cover the progress flag, the profiling flags and the benchmark
+// trajectory workflow. A doc that silently drops one of these would strand
+// the features it explains.
+func TestRequiredDocSections(t *testing.T) {
+	root := repoRoot(t)
+	requirements := map[string][]string{
+		"docs/ARCHITECTURE.md": {
+			"## Observability",
+			"RunMetrics",
+			"StripRuntime",
+			"BENCH_",
+		},
+		"README.md": {
+			"-progress",
+			"-cpuprofile",
+			"-memprofile",
+			"-trace",
+			"ndbench",
+			"BENCH_",
+		},
+	}
+	for rel, wants := range requirements {
+		blob, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil {
+			t.Errorf("%s: %v", rel, err)
+			continue
+		}
+		text := string(blob)
+		for _, want := range wants {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s: required documentation %q missing", rel, want)
+			}
+		}
+	}
+}
+
 func relPos(fset *token.FileSet, root string, pos token.Pos, fallback string) string {
 	p := fset.Position(pos)
 	if p.Filename == "" {

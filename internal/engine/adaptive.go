@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // An AdaptiveSpec is a coarse-to-fine parameter search: the same base
@@ -212,6 +214,12 @@ type AdaptiveResult struct {
 	Evaluations int             `json:"evaluations"`
 	Best        AdaptivePoint   `json:"best"`
 	Rounds      []AdaptiveRound `json:"rounds"`
+
+	// Runtime accumulates the per-round executor invocations' metrics
+	// (merged via obs.RunMetrics.Merge) plus the search's memo-cache
+	// hits. Like every runtime section it is outside the determinism
+	// contract and stripped (StripRuntime) before golden comparison.
+	Runtime *obs.RunMetrics `json:"runtime,omitempty"`
 }
 
 // adaptiveEvaluator runs a batch of scenarios and returns their aggregates
@@ -225,9 +233,29 @@ type adaptiveEvaluator func([]Scenario) ([]Aggregate, error)
 // coordinates are recalled from a memo, never re-run, so raising Rounds
 // extends (and never reshuffles) a shorter search.
 func RunAdaptive(ap AdaptiveSpec, opt Options) (AdaptiveResult, error) {
-	return runAdaptive(ap, func(scs []Scenario) ([]Aggregate, error) {
-		return runMany(scs, opt)
+	// Each round is one runMany invocation; their metrics merge into a
+	// single record carried on the result (and on opt.Metrics when set),
+	// with the search's own memo hits folded in.
+	var total obs.RunMetrics
+	res, err := runAdaptive(ap, func(scs []Scenario) ([]Aggregate, error) {
+		o := opt
+		var m obs.RunMetrics
+		o.Metrics = &m
+		aggs, err := runMany(scs, o)
+		total.Merge(m)
+		return aggs, err
 	})
+	if err != nil {
+		return res, err
+	}
+	if res.Runtime != nil {
+		total.MemoHits = res.Runtime.MemoHits
+	}
+	res.Runtime = &total
+	if opt.Metrics != nil {
+		*opt.Metrics = total
+	}
+	return res, nil
 }
 
 // adaptiveSearch is the mutable state of one search run.
@@ -239,6 +267,7 @@ type adaptiveSearch struct {
 	seen      map[string]bool // canonical coordinate keys
 	ladders   [][]float64     // sorted distinct evaluated values per axis
 	spans     []float64       // coarse axis spans (hi − lo of round-0 values)
+	memoHits  int             // grid coordinates recalled from seen, not re-run
 }
 
 func runAdaptive(ap AdaptiveSpec, eval adaptiveEvaluator) (AdaptiveResult, error) {
@@ -301,6 +330,9 @@ func runAdaptive(ap AdaptiveSpec, eval adaptiveEvaluator) (AdaptiveResult, error
 	res.Converged = res.Converged || allConverged(final.Brackets)
 	res.Best = final.Best
 	res.Evaluations = len(s.points)
+	if s.memoHits > 0 {
+		res.Runtime = &obs.RunMetrics{MemoHits: s.memoHits}
+	}
 	return res, nil
 }
 
@@ -313,6 +345,7 @@ func (s *adaptiveSearch) evaluateRound(round int, grid [][]float64) (AdaptiveRou
 	for _, vals := range grid {
 		key := coordKey(vals)
 		if s.seen[key] {
+			s.memoHits++
 			continue
 		}
 		s.seen[key] = true

@@ -3,6 +3,7 @@ package engine
 import (
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/timebase"
 )
@@ -63,6 +64,13 @@ type Aggregate struct {
 	// PDU used, joined with the exact branch-entry analysis of the
 	// starting-PDU branch on the same channel.
 	PerChannel []ChannelStat `json:"per_channel,omitempty"`
+
+	// Runtime is the point's execution-metrics record (wall time from
+	// first to last trial, implied trials/sec). It is OUTSIDE the
+	// determinism contract: values differ run to run and worker count to
+	// worker count, so the golden harness and the worker-invariance tests
+	// strip it (StripRuntime) before comparing.
+	Runtime *obs.PointMetrics `json:"runtime,omitempty"`
 }
 
 // ChannelStat is one advertising channel's row: integer Monte-Carlo

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/multichannel"
+	"repro/internal/obs"
 	"repro/internal/optimal"
 	"repro/internal/protocols"
 	"repro/internal/schedule"
@@ -109,12 +110,16 @@ type buildEntry struct {
 
 // buildLRU is the bounded, mutex-guarded LRU replacing the former
 // unbounded sync.Map. Lookup and insertion are O(1); the lock is held only
-// for list/map surgery, never across a build.
+// for list/map surgery, never across a build. It counts its traffic
+// (hits/misses/evictions) for the observability layer; the counters are
+// process-lifetime totals, snapshotted and differenced per run.
 type buildLRU struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[uint64]*list.Element
 	order   *list.List // front = most recently used; values are *lruNode
+
+	hits, misses, evictions int64
 }
 
 type lruNode struct {
@@ -136,17 +141,27 @@ func (c *buildLRU) get(key uint64) *buildEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
+		c.hits++
 		c.order.MoveToFront(el)
 		return el.Value.(*lruNode).entry
 	}
+	c.misses++
 	e := &buildEntry{}
 	c.entries[key] = c.order.PushFront(&lruNode{key: key, entry: e})
 	if c.order.Len() > c.cap {
+		c.evictions++
 		back := c.order.Back()
 		c.order.Remove(back)
 		delete(c.entries, back.Value.(*lruNode).key)
 	}
 	return e
+}
+
+// stats snapshots the cache's lifetime traffic counters.
+func (c *buildLRU) stats() obs.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return obs.CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
 }
 
 // len reports the resident entry count (for the eviction test).

@@ -53,6 +53,18 @@ var goldenAdaptives = []string{
 
 func goldenCompare(t *testing.T, name string, res any) {
 	t.Helper()
+	// Runtime (observability) sections carry wall times and cache traffic
+	// that differ every run; they are structurally excluded from golden
+	// comparison so the committed files stay byte-identical.
+	// TestGoldenExcludesRuntime (metrics_test.go) enforces the exclusion.
+	switch r := res.(type) {
+	case SuiteResult:
+		r.StripRuntime()
+		res = r
+	case AdaptiveResult:
+		r.StripRuntime()
+		res = r
+	}
 	var buf bytes.Buffer
 	if err := writeIndentedJSON(&buf, res); err != nil {
 		t.Fatal(err)

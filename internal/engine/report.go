@@ -7,17 +7,52 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/textplot"
 	"repro/internal/timebase"
 )
 
 // SuiteResult is the JSON document ndscen emits: the suite name and one
-// aggregate per scenario, in suite order. It deliberately carries no
-// timestamps or worker counts, so runs with different parallelism produce
-// byte-identical output.
+// aggregate per scenario, in suite order. Its deterministic content is
+// byte-identical across worker counts and parallelism; the runtime
+// sections (the suite-level RunMetrics here and each aggregate's
+// PointMetrics) are the deliberate exception — observability data that
+// legitimately differs run to run, and therefore structurally excluded
+// from golden comparison via StripRuntime.
 type SuiteResult struct {
-	Suite     string      `json:"suite,omitempty"`
-	Scenarios []Aggregate `json:"scenarios"`
+	Suite     string          `json:"suite,omitempty"`
+	Scenarios []Aggregate     `json:"scenarios"`
+	Runtime   *obs.RunMetrics `json:"runtime,omitempty"`
+}
+
+// StripRuntime removes every runtime (observability) section from the
+// result, leaving exactly the deterministic content the golden harness
+// pins and the worker-invariance contract speaks about.
+func (r *SuiteResult) StripRuntime() {
+	r.Runtime = nil
+	for i := range r.Scenarios {
+		r.Scenarios[i].Runtime = nil
+	}
+}
+
+// StripRuntime removes every runtime section from the adaptive trace: the
+// accumulated run record plus each evaluated point's metrics.
+func (r *AdaptiveResult) StripRuntime() {
+	r.Runtime = nil
+	if r.Best.Aggregate != nil {
+		r.Best.Aggregate.Runtime = nil
+	}
+	for ri := range r.Rounds {
+		rd := &r.Rounds[ri]
+		if rd.Best.Aggregate != nil {
+			rd.Best.Aggregate.Runtime = nil
+		}
+		for pi := range rd.Points {
+			if a := rd.Points[pi].Aggregate; a != nil {
+				a.Runtime = nil
+			}
+		}
+	}
 }
 
 // WriteJSON emits the result as deterministic, indented JSON.
@@ -82,13 +117,25 @@ func RenderTable(aggs []Aggregate) string {
 // values as leading columns, followed by the standard metrics. The
 // aggregates must be in grid order, as RunSweep returns them.
 func RenderSweepTable(sp SweepSpec, aggs []Aggregate) string {
-	cols := make([]string, 0, len(sp.Axes)+9)
+	// The ms column appears only when the aggregates carry runtime
+	// records; rendering a runtime-stripped result (ndscen -q) omits it.
+	withMS := false
+	for _, a := range aggs {
+		if a.Runtime != nil {
+			withMS = true
+			break
+		}
+	}
+	cols := make([]string, 0, len(sp.Axes)+10)
 	for _, ax := range sp.Axes {
 		cols = append(cols, axisLabel(ax.Field))
 	}
 	cols = append(cols,
 		"worst[s]", "bound[s]", "ratio", "mean[s]", "p50[s]", "p95[s]", "p99[s]",
 		"fail%", "coll%")
+	if withMS {
+		cols = append(cols, "ms")
+	}
 	t := textplot.NewTable(cols...)
 	for i, a := range aggs {
 		row := make([]string, 0, len(cols))
@@ -115,9 +162,20 @@ func RenderSweepTable(sp SweepSpec, aggs []Aggregate) string {
 			fmt.Sprintf("%.2f", a.FailureRate*100),
 			fmt.Sprintf("%.2f", a.CollisionRate*100),
 		)
+		if withMS {
+			row = append(row, pointMS(a.Runtime))
+		}
 		t.Add(row...)
 	}
 	return t.String()
+}
+
+// pointMS renders one aggregate's wall time for the ms table column.
+func pointMS(m *obs.PointMetrics) string {
+	if m == nil {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f", m.WallMS)
 }
 
 // RenderAdaptiveTable renders an adaptive search as a refinement-trace
@@ -132,13 +190,27 @@ func RenderAdaptiveTable(res AdaptiveResult) string {
 	fmt.Fprintf(&b, "Adaptive %s: %s %s, tolerance %g (%d evaluations)\n",
 		res.Name, res.Goal, res.Objective, res.Tolerance, res.Evaluations)
 
+	// As in RenderSweepTable: per-point timing appears only when the
+	// trace carries runtime records (stripped under ndscen -q).
+	withMS := false
+	for _, r := range res.Rounds {
+		for _, pt := range r.Points {
+			if pt.Aggregate != nil && pt.Aggregate.Runtime != nil {
+				withMS = true
+			}
+		}
+	}
 	cols := []string{"round"}
 	if len(res.Rounds) > 0 {
 		for _, br := range res.Rounds[0].Brackets {
 			cols = append(cols, axisLabel(br.Field))
 		}
 	}
-	cols = append(cols, res.Objective, "best")
+	cols = append(cols, res.Objective)
+	if withMS {
+		cols = append(cols, "ms")
+	}
+	cols = append(cols, "best")
 	t := textplot.NewTable(cols...)
 	for _, r := range res.Rounds {
 		for _, pt := range r.Points {
@@ -151,7 +223,15 @@ func RenderAdaptiveTable(res AdaptiveResult) string {
 			if pt.Name == res.Best.Name {
 				marker = "*"
 			}
-			row = append(row, formatObjective(pt.Objective), marker)
+			row = append(row, formatObjective(pt.Objective))
+			if withMS {
+				ms := "—"
+				if pt.Aggregate != nil {
+					ms = pointMS(pt.Aggregate.Runtime)
+				}
+				row = append(row, ms)
+			}
+			row = append(row, marker)
 			t.Add(row...)
 		}
 	}
@@ -245,4 +325,39 @@ func RenderCDF(aggs []Aggregate) string {
 		return "(no latency samples to plot)\n"
 	}
 	return p.String()
+}
+
+// RenderRunMetrics renders the run's metrics record as the multi-line
+// summary ndscen prints after its tables: headline throughput, worker
+// utilization, build-cache traffic, and the aggregation-path split.
+func RenderRunMetrics(m obs.RunMetrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Runtime: %d points, %d trials in %.3fs — %.0f trials/s, %d workers\n",
+		m.Points, m.Trials, m.WallMS/1000, m.TrialsPerSec, m.Workers)
+	if len(m.WorkerBusy) > 0 {
+		parts := make([]string, len(m.WorkerBusy))
+		for i, f := range m.WorkerBusy {
+			parts[i] = fmt.Sprintf("%.2f", f)
+		}
+		fmt.Fprintf(&b, "  worker busy: %s\n", strings.Join(parts, " "))
+	}
+	fmt.Fprintf(&b, "  build cache: %d hits, %d misses, %d evictions\n",
+		m.BuildCache.Hits, m.BuildCache.Misses, m.BuildCache.Evictions)
+	fmt.Fprintf(&b, "  aggregation: %d streamed, %d exact; peak accumulator state %s\n",
+		m.StreamedPoints, m.ExactPoints, formatBytes(m.PeakAccumBytes))
+	if m.MemoHits > 0 {
+		fmt.Fprintf(&b, "  adaptive memo: %d hits\n", m.MemoHits)
+	}
+	return b.String()
+}
+
+// formatBytes renders a byte count with a binary unit.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }

@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/timebase"
@@ -31,6 +33,22 @@ type Options struct {
 	// bounded-memory streaming accumulator above streamThreshold expected
 	// samples, StreamOn/StreamOff force it.
 	Stream StreamMode
+
+	// Progress, when non-nil, receives serialized execution-progress
+	// snapshots: one when trial execution starts, one per
+	// ProgressInterval while it runs, and a guaranteed Final one when the
+	// pool drains. Snapshots are monotone, the callback is never invoked
+	// concurrently with itself, and nothing it observes feeds back into
+	// results.
+	Progress func(obs.Progress)
+
+	// ProgressInterval is the snapshot period; ≤ 0 means 500ms.
+	ProgressInterval time.Duration
+
+	// Metrics, when non-nil, is filled with the run's RunMetrics record
+	// when execution finishes — on a failed run too, with what was
+	// measured up to the failure.
+	Metrics *obs.RunMetrics
 }
 
 func (o Options) workers() int {
@@ -80,6 +98,12 @@ type point struct {
 	remaining atomic.Int64
 	agg       Aggregate
 
+	// startNS is 1 + the recorder-relative start time of the point's
+	// first trial (0 = none started yet), CAS'd once by whichever worker
+	// gets there first; the finalizer differences it against its own
+	// clock for the point's wall time.
+	startNS atomic.Int64
+
 	failed   atomic.Bool
 	errMu    sync.Mutex
 	errTrial int
@@ -95,6 +119,54 @@ func (p *point) recordErr(trial int, err error) {
 	defer p.errMu.Unlock()
 	if p.err == nil || trial < p.errTrial {
 		p.err, p.errTrial = err, trial
+	}
+}
+
+// finalize runs on the worker that finished the point's last trial: it
+// aggregates the trial state, attaches the point's runtime record, and
+// releases the state (returning its memory estimate to the recorder).
+// Failed points skip aggregation but still settle the memory accounting.
+func (p *point) finalize(rec *runRecorder) {
+	if p.failed.Load() {
+		var freed int64
+		if p.stream {
+			for _, acc := range p.accs {
+				if acc != nil {
+					freed += acc.approxBytes()
+				}
+			}
+		} else {
+			freed = int64(len(p.outputs)) * trialOutputBytes
+		}
+		rec.accumRelease(freed)
+		p.outputs, p.accs = nil, nil
+		return
+	}
+	if p.stream {
+		merged := newStreamAccum(p.horizon, p.contactWorst(), p.chanCount())
+		rec.accumAdd(merged.approxBytes())
+		freed := merged.approxBytes()
+		for _, acc := range p.accs {
+			if acc != nil {
+				freed += acc.approxBytes()
+			}
+			merged.merge(acc)
+		}
+		p.agg = aggregateStream(p.sc, p.b, p.horizon, merged)
+		rec.accumRelease(freed)
+		p.accs = nil
+	} else {
+		p.agg = aggregate(p.sc, p.b, p.horizon, p.outputs)
+		rec.accumRelease(int64(len(p.outputs)) * trialOutputBytes)
+		p.outputs = nil
+	}
+	wall := rec.sinceNS() - (p.startNS.Load() - 1)
+	if wall < 1 {
+		wall = 1
+	}
+	p.agg.Runtime = &obs.PointMetrics{
+		WallMS:       float64(wall) / 1e6,
+		TrialsPerSec: float64(p.sc.Trials) / (float64(wall) / 1e9),
 	}
 }
 
@@ -178,6 +250,7 @@ type workItem struct {
 // any worker count.
 func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 	workers := opt.workers()
+	rec := newRunRecorder(workers, len(scenarios))
 
 	// Preparation (schedule build + exact coverage analysis) is itself
 	// sharded: on a sweep whose axes vary protocol parameters, every grid
@@ -206,6 +279,11 @@ func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 			return nil, err
 		}
 	}
+	for _, p := range points {
+		rec.trialsTotal += int64(p.sc.Trials)
+	}
+	stopProgress := rec.startProgress(opt)
+
 	work := make(chan workItem, 4*workers)
 	go func() {
 		for _, p := range points {
@@ -216,6 +294,7 @@ func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 				p.accs = make([]*streamAccum, workers)
 			} else {
 				p.outputs = make([]trialOutput, p.sc.Trials)
+				rec.accumAdd(int64(p.sc.Trials) * trialOutputBytes)
 			}
 			for t := 0; t < p.sc.Trials; t++ {
 				work <- workItem{p, t}
@@ -231,6 +310,8 @@ func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 			defer wg.Done()
 			for it := range work {
 				p := it.p
+				t0 := rec.sinceNS()
+				p.startNS.CompareAndSwap(0, t0+1)
 				out := runTrial(p.sc, p.b, p.cfg, p.stay, p.hash, it.trial)
 				switch {
 				case out.err != nil:
@@ -239,6 +320,7 @@ func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 					acc := p.accs[w]
 					if acc == nil {
 						acc = newStreamAccum(p.horizon, p.contactWorst(), p.chanCount())
+						rec.accumAdd(acc.approxBytes())
 						p.accs[w] = acc
 					}
 					acc.absorb(out)
@@ -251,23 +333,20 @@ func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 				// and both trial-ordered exact aggregation and the
 				// order-insensitive accumulator merge are independent of
 				// which worker finalizes.
-				if p.remaining.Add(-1) == 0 && !p.failed.Load() {
-					if p.stream {
-						merged := newStreamAccum(p.horizon, p.contactWorst(), p.chanCount())
-						for _, acc := range p.accs {
-							merged.merge(acc)
-						}
-						p.agg = aggregateStream(p.sc, p.b, p.horizon, merged)
-						p.accs = nil
-					} else {
-						p.agg = aggregate(p.sc, p.b, p.horizon, p.outputs)
-						p.outputs = nil
-					}
+				rec.trialsDone.Add(1)
+				if p.remaining.Add(-1) == 0 {
+					p.finalize(rec)
+					rec.pointsDone.Add(1)
 				}
+				rec.busyNS[w].Add(rec.sinceNS() - t0)
 			}
 		}(w)
 	}
 	wg.Wait()
+	stopProgress()
+	if opt.Metrics != nil {
+		*opt.Metrics = rec.metrics(points)
+	}
 
 	aggs := make([]Aggregate, len(points))
 	for i, p := range points {

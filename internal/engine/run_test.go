@@ -20,8 +20,12 @@ func groupScenario() Scenario {
 	}
 }
 
+// marshalAgg serializes an aggregate's deterministic content: the runtime
+// (observability) section legitimately differs run to run and is outside
+// the invariance contract these tests pin, so it is stripped first.
 func marshalAgg(t *testing.T, a Aggregate) []byte {
 	t.Helper()
+	a.Runtime = nil
 	blob, err := json.Marshal(a)
 	if err != nil {
 		t.Fatal(err)

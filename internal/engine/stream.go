@@ -173,6 +173,17 @@ func (a *streamAccum) absorb(out trialOutput) {
 	}
 }
 
+// approxBytes estimates the accumulator's resident memory for the
+// peak-accumulator metric: the backing arrays plus a fixed allowance for
+// the struct header. An estimate is enough — the metric exists to show
+// streaming's bounded footprint against exact pooling, not to audit the
+// allocator.
+func (a *streamAccum) approxBytes() int64 {
+	n := len(a.bins) + len(a.contactN) + len(a.contactD) +
+		len(a.chanDisc) + len(a.chanTx) + len(a.chanColl)
+	return int64(n)*8 + 160
+}
+
 // merge folds b into a. All state is integer sums and min/max, so the
 // result is independent of merge order.
 func (a *streamAccum) merge(b *streamAccum) {

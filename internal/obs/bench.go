@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BenchSchema identifies the BENCH_*.json document shape. Bump only with
+// a migration in cmd/ndbench.
+const BenchSchema = "ndbench/1"
+
+// DefaultBenchTolerance is the relative ns/op slack -compare allows
+// before flagging a regression. Shared CI runners are noisy; a quarter is
+// deliberately forgiving — the trajectory exists to catch order-of-
+// magnitude drifts and trend lines, not 5% wobbles.
+const DefaultBenchTolerance = 0.25
+
+// HostInfo fingerprints the machine a benchmark file was produced on, so
+// a cross-host comparison is visibly apples-to-oranges.
+type HostInfo struct {
+	Go       string `json:"go"`
+	OS       string `json:"os"`
+	Arch     string `json:"arch"`
+	CPUs     int    `json:"cpus"`
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+// BenchResult is one normalized benchmark row: the testing.B measurements
+// plus, for trial-running benchmarks, the derived trials/sec throughput.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+
+	// TrialsPerOp is the Monte-Carlo trials one op executes (0 for
+	// analysis-only benchmarks); TrialsPerSec the implied throughput.
+	TrialsPerOp  int     `json:"trials_per_op,omitempty"`
+	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
+}
+
+// BenchFile is the persisted benchmark trajectory document: one
+// BENCH_<pr>.json per PR, committed, and CI-compared against its
+// predecessor so perf claims stay grounded in recorded numbers.
+type BenchFile struct {
+	Schema    string        `json:"schema"`
+	Label     string        `json:"label,omitempty"` // e.g. "PR 6"
+	Benchtime string        `json:"benchtime,omitempty"`
+	Host      HostInfo      `json:"host"`
+	Results   []BenchResult `json:"results"`
+}
+
+// Validate checks the document's schema and shape: the schema string,
+// at least one result, distinct names, and positive measurements.
+func (f BenchFile) Validate() error {
+	if f.Schema != BenchSchema {
+		return fmt.Errorf("obs: bench file schema %q, want %q", f.Schema, BenchSchema)
+	}
+	if len(f.Results) == 0 {
+		return fmt.Errorf("obs: bench file has no results")
+	}
+	seen := make(map[string]bool, len(f.Results))
+	for _, r := range f.Results {
+		if r.Name == "" {
+			return fmt.Errorf("obs: bench result with empty name")
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("obs: duplicate bench result %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Iters <= 0 {
+			return fmt.Errorf("obs: bench %q: iters %d must be positive", r.Name, r.Iters)
+		}
+		if r.NsPerOp <= 0 {
+			return fmt.Errorf("obs: bench %q: ns_per_op %g must be positive", r.Name, r.NsPerOp)
+		}
+		if r.AllocsPerOp < 0 || r.BytesPerOp < 0 || r.TrialsPerOp < 0 || r.TrialsPerSec < 0 {
+			return fmt.Errorf("obs: bench %q: negative measurement", r.Name)
+		}
+	}
+	return nil
+}
+
+// ParseBenchFile decodes and validates a bench document.
+func ParseBenchFile(blob []byte) (BenchFile, error) {
+	var f BenchFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return BenchFile{}, fmt.Errorf("obs: parsing bench file: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return BenchFile{}, err
+	}
+	return f, nil
+}
+
+// ReadBenchFile loads and validates a bench document from disk.
+func ReadBenchFile(path string) (BenchFile, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return BenchFile{}, err
+	}
+	f, err := ParseBenchFile(blob)
+	if err != nil {
+		return BenchFile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// BenchDelta is one benchmark's base-to-current comparison row.
+type BenchDelta struct {
+	Name string `json:"name"`
+
+	// BaseNs and CurNs are the two ns/op readings; Ratio is CurNs/BaseNs
+	// (1.0 = unchanged, above = slower). Both zero (and Ratio 0) when the
+	// benchmark exists on only one side.
+	BaseNs float64 `json:"base_ns,omitempty"`
+	CurNs  float64 `json:"cur_ns,omitempty"`
+	Ratio  float64 `json:"ratio,omitempty"`
+
+	// Regression / Improvement flag ratios outside the tolerance band.
+	// OnlyBase marks benchmarks dropped since the baseline; OnlyCurrent
+	// newly added ones. Neither counts as a regression.
+	Regression  bool `json:"regression,omitempty"`
+	Improvement bool `json:"improvement,omitempty"`
+	OnlyBase    bool `json:"only_base,omitempty"`
+	OnlyCurrent bool `json:"only_current,omitempty"`
+}
+
+// CompareBench joins two bench files by benchmark name and judges each
+// shared row against the relative tolerance: ratio > 1+tol is a
+// regression, ratio < 1−tol an improvement. Rows are returned sorted by
+// name; tolerance ≤ 0 takes DefaultBenchTolerance.
+func CompareBench(base, cur BenchFile, tolerance float64) []BenchDelta {
+	if tolerance <= 0 {
+		tolerance = DefaultBenchTolerance
+	}
+	baseBy := make(map[string]BenchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	curBy := make(map[string]BenchResult, len(cur.Results))
+	for _, r := range cur.Results {
+		curBy[r.Name] = r
+	}
+	names := make([]string, 0, len(baseBy)+len(curBy))
+	for n := range baseBy {
+		names = append(names, n)
+	}
+	for n := range curBy {
+		if _, ok := baseBy[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	deltas := make([]BenchDelta, 0, len(names))
+	for _, n := range names {
+		b, inBase := baseBy[n]
+		c, inCur := curBy[n]
+		d := BenchDelta{Name: n}
+		switch {
+		case inBase && inCur:
+			d.BaseNs = b.NsPerOp
+			d.CurNs = c.NsPerOp
+			d.Ratio = c.NsPerOp / b.NsPerOp
+			d.Regression = d.Ratio > 1+tolerance
+			d.Improvement = d.Ratio < 1-tolerance
+		case inBase:
+			d.BaseNs = b.NsPerOp
+			d.OnlyBase = true
+		default:
+			d.CurNs = c.NsPerOp
+			d.OnlyCurrent = true
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Regressions counts the regression rows of a comparison.
+func Regressions(deltas []BenchDelta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Regression {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchFixture(results ...BenchResult) BenchFile {
+	return BenchFile{
+		Schema:  BenchSchema,
+		Host:    HostInfo{Go: "go1.22", OS: "linux", Arch: "amd64", CPUs: 8},
+		Results: results,
+	}
+}
+
+func row(name string, ns float64) BenchResult {
+	return BenchResult{Name: name, Iters: 10, NsPerOp: ns}
+}
+
+func TestBenchFileValidate(t *testing.T) {
+	good := benchFixture(row("a", 100))
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*BenchFile)
+		want string
+	}{
+		{"schema", func(f *BenchFile) { f.Schema = "ndbench/0" }, "schema"},
+		{"empty", func(f *BenchFile) { f.Results = nil }, "no results"},
+		{"dup", func(f *BenchFile) { f.Results = append(f.Results, row("a", 50)) }, "duplicate"},
+		{"noname", func(f *BenchFile) { f.Results[0].Name = "" }, "empty name"},
+		{"iters", func(f *BenchFile) { f.Results[0].Iters = 0 }, "iters"},
+		{"ns", func(f *BenchFile) { f.Results[0].NsPerOp = 0 }, "ns_per_op"},
+		{"neg", func(f *BenchFile) { f.Results[0].AllocsPerOp = -1 }, "negative"},
+	}
+	for _, c := range cases {
+		f := benchFixture(row("a", 100))
+		c.mut(&f)
+		err := f.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid file accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestCompareBenchThresholds pins the -compare judgment: the tolerance
+// band around ratio 1.0, regression above, improvement below, and the
+// only-base/only-current classification of unmatched rows.
+func TestCompareBenchThresholds(t *testing.T) {
+	base := benchFixture(
+		row("steady", 100),
+		row("slower", 100),
+		row("faster", 100),
+		row("edge-high", 100),
+		row("dropped", 100),
+	)
+	cur := benchFixture(
+		row("steady", 109),    // within ±10%
+		row("slower", 200),    // 2× — regression
+		row("faster", 40),     // 0.4× — improvement
+		row("edge-high", 110), // exactly 1+tol: NOT a regression (strict >)
+		row("added", 100),     // only in current
+	)
+	deltas := CompareBench(base, cur, 0.10)
+	got := make(map[string]BenchDelta, len(deltas))
+	for _, d := range deltas {
+		got[d.Name] = d
+	}
+	if len(deltas) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(deltas))
+	}
+	// Rows come back sorted by name.
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i-1].Name >= deltas[i].Name {
+			t.Fatalf("rows not sorted: %q before %q", deltas[i-1].Name, deltas[i].Name)
+		}
+	}
+	if d := got["steady"]; d.Regression || d.Improvement {
+		t.Errorf("steady misjudged: %+v", d)
+	}
+	if d := got["slower"]; !d.Regression || d.Ratio != 2.0 {
+		t.Errorf("slower misjudged: %+v", d)
+	}
+	if d := got["faster"]; !d.Improvement {
+		t.Errorf("faster misjudged: %+v", d)
+	}
+	if d := got["edge-high"]; d.Regression {
+		t.Errorf("ratio exactly at the tolerance edge must not regress: %+v", d)
+	}
+	if d := got["dropped"]; !d.OnlyBase || d.Regression {
+		t.Errorf("dropped misjudged: %+v", d)
+	}
+	if d := got["added"]; !d.OnlyCurrent || d.Regression {
+		t.Errorf("added misjudged: %+v", d)
+	}
+	if n := Regressions(deltas); n != 1 {
+		t.Errorf("Regressions = %d, want 1", n)
+	}
+}
+
+// TestCompareBenchDefaultTolerance: a non-positive tolerance falls back
+// to the forgiving shared-runner default.
+func TestCompareBenchDefaultTolerance(t *testing.T) {
+	base := benchFixture(row("a", 100))
+	cur := benchFixture(row("a", 120)) // +20%: inside the 25% default
+	if n := Regressions(CompareBench(base, cur, 0)); n != 0 {
+		t.Fatalf("+20%% flagged under the %g default tolerance", DefaultBenchTolerance)
+	}
+	cur = benchFixture(row("a", 130)) // +30%: outside
+	if n := Regressions(CompareBench(base, cur, 0)); n != 1 {
+		t.Fatal("+30% not flagged under the default tolerance")
+	}
+}
+
+func TestParseBenchFixtureJSON(t *testing.T) {
+	blob := []byte(`{
+		"schema": "ndbench/1",
+		"label": "fixture",
+		"host": {"go": "go1.22", "os": "linux", "arch": "amd64", "cpus": 4},
+		"results": [
+			{"name": "EngineScenarioAllCores", "iters": 50, "ns_per_op": 2.5e6,
+			 "allocs_per_op": 120, "bytes_per_op": 80000,
+			 "trials_per_op": 32, "trials_per_sec": 12800}
+		]
+	}`)
+	f, err := ParseBenchFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Results[0].TrialsPerSec != 12800 {
+		t.Fatalf("round-trip lost trials/sec: %+v", f.Results[0])
+	}
+	if _, err := ParseBenchFile([]byte(`{"schema": "ndbench/1"}`)); err == nil {
+		t.Fatal("empty result list parsed as valid")
+	}
+	if _, err := ParseBenchFile([]byte(`not json`)); err == nil {
+		t.Fatal("garbage parsed as valid")
+	}
+}
+
+// repoRoot walks up to the module root so the committed-trajectory check
+// works from any test cwd.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestCommittedBenchTrajectoryValid: every committed BENCH_*.json must
+// parse and validate against the current schema — a malformed trajectory
+// file would silently break the CI comparison.
+func TestCommittedBenchTrajectoryValid(t *testing.T) {
+	root := repoRoot(t)
+	matches, err := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no committed BENCH_*.json trajectory files found")
+	}
+	for _, path := range matches {
+		if _, err := ReadBenchFile(path); err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+		}
+	}
+}

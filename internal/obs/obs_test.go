@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheStatsSub(t *testing.T) {
+	now := CacheStats{Hits: 10, Misses: 4, Evictions: 1}
+	prev := CacheStats{Hits: 7, Misses: 4}
+	d := now.Sub(prev)
+	if d != (CacheStats{Hits: 3, Misses: 0, Evictions: 1}) {
+		t.Fatalf("unexpected delta %+v", d)
+	}
+}
+
+func TestRunMetricsMerge(t *testing.T) {
+	a := RunMetrics{
+		WallMS: 100, Points: 2, Trials: 200, Workers: 4,
+		WorkerBusy:     []float64{0.9, 0.8, 0.7, 0.6},
+		BuildCache:     CacheStats{Hits: 1, Misses: 2},
+		StreamedPoints: 1, ExactPoints: 1,
+		PeakAccumBytes: 1000,
+	}
+	b := RunMetrics{
+		WallMS: 300, Points: 3, Trials: 600, Workers: 8,
+		BuildCache:     CacheStats{Hits: 4, Misses: 1, Evictions: 2},
+		StreamedPoints: 0, ExactPoints: 3,
+		MemoHits:       5,
+		PeakAccumBytes: 500,
+	}
+	a.Merge(b)
+	if a.WallMS != 400 || a.Points != 5 || a.Trials != 800 {
+		t.Fatalf("totals wrong: %+v", a)
+	}
+	if a.Workers != 8 || a.PeakAccumBytes != 1000 {
+		t.Fatalf("maxima wrong: %+v", a)
+	}
+	if a.BuildCache != (CacheStats{Hits: 5, Misses: 3, Evictions: 2}) {
+		t.Fatalf("cache merge wrong: %+v", a.BuildCache)
+	}
+	if a.StreamedPoints != 1 || a.ExactPoints != 4 || a.MemoHits != 5 {
+		t.Fatalf("path/memo counts wrong: %+v", a)
+	}
+	if a.WorkerBusy != nil {
+		t.Fatal("merged record must drop per-worker busy fractions")
+	}
+	// 800 trials over 0.4 s.
+	if a.TrialsPerSec != 2000 {
+		t.Fatalf("trials/sec = %g, want 2000", a.TrialsPerSec)
+	}
+}
+
+func TestProgressString(t *testing.T) {
+	p := Progress{
+		PointsDone: 3, PointsTotal: 10,
+		TrialsDone: 150, TrialsTotal: 500,
+		ElapsedMS: 1500, EtaMS: 3500,
+	}
+	s := p.String()
+	for _, want := range []string{"3/10 points", "150/500 trials", "1.5s", "eta 3.5s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("progress string %q missing %q", s, want)
+		}
+	}
+	p.Final = true
+	if s := p.String(); strings.Contains(s, "eta") {
+		t.Errorf("final snapshot must not estimate an ETA: %q", s)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // The scenario engine: declarative, JSON-serializable experiment specs, a
@@ -56,6 +57,28 @@ type (
 	AdaptivePoint = engine.AdaptivePoint
 	// AxisBracket is one axis's refinement interval and convergence state.
 	AxisBracket = engine.AxisBracket
+)
+
+// Observability types, re-exported from the zero-dependency obs package.
+// All of them live OUTSIDE the engine's determinism contract: metrics
+// describe how a run executed (wall time, throughput, worker utilization,
+// cache traffic), never what it computed, and are structurally excluded
+// from golden comparison.
+type (
+	// RunMetrics is the per-run execution record EngineOptions.Metrics
+	// fills: wall time, trials/sec, per-worker busy fractions, build-cache
+	// traffic, the streamed-vs-exact aggregation split and the peak
+	// accumulator memory estimate.
+	RunMetrics = obs.RunMetrics
+	// PointMetrics is the per-scenario slice of a run's metrics, attached
+	// to every ScenarioResult under its "runtime" key.
+	PointMetrics = obs.PointMetrics
+	// CacheStats counts schedule-analysis cache hits, misses and
+	// evictions over one run.
+	CacheStats = obs.CacheStats
+	// Progress is one snapshot delivered to EngineOptions.Progress:
+	// points/trials done vs total, elapsed time and an ETA estimate.
+	Progress = obs.Progress
 )
 
 // Streaming-aggregator modes for EngineOptions.Stream: StreamAuto engages
@@ -178,4 +201,11 @@ func RenderScenarioChannels(results []ScenarioResult) string {
 // WriteScenarioJSON emits results as deterministic, indented JSON.
 func WriteScenarioJSON(w io.Writer, res SuiteResult) error {
 	return engine.WriteJSON(w, res)
+}
+
+// RenderRunMetrics renders a run's execution record as a short multi-line
+// summary (totals, throughput, worker utilization, cache traffic,
+// aggregation split and peak accumulator memory).
+func RenderRunMetrics(m RunMetrics) string {
+	return engine.RenderRunMetrics(m)
 }
