@@ -1,0 +1,101 @@
+// Command ndlint runs the repository's determinism-contract lint suite
+// (internal/analyzers) over module packages and exits nonzero on any
+// diagnostic. It is the machine check behind the invariants
+// docs/ARCHITECTURE.md states in prose.
+//
+// Usage:
+//
+//	go run ./cmd/ndlint ./...
+//	go run ./cmd/ndlint -config ndlint.json ./internal/engine ./internal/sim
+//
+// Patterns follow the go tool's shape: a plain package directory relative
+// to -dir, or a "dir/..." subtree. With no patterns, ./... is linted.
+// The config (scopes and declared exceptions for every pass) defaults to
+// ndlint.json at the module root and must exist — a missing config would
+// silently lint nothing.
+//
+// Exit codes: 0 clean, 1 diagnostics reported, 2 operational error
+// (unloadable package, bad config, bad flags).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body: parse flags, load config and packages,
+// run the suite, print findings. Returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ndlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	configPath := fs.String("config", "", "path to the suite config (default: ndlint.json at the module root)")
+	dir := fs.String("dir", ".", "directory to resolve the module and patterns from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := analysis.ModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "ndlint: %v\n", err)
+		return 2
+	}
+	modPath, err := analysis.ModulePath(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "ndlint: %v\n", err)
+		return 2
+	}
+
+	cfgPath := *configPath
+	if cfgPath == "" {
+		cfgPath = filepath.Join(root, "ndlint.json")
+	}
+	cfg, err := analyzers.LoadConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "ndlint: config: %v\n", err)
+		return 2
+	}
+
+	loader := analysis.NewLoader(root, modPath)
+	pkgs, err := loader.LoadPatterns(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "ndlint: %v\n", err)
+		return 2
+	}
+
+	findings, err := analysis.Run(analyzers.All(cfg), pkgs)
+	if err != nil {
+		fmt.Fprintf(stderr, "ndlint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, shortenPos(f, root))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "ndlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// shortenPos renders a finding with its filename relative to the module
+// root, so output is stable across checkouts.
+func shortenPos(f analysis.Finding, root string) string {
+	if rel, err := filepath.Rel(root, f.Position.Filename); err == nil && filepath.IsLocal(rel) {
+		f.Position.Filename = filepath.ToSlash(rel)
+	}
+	return f.String()
+}

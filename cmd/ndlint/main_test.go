@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBadModule is the end-to-end smoke test: over a fixture module seeded
+// with one violation per wired analyzer, the driver must print each
+// diagnostic and exit 1.
+func TestBadModule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", filepath.Join("testdata", "badmod"), "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"nodeterminism",
+		"wall-clock call time.Now",
+		"wall-clock call time.Since",
+		"global RNG call rand.Intn",
+		"intaccum",
+		"badmod.accum.mean is float64",
+		"maprange",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q\nstdout:\n%s", want, out)
+		}
+	}
+	// Findings name files relative to the fixture module root.
+	if !strings.Contains(out, "bad.go:") {
+		t.Errorf("stdout should reference bad.go with a root-relative path:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing the findings summary:\n%s", stderr.String())
+	}
+}
+
+// TestCleanModule: a compliant module yields no output and exit 0.
+func TestCleanModule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", filepath.Join("testdata", "cleanmod"), "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", stdout.String())
+	}
+}
+
+// TestMissingConfig: the driver refuses to run without its config — a
+// missing ndlint.json must not silently lint nothing.
+func TestMissingConfig(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(dir, "p.go"), "package tmpmod\n")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", dir, "."}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "ndlint.json") {
+		t.Errorf("stderr should name the missing config:\n%s", stderr.String())
+	}
+}
+
+// TestBadPattern: a pattern matching nothing is an operational error, not
+// a silent pass.
+func TestBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", filepath.Join("testdata", "cleanmod"), "./nosuchdir/..."}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, stderr.String())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+// Package badmod is a deliberately broken module: every seeded violation
+// below must surface in cmd/ndlint's output, proving the driver wires the
+// suite end to end (load → analyze → print → exit 1).
+package badmod
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// accum is named in ndlint.json as a mergeable accumulator, so its float
+// field is a finding.
+type accum struct {
+	count int64
+	mean  float64
+}
+
+// trial mixes wall-clock reads and the process-global RNG into what the
+// config declares a deterministic package.
+func trial() int64 {
+	start := time.Now()
+	n := rand.Intn(100)
+	_ = time.Since(start)
+	return int64(n)
+}
+
+// dump prints map contents in iteration order — nondeterministic output.
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

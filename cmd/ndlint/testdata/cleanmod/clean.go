@@ -1,0 +1,33 @@
+// Package cleanmod follows the determinism contract everywhere, so ndlint
+// must exit 0 with no output over it.
+package cleanmod
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// accum keeps merged state all-integer.
+type accum struct {
+	count int64
+	worst int64
+}
+
+// trial draws from an injected source only.
+func trial(src rand.Source) int64 {
+	rng := rand.New(src)
+	return rng.Int63n(100)
+}
+
+// dump sorts keys before printing, discharging the map-order hazard.
+func dump(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}

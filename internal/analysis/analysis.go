@@ -1,0 +1,134 @@
+// Package analysis is a self-contained, stdlib-only reimplementation of
+// the golang.org/x/tools/go/analysis core: named Analyzer passes that
+// receive a type-checked package and report position-tagged diagnostics.
+//
+// The repository's determinism linters (internal/analyzers, driven by
+// cmd/ndlint) are written against this API. It exists in-tree because the
+// build environment is hermetic — no module downloads — so the real
+// x/tools module cannot be a dependency; the subset implemented here
+// (Analyzer, Pass, Diagnostic, plus the loader in load.go and the fixture
+// harness in analysistest/) is intentionally shaped like upstream so the
+// analyzers could be ported to a stock multichecker by swapping imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static-analysis pass: a name (used as the
+// diagnostic prefix and the -run filter), one line of documentation, and
+// the Run function applied to each loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and driver output. By
+	// convention it is a single lowercase word.
+	Name string
+
+	// Doc is the analyzer's one-paragraph documentation: the first line is
+	// the summary shown in driver help.
+	Doc string
+
+	// Run executes the pass over one package. Findings go through
+	// pass.Report / pass.Reportf; the error return is for operational
+	// failures (a broken config, not a finding).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's worth of material to an Analyzer.Run: the
+// syntax, the type information, and the Report sink.
+type Pass struct {
+	// Analyzer is the pass being run (so shared helpers can name it).
+	Analyzer *Analyzer
+
+	// Fset maps token.Pos values in Files to file positions. It is shared
+	// across every package of a load, so positions from imported packages'
+	// objects resolve too.
+	Fset *token.FileSet
+
+	// Files is the package's parsed syntax, sorted by file name. Test
+	// files (_test.go) are not loaded — the determinism contract governs
+	// shipped code; tests may use wall clocks and ad-hoc RNG freely.
+	Files []*ast.File
+
+	// Pkg is the package's type-checked object and TypesInfo the
+	// expression-level type facts (Types, Defs, Uses, Selections).
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver and the test harness
+	// install their own sinks.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position inside the pass's file set and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a diagnostic joined with the analyzer that produced it and
+// its resolved file position — the unit drivers print and tests assert on.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col: analyzer: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the collected
+// findings sorted by file, line, column, analyzer and message — a total
+// order, so driver output is deterministic. Analyzer errors abort the run.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}

@@ -1,0 +1,172 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against expectations written in the fixture source —
+// the same contract as golang.org/x/tools/go/analysis/analysistest, on
+// the in-tree framework.
+//
+// Fixtures live under <testdata>/src/<pkgpath>/ and are plain Go packages
+// (GOPATH-style: the import path is the directory path relative to src).
+// A line expecting diagnostics carries a trailing comment of the form
+//
+//	// want "regexp"
+//	// want "first" "second"
+//
+// where each quoted string is a regular expression that must match the
+// message of exactly one diagnostic reported on that line. Lines without
+// a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package under testdata/src and applies the
+// analyzer, failing the test on any mismatch between reported and
+// expected diagnostics.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(filepath.Join(testdata, "src"), "")
+	pkgs, err := loader.LoadPatterns(filepath.Join(testdata, "src"), pkgpaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", pkgpaths, err)
+	}
+	findings, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, pkg := range pkgs {
+		checkPackage(t, pkg, findings)
+	}
+}
+
+// expectation is one want entry: a message regexp awaiting its match.
+type expectation struct {
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// checkPackage compares the findings landing in pkg's files against the
+// want comments in those files.
+func checkPackage(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				exps, err := parseWant(c.Text)
+				if err != nil {
+					t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = append(wants[key], exps...)
+			}
+		}
+	}
+
+	inPkg := func(pos token.Position) bool {
+		return filepath.Dir(pos.Filename) == pkg.Dir
+	}
+	for _, f := range findings {
+		if !inPkg(f.Position) {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d", f.Position.Filename, f.Position.Line)
+		if !matchOne(wants[key], f.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", key, f.Message)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, e := range wants[k] {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, e.raw)
+			}
+		}
+	}
+}
+
+// matchOne marks and returns the first unmatched expectation whose regexp
+// matches msg.
+func matchOne(exps []*expectation, msg string) bool {
+	for _, e := range exps {
+		if !e.matched && e.rx.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRe extracts the payload of a want comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWant parses `// want "rx" "rx"...` from a comment's text (regexps
+// may be double- or backtick-quoted); comments without a want marker yield
+// nothing.
+func parseWant(comment string) ([]*expectation, error) {
+	m := wantRe.FindStringSubmatch(comment)
+	if m == nil {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(m[1])
+	var out []*expectation
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			return nil, fmt.Errorf("malformed want comment: expected quoted regexp at %q", rest)
+		}
+		raw, err := nextQuoted(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want comment %q: %w", rest, err)
+		}
+		pattern, err := strconv.Unquote(raw)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want string %s: %w", raw, err)
+		}
+		rx, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %w", pattern, err)
+		}
+		out = append(out, &expectation{rx: rx, raw: pattern})
+		rest = strings.TrimSpace(rest[len(raw):])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no expectations")
+	}
+	return out, nil
+}
+
+// nextQuoted returns the leading Go-quoted string literal of s, including
+// its quotes. Both interpreted ("...") and raw (`...`) literals are
+// accepted; raw literals have no escapes, so they simply run to the next
+// backquote.
+func nextQuoted(s string) (string, error) {
+	if s[0] == '`' {
+		if end := strings.IndexByte(s[1:], '`'); end >= 0 {
+			return s[:end+2], nil
+		}
+		return "", fmt.Errorf("unterminated string")
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return s[:i+1], nil
+		}
+	}
+	return "", fmt.Errorf("unterminated string")
+}

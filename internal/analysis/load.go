@@ -1,0 +1,338 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit analyzers run on.
+type Package struct {
+	// PkgPath is the import path ("repro/internal/sim", or the directory
+	// path relative to the fixture root in GOPATH-style loads).
+	PkgPath string
+
+	// Dir is the absolute directory the sources were read from.
+	Dir string
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader parses and type-checks packages without the go/packages driver
+// (unavailable in this hermetic build): module-local import paths resolve
+// to directories under Root, everything else comes from GOROOT source via
+// the stdlib "source" importer. Test files are never loaded — the linters
+// govern shipped code paths.
+type Loader struct {
+	// Root is the directory packages are resolved under: the module root
+	// (directory containing go.mod) or an analysistest fixture src root.
+	Root string
+
+	// ModPath is the module path go.mod declares. Empty means GOPATH-style
+	// resolution: an import path is a directory relative to Root — the
+	// layout analysistest fixtures use.
+	ModPath string
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*loadResult
+}
+
+type loadResult struct {
+	pkg     *Package
+	err     error
+	loading bool
+}
+
+// NewLoader returns a loader rooted at root. modPath may be empty for
+// GOPATH-style fixture loading.
+func NewLoader(root, modPath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		ModPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*loadResult),
+	}
+}
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("go.mod not found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ModulePath reads the module path from root's go.mod.
+func ModulePath(root string) (string, error) {
+	blob, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s/go.mod: no module directive", root)
+}
+
+// LoadPatterns resolves go-tool-style package patterns relative to base
+// (".", "./...", "./internal/engine", "internal/..."), returning loaded
+// packages sorted by import path. A pattern that matches no package is an
+// error — a typo must not silently lint nothing.
+func (l *Loader) LoadPatterns(base string, patterns ...string) ([]*Package, error) {
+	base, err := filepath.Abs(base)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var paths []string
+	add := func(dir string) error {
+		path, err := l.dirToPkgPath(dir)
+		if err != nil {
+			return err
+		}
+		if !seen[path] {
+			seen[path] = true
+			paths = append(paths, path)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			root := filepath.Join(base, rest)
+			dirs, err := packageDirs(root)
+			if err != nil {
+				return nil, fmt.Errorf("pattern %q: %w", pat, err)
+			}
+			if len(dirs) == 0 {
+				return nil, fmt.Errorf("pattern %q matched no packages under %s", pat, root)
+			}
+			for _, d := range dirs {
+				if err := add(d); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		dir := filepath.Join(base, pat)
+		if !hasGoFiles(dir) {
+			return nil, fmt.Errorf("pattern %q: no Go files in %s", pat, dir)
+		}
+		if err := add(dir); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// dirToPkgPath maps an absolute directory under Root to its import path.
+func (l *Loader) dirToPkgPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("directory %s is outside the load root %s", dir, l.Root)
+	}
+	rel = filepath.ToSlash(rel)
+	if l.ModPath == "" {
+		return rel, nil
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	return l.ModPath + "/" + rel, nil
+}
+
+// packageDirs walks root collecting directories that contain at least one
+// non-test Go file, skipping testdata, vendor, and hidden/underscore
+// directories (the go tool's pattern-matching rules).
+func packageDirs(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSourceFile selects the files a load parses: non-test Go sources.
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// localDir resolves a module-local or fixture-local import path to its
+// directory, or "" when the path is not local (stdlib or unknown).
+func (l *Loader) localDir(path string) string {
+	if l.ModPath != "" {
+		if path == l.ModPath {
+			return l.Root
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+			return filepath.Join(l.Root, filepath.FromSlash(rest))
+		}
+		return ""
+	}
+	// GOPATH-style: local iff the directory exists under Root. Stdlib
+	// names ("fmt", "sync/atomic") never exist there.
+	dir := filepath.Join(l.Root, filepath.FromSlash(path))
+	if hasGoFiles(dir) {
+		return dir
+	}
+	return ""
+}
+
+// Import implements types.Importer so the loader can hand itself to
+// go/types: local paths load recursively, the rest comes from GOROOT.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := l.localDir(path); dir != "" {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one local package, memoized by import path.
+func (l *Loader) load(path string) (*Package, error) {
+	if r, ok := l.pkgs[path]; ok {
+		if r.loading {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return r.pkg, r.err
+	}
+	r := &loadResult{loading: true}
+	l.pkgs[path] = r
+	r.pkg, r.err = l.loadUncached(path)
+	r.loading = false
+	return r.pkg, r.err
+}
+
+func (l *Loader) loadUncached(path string) (*Package, error) {
+	dir := l.localDir(path)
+	if dir == "" {
+		return nil, fmt.Errorf("package %s not found under %s", path, l.Root)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		const max = 10
+		shown := typeErrs
+		if len(shown) > max {
+			shown = shown[:max]
+		}
+		return nil, fmt.Errorf("type-checking %s:\n  %s", path, strings.Join(shown, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{
+		PkgPath:   path,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,28 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// loadAndExpectNone runs one analyzer over a fixture package expecting
+// zero findings, ignoring the fixture's want comments — used to prove
+// scope and allowlist machinery suppresses diagnostics wholesale.
+func loadAndExpectNone(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	src := filepath.Join(testdata(t), "src")
+	loader := analysis.NewLoader(src, "")
+	loaded, err := loader.LoadPatterns(src, pkgs...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", pkgs, err)
+	}
+	findings, err := analysis.Run([]*analysis.Analyzer{a}, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -1,0 +1,166 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// NewAtomicFields builds the atomicfields pass: a struct field whose
+// address is ever passed to a sync/atomic function is an atomic field, and
+// every other access to it must also be atomic — a plain read or write
+// racing an atomic update is undefined behavior the race detector only
+// catches when a test happens to interleave it. Functions listed in
+// AllowFuncs ("pkgpath.Func" or "pkgpath.Type.Method") are the documented
+// sync points (constructors before publication, finalizers after a
+// pool-drain barrier) where plain access is declared safe.
+//
+// Fields of the typed atomic.Int64/Uint64/Bool/... wrappers are safe by
+// construction (no plain access is expressible) and are not tracked.
+func NewAtomicFields(cfg AtomicFieldsConfig) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "atomicfields",
+		Doc:  "fields accessed via sync/atomic must never be accessed plainly",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !inScope(cfg.Packages, pass.Pkg.Path()) {
+			return nil
+		}
+		// Phase 1: every &struct.field handed to a sync/atomic function,
+		// remembering the exact selector nodes used atomically.
+		atomicFields := make(map[*types.Var]bool)
+		atomicUses := make(map[*ast.SelectorExpr]bool)
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicFunc(pass, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					unary, ok := arg.(*ast.UnaryExpr)
+					if !ok || unary.Op.String() != "&" {
+						continue
+					}
+					sel, ok := unary.X.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if v := fieldVar(pass, sel); v != nil {
+						atomicFields[v] = true
+						atomicUses[sel] = true
+					}
+				}
+				return true
+			})
+		}
+		if len(atomicFields) == 0 {
+			return nil
+		}
+		// Phase 2: any other selector reaching one of those fields is a
+		// plain access, reported unless the enclosing function is a
+		// declared sync point.
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				key := funcKey(pass.Pkg.Path(), fd)
+				allowed := false
+				for _, f := range cfg.AllowFuncs {
+					if f == key {
+						allowed = true
+						break
+					}
+				}
+				if allowed {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || atomicUses[sel] {
+						return true
+					}
+					v := fieldVar(pass, sel)
+					if v != nil && atomicFields[v] {
+						pass.Reportf(sel.Pos(),
+							"plain access to atomic field %s.%s in %s: this field is updated via sync/atomic elsewhere, so every access must be atomic (or declare %s as a sync point in allow_funcs)",
+							fieldOwner(v), v.Name(), key, key)
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// isAtomicFunc reports whether call targets a package-level sync/atomic
+// function (AddInt64, LoadUint32, CompareAndSwapPointer, ...).
+func isAtomicFunc(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldVar resolves a selector to the struct field it reads, if any.
+func fieldVar(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// fieldOwner names the struct type a field belongs to, best-effort (the
+// declaring package's type whose struct contains the var).
+func fieldOwner(v *types.Var) string {
+	if v.Pkg() == nil {
+		return "?"
+	}
+	scope := v.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return name
+			}
+		}
+	}
+	return "?"
+}
+
+// funcKey is the allowlist key for a function declaration:
+// "pkgpath.Func" or "pkgpath.Type.Method" (pointer receivers stripped).
+func funcKey(pkgpath string, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkgpath + "." + fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	name := "?"
+	switch t := t.(type) {
+	case *ast.Ident:
+		name = t.Name
+	case *ast.IndexExpr: // generic receiver Type[T]
+		if id, ok := t.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	}
+	return pkgpath + "." + name + "." + strings.TrimSpace(fd.Name.Name)
+}

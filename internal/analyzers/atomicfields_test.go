@@ -1,0 +1,28 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAtomicFields(t *testing.T) {
+	a := NewAtomicFields(AtomicFieldsConfig{
+		Packages:   []string{"..."},
+		AllowFuncs: []string{"atomicfields.finalize"},
+	})
+	analysistest.Run(t, testdata(t), a, "atomicfields")
+}
+
+// TestAtomicFieldsAllowAll: declaring every accessor as a sync point
+// silences the fixture — the allowlist is honored per function.
+func TestAtomicFieldsAllowAll(t *testing.T) {
+	a := NewAtomicFields(AtomicFieldsConfig{
+		Packages: []string{"..."},
+		AllowFuncs: []string{
+			"atomicfields.finalize",
+			"atomicfields.recorder.snapshot",
+		},
+	})
+	loadAndExpectNone(t, a, "atomicfields")
+}

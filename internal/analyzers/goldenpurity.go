@@ -1,0 +1,133 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// NewGoldenPurity builds the goldenpurity pass: result types the golden
+// harness serializes must not leak observability state into the pinned
+// bytes. Concretely, walking every struct type reachable from the
+// configured roots through serialized fields, any field whose type comes
+// from a metrics package must sit under the configured runtime JSON key —
+// the one key StripRuntime removes before golden comparison. A metrics
+// field under any other key would make goldens differ run to run.
+func NewGoldenPurity(cfg GoldenPurityConfig) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "goldenpurity",
+		Doc:  "golden-serialized types may carry metrics only under the stripped runtime key",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		key := cfg.RuntimeKey
+		if key == "" {
+			key = "runtime"
+		}
+		metrics := make(map[string]bool)
+		for _, p := range cfg.MetricsPackages {
+			metrics[p] = true
+		}
+		seen := make(map[*types.Named]bool)
+		for _, q := range cfg.Roots {
+			pkgpath, name, err := splitQualified(q)
+			if err != nil {
+				return err
+			}
+			if pkgpath != pass.Pkg.Path() {
+				continue
+			}
+			obj := pass.Pkg.Scope().Lookup(name)
+			if obj == nil {
+				return fmt.Errorf("configured golden root %s not found (stale ndlint config?)", q)
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return fmt.Errorf("configured golden root %s is not a named type", q)
+			}
+			walkGoldenType(pass, named, key, metrics, seen)
+		}
+		return nil
+	}
+	return a
+}
+
+// walkGoldenType checks one named type's struct fields and recurses into
+// the serialized object graph.
+func walkGoldenType(pass *analysis.Pass, named *types.Named, key string, metrics map[string]bool, seen map[*types.Named]bool) {
+	if seen[named] {
+		return
+	}
+	seen[named] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	typeName := named.Obj().Name()
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		// encoding/json serializes only exported fields; unexported state
+		// never reaches a golden file.
+		if !f.Exported() {
+			continue
+		}
+		jsonName, skip := jsonFieldName(f.Name(), st.Tag(i))
+		if skip {
+			continue
+		}
+		elem := namedElem(f.Type())
+		if elem != nil && elem.Obj().Pkg() != nil && metrics[elem.Obj().Pkg().Path()] {
+			if jsonName != key {
+				pass.Reportf(f.Pos(),
+					"golden-serialized field %s.%s carries metrics type %s under JSON key %q: metrics may only appear under the %q key that StripRuntime removes",
+					typeName, f.Name(), describeType(f.Type()), jsonName, key)
+			}
+			// Under the runtime key the whole metrics subtree is stripped
+			// before golden comparison; no need to descend.
+			continue
+		}
+		if elem != nil {
+			walkGoldenType(pass, elem, key, metrics, seen)
+		}
+	}
+}
+
+// namedElem strips pointers, slices, arrays and maps down to the named
+// element type, or nil for plain scalars and anonymous composites.
+func namedElem(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Named:
+			return u
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		default:
+			return nil
+		}
+	}
+}
+
+// jsonFieldName resolves the key encoding/json would use for a field, and
+// whether the field is skipped entirely (json:"-").
+func jsonFieldName(fieldName, tag string) (name string, skip bool) {
+	jt := reflect.StructTag(tag).Get("json")
+	if jt == "" {
+		return fieldName, false
+	}
+	parts := strings.Split(jt, ",")
+	if parts[0] == "-" && len(parts) == 1 {
+		return "", true
+	}
+	if parts[0] == "" {
+		return fieldName, false
+	}
+	return parts[0], false
+}

@@ -1,0 +1,31 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGoldenPurity(t *testing.T) {
+	a := NewGoldenPurity(GoldenPurityConfig{
+		Roots: []string{
+			"goldenpurity.Result",
+			"goldenpurity.BadResult",
+			"goldenpurity.Nested",
+			"goldenpurity.Skipped",
+		},
+		MetricsPackages: []string{"obsstub"},
+		RuntimeKey:      "runtime",
+	})
+	analysistest.Run(t, testdata(t), a, "goldenpurity")
+}
+
+// TestGoldenPurityRootsScoped: with only the clean roots configured, the
+// leaky types are unreachable and nothing fires.
+func TestGoldenPurityRootsScoped(t *testing.T) {
+	a := NewGoldenPurity(GoldenPurityConfig{
+		Roots:           []string{"goldenpurity.Result", "goldenpurity.Skipped"},
+		MetricsPackages: []string{"obsstub"},
+	})
+	loadAndExpectNone(t, a, "goldenpurity")
+}

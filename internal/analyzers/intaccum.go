@@ -1,0 +1,126 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// NewIntAccum builds the intaccum pass: the configured accumulator/merge
+// types must declare only integer-valued state. Integer addition and
+// min/max are associative and commutative, so per-worker accumulators
+// merge to bit-identical results in any order; one float field breaks the
+// contract silently (float addition is order-sensitive). Fields are
+// checked recursively through named types, structs, arrays, slices, maps
+// and pointers; declared exceptions go in AllowFields.
+func NewIntAccum(cfg IntAccumConfig) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "intaccum",
+		Doc:  "mergeable accumulator types must hold only integer state",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		allow := make(map[string]bool)
+		for _, f := range cfg.AllowFields {
+			allow[f] = true
+		}
+		for _, q := range cfg.Types {
+			pkgpath, name, err := splitQualified(q)
+			if err != nil {
+				return err
+			}
+			if pkgpath != pass.Pkg.Path() {
+				continue
+			}
+			obj := pass.Pkg.Scope().Lookup(name)
+			if obj == nil {
+				return fmt.Errorf("configured accumulator type %s not found (stale ndlint config?)", q)
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return fmt.Errorf("configured accumulator %s is not a named type", q)
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return fmt.Errorf("configured accumulator %s is not a struct", q)
+			}
+			checkAccumStruct(pass, q, st, allow, map[types.Type]bool{named: true})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkAccumStruct reports every field of st (recursively) whose type is
+// not integer-valued. qual is the configured type's qualified name, used
+// to build the allowlist key for direct fields.
+func checkAccumStruct(pass *analysis.Pass, qual string, st *types.Struct, allow map[string]bool, seen map[types.Type]bool) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if allow[qual+"."+f.Name()] {
+			continue
+		}
+		if bad, why := nonIntegerPart(f.Type(), seen); bad {
+			pass.Reportf(f.Pos(),
+				"accumulator field %s.%s is %s: merge types must be all-integer so merges stay exact (fix the field or declare it in allow_fields)",
+				qual, f.Name(), why)
+		}
+	}
+}
+
+// nonIntegerPart reports whether t contains non-integer scalar state,
+// returning a human description of the offending part. seen guards
+// against recursive types.
+func nonIntegerPart(t types.Type, seen map[types.Type]bool) (bool, string) {
+	if seen[t] {
+		return false, ""
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Int, types.Int8, types.Int16, types.Int32, types.Int64,
+			types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uint64,
+			types.Uintptr:
+			return false, ""
+		default:
+			return true, describeType(t)
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if bad, why := nonIntegerPart(u.Field(i).Type(), seen); bad {
+				return true, fmt.Sprintf("a struct carrying %s (field %q)", why, u.Field(i).Name())
+			}
+		}
+		return false, ""
+	case *types.Slice:
+		if bad, why := nonIntegerPart(u.Elem(), seen); bad {
+			return true, "a slice of " + why
+		}
+		return false, ""
+	case *types.Array:
+		if bad, why := nonIntegerPart(u.Elem(), seen); bad {
+			return true, "an array of " + why
+		}
+		return false, ""
+	case *types.Map:
+		if bad, why := nonIntegerPart(u.Key(), seen); bad {
+			return true, "a map keyed by " + why
+		}
+		if bad, why := nonIntegerPart(u.Elem(), seen); bad {
+			return true, "a map of " + why
+		}
+		return false, ""
+	case *types.Pointer:
+		if bad, why := nonIntegerPart(u.Elem(), seen); bad {
+			return true, "a pointer to " + why
+		}
+		return false, ""
+	default:
+		return true, describeType(t)
+	}
+}
+
+func describeType(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

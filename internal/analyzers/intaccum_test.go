@@ -1,0 +1,38 @@
+package analyzers
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestIntAccum(t *testing.T) {
+	a := NewIntAccum(IntAccumConfig{
+		Types: []string{
+			"intaccum.goodAccum",
+			"intaccum.badAccum",
+			"intaccum.nestedBad",
+			"intaccum.exceptAccum",
+		},
+		AllowFields: []string{"intaccum.exceptAccum.scale"},
+	})
+	analysistest.Run(t, testdata(t), a, "intaccum")
+}
+
+// TestIntAccumStaleConfig: naming a type that does not exist is an
+// analyzer error, not a silent no-op — config rot must be loud.
+func TestIntAccumStaleConfig(t *testing.T) {
+	a := NewIntAccum(IntAccumConfig{Types: []string{"intaccum.vanishedAccum"}})
+	src := testdata(t) + "/src"
+	loader := analysis.NewLoader(src, "")
+	pkgs, err := loader.LoadPatterns(src, "intaccum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err == nil || !strings.Contains(err.Error(), "vanishedAccum") {
+		t.Fatalf("want stale-config error naming vanishedAccum, got %v", err)
+	}
+}

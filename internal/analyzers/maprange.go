@@ -1,0 +1,198 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// NewMapRange builds the maprange pass: the classic golden-nondeterminism
+// bug is iterating a map and letting the iteration order reach serialized
+// output. Two patterns are flagged inside `for ... range <map>` bodies:
+//
+//   - appending to a slice declared outside the loop with no subsequent
+//     sort of that slice in the same function — the slice inherits map
+//     order and whatever consumes it (JSON encoding, table rendering,
+//     accumulator merge) becomes run-dependent;
+//   - calling an order-sensitive sink directly (fmt printing, json
+//     encoding, or any call named in SinkCalls) — the output is written in
+//     map order with no chance to sort at all.
+//
+// A sort (sort.* or slices.Sort*) of the collected slice after the loop
+// silences the first pattern: collect-then-sort is exactly the sanctioned
+// idiom (see engine.Presets).
+func NewMapRange(cfg MapRangeConfig) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "maprange",
+		Doc:  "flag map iteration whose order can reach serialized output unsorted",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !inScope(cfg.Packages, pass.Pkg.Path()) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			filename := pass.Fset.Position(file.Pos()).Filename
+			if fileAllowed(cfg.AllowFiles, filename) {
+				continue
+			}
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					checkFuncBody(pass, fd.Body)
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// checkFuncBody finds map ranges in one function body, descending into
+// nested function literals with their own (nested) body as the sort scope.
+func checkFuncBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFuncBody(pass, n.Body)
+			return false
+		case *ast.RangeStmt:
+			if isMapType(pass.TypesInfo.TypeOf(n.X)) {
+				checkMapRange(pass, body, n)
+			}
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range statement inside scope (the
+// enclosing function body).
+func checkMapRange(pass *analysis.Pass, scope *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				ident, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(ident)
+				if obj == nil || withinNode(rng, obj.Pos()) {
+					continue // loop-local slice: order dies with the iteration
+				}
+				if sortedAfter(pass, scope, rng.End(), obj) {
+					continue
+				}
+				pass.Reportf(n.Pos(),
+					"append to %q during map iteration with no subsequent sort: map order reaches the collected slice (sort it after the loop, or allowlist in ndlint config)",
+					ident.Name)
+			}
+		case *ast.CallExpr:
+			if name, ok := sinkCall(pass, n); ok {
+				pass.Reportf(n.Pos(),
+					"%s called during map iteration: output is emitted in nondeterministic map order (collect and sort first)",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[ident].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// withinNode reports whether pos falls inside n's source span.
+func withinNode(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// sortedAfter reports whether a sort/slices call referencing obj appears
+// in scope after pos — the collect-then-sort discharge.
+func sortedAfter(pass *analysis.Pass, scope *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			refs := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					refs = true
+				}
+				return !refs
+			})
+			if refs {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeFunc resolves a call's target to a types.Func when it is a named
+// function or method.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// builtinSinks are the always-on order-sensitive sinks: direct writes of
+// formatted output or JSON.
+var builtinSinks = map[string]map[string]bool{
+	"fmt":           {"Print": true, "Printf": true, "Println": true, "Fprint": true, "Fprintf": true, "Fprintln": true},
+	"encoding/json": {"Marshal": true, "MarshalIndent": true, "Encode": true},
+}
+
+// sinkCall reports whether call targets an order-sensitive sink, returning
+// its display name.
+func sinkCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if names, ok := builtinSinks[fn.Pkg().Path()]; ok && names[fn.Name()] {
+		return fn.Pkg().Name() + "." + fn.Name(), true
+	}
+	return "", false
+}

@@ -1,0 +1,22 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestMapRange(t *testing.T) {
+	a := NewMapRange(MapRangeConfig{Packages: []string{"..."}})
+	analysistest.Run(t, testdata(t), a, "maprange")
+}
+
+// TestMapRangeAllowFile: the whole fixture goes quiet when its file is a
+// declared exception.
+func TestMapRangeAllowFile(t *testing.T) {
+	a := NewMapRange(MapRangeConfig{
+		Packages:   []string{"..."},
+		AllowFiles: []string{"maprange/a.go"},
+	})
+	loadAndExpectNone(t, a, "maprange")
+}

@@ -1,0 +1,32 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestNoDeterminism(t *testing.T) {
+	a := NewNoDeterminism(NoDeterminismConfig{
+		Packages:   []string{"..."},
+		AllowFiles: []string{"nodeterminism/allowed.go"},
+	})
+	analysistest.Run(t, testdata(t), a, "nodeterminism")
+}
+
+// TestNoDeterminismOutOfScope: a package outside the configured scope is
+// never reported, violations and all.
+func TestNoDeterminismOutOfScope(t *testing.T) {
+	a := NewNoDeterminism(NoDeterminismConfig{Packages: []string{"someother/..."}})
+	loadAndExpectNone(t, a, "nodeterminism")
+}

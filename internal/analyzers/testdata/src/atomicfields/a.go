@@ -1,0 +1,47 @@
+// Package atomicfields exercises the no-mixed-atomic-access check.
+package atomicfields
+
+import "sync/atomic"
+
+// recorder mixes access styles on n: add() updates it atomically, but
+// snapshot() reads it plainly — a data race the analyzer must flag.
+type recorder struct {
+	n     int64
+	total int64
+}
+
+func (r *recorder) add() {
+	atomic.AddInt64(&r.n, 1)
+}
+
+func (r *recorder) snapshot() int64 {
+	return r.n // want `plain access to atomic field recorder\.n`
+}
+
+// load is atomic everywhere: silent.
+func (r *recorder) load() int64 {
+	return atomic.LoadInt64(&r.n)
+}
+
+// plainOnly never touches atomics on total, so plain access is fine.
+func (r *recorder) plainOnly() int64 {
+	r.total++
+	return r.total
+}
+
+// typed uses the sync/atomic wrapper types: safe by construction, plain
+// access is not even expressible.
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) bump() int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}
+
+// finalize is a documented sync point (allow_funcs in the test config):
+// its plain read happens after the owner's pool-drain barrier.
+func finalize(r *recorder) int64 {
+	return r.n
+}

@@ -1,0 +1,37 @@
+// Package goldenpurity exercises the metrics-only-under-runtime check.
+package goldenpurity
+
+import "obsstub"
+
+// Result is a clean golden root: its metrics ride under the "runtime" key
+// that StripRuntime removes, and the unexported field is never serialized.
+type Result struct {
+	Name    string              `json:"name"`
+	Value   float64             `json:"value"`
+	Runtime *obsstub.RunMetrics `json:"runtime,omitempty"`
+	scratch obsstub.PointMetrics
+}
+
+// BadResult leaks metrics under a non-runtime key.
+type BadResult struct {
+	Name    string              `json:"name"`
+	Metrics *obsstub.RunMetrics `json:"metrics,omitempty"` // want `golden-serialized field BadResult\.Metrics carries metrics type \*obsstub\.RunMetrics under JSON key "metrics"`
+}
+
+// Nested reaches the leak through the serialized object graph: the root is
+// clean but its Points rows are not.
+type Nested struct {
+	Points []PointRow `json:"points"`
+}
+
+// PointRow carries per-point metrics under an untagged field (JSON key
+// "Stats" — still not "runtime").
+type PointRow struct {
+	Value float64
+	Stats obsstub.PointMetrics // want `golden-serialized field PointRow\.Stats carries metrics type obsstub\.PointMetrics under JSON key "Stats"`
+}
+
+// Skipped hides metrics behind json:"-": never serialized, silent.
+type Skipped struct {
+	Hidden obsstub.RunMetrics `json:"-"`
+}

@@ -1,0 +1,43 @@
+// Package intaccum exercises the all-integer accumulator check.
+package intaccum
+
+// ticks is a named integer type, as fine as a plain int64.
+type ticks int64
+
+// goodAccum is a valid mergeable accumulator: every field integer-valued,
+// through named types, slices, arrays and nested structs.
+type goodAccum struct {
+	count    int64
+	min, max ticks
+	bins     []int64
+	grid     [4]uint32
+	nested   counters
+}
+
+type counters struct {
+	hits, misses uint64
+}
+
+// badAccum smuggles floats into merged state.
+type badAccum struct {
+	count int64
+	mean  float64   // want `accumulator field intaccum\.badAccum\.mean is float64`
+	bins  []float32 // want `accumulator field intaccum\.badAccum\.bins is a slice of float32`
+}
+
+// nestedBad hides the float one level down.
+type nestedBad struct {
+	inner floaty // want `accumulator field intaccum\.nestedBad\.inner is a struct carrying float64`
+}
+
+type floaty struct {
+	x float64
+}
+
+// exceptAccum declares its float as a config exception (allow_fields), so
+// only the undeclared one fires.
+type exceptAccum struct {
+	scale float64 // declared exception: constant per-point scale, never merged
+	rate  float64 // want `accumulator field intaccum\.exceptAccum\.rate is float64`
+	count int64
+}

@@ -1,0 +1,90 @@
+// Package maprange exercises the unsorted-map-iteration check.
+package maprange
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// listBad collects map keys in iteration order and never sorts: the
+// classic golden-nondeterminism bug.
+func listBad(m map[string]int) []string {
+	var names []string
+	for n := range m {
+		names = append(names, n) // want `append to "names" during map iteration with no subsequent sort`
+	}
+	return names
+}
+
+// listGood collects then sorts — the sanctioned idiom.
+func listGood(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sliceSortGood discharges the check with sort.Slice too.
+func sliceSortGood(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// localGood appends to a slice born inside the loop body: its order dies
+// with the iteration, nothing leaks.
+func localGood(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// printBad writes formatted output while iterating: the rows land in map
+// order.
+func printBad(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf called during map iteration`
+	}
+}
+
+// encodeBad serializes JSON mid-iteration.
+func encodeBad(m map[string]int) {
+	enc := json.NewEncoder(os.Stdout)
+	for k := range m {
+		enc.Encode(k) // want `json\.Encode called during map iteration`
+	}
+}
+
+// errorsGood builds error strings during iteration — fmt.Errorf and
+// Sprintf are not sinks; whether their results leak is the append rule's
+// business.
+func errorsGood(m map[string]int) error {
+	for k, v := range m {
+		if v < 0 {
+			return fmt.Errorf("negative entry %s", k)
+		}
+	}
+	return nil
+}
+
+// sortedRangeGood iterates a slice (not a map): out of scope.
+func sortedRangeGood(names []string) []string {
+	var out []string
+	for _, n := range names {
+		out = append(out, n)
+	}
+	return out
+}

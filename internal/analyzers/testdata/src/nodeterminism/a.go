@@ -1,0 +1,48 @@
+// Package nodeterminism exercises the wall-clock/global-RNG ban: seeded
+// violations below must fire, the injected-source idiom must stay silent.
+package nodeterminism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// trialBad draws from the process-global RNG and reads the wall clock —
+// both forbidden in trial paths.
+func trialBad() (int, time.Time) {
+	n := rand.Intn(10)                 // want `global RNG call rand\.Intn`
+	start := time.Now()                // want `wall-clock call time\.Now`
+	_ = time.Since(start)              // want `wall-clock call time\.Since`
+	_ = rand.Float64()                 // want `global RNG call rand\.Float64`
+	time.Sleep(time.Millisecond)       // want `wall-clock call time\.Sleep`
+	rand.Shuffle(3, func(i, j int) {}) // want `global RNG call rand\.Shuffle`
+	return n, start
+}
+
+// trialGood draws every random number from an injected source and never
+// touches the wall clock: the sanctioned pattern.
+func trialGood(src rand.Source) int {
+	rng := rand.New(src) // constructors are fine; the stream is injected
+	sum := rng.Intn(10) + int(rng.Int63n(5))
+	if rng.Float64() > 0.5 {
+		sum++
+	}
+	return sum
+}
+
+// seededGood builds a deterministic stream from an explicit seed — also
+// fine: no global state, no wall clock.
+func seededGood(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// durationsGood uses time only for arithmetic types, never the clock.
+func durationsGood(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// fnRefBad passes a global-RNG function as a value: still a use of the
+// global source.
+func fnRefBad() func(int) int {
+	return rand.Intn // want `global RNG call rand\.Intn`
+}

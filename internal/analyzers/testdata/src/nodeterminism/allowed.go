@@ -1,0 +1,10 @@
+package nodeterminism
+
+import "time"
+
+// observe measures wall time — a genuine observability need. This file is
+// on the test config's allow_files list, so nothing here is reported.
+func observe() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,14 @@
+// Package obsstub stands in for an observability package in the
+// goldenpurity fixtures: its types are runtime metrics that must only
+// appear under the stripped "runtime" JSON key.
+package obsstub
+
+// RunMetrics mimics a run-level metrics record.
+type RunMetrics struct {
+	WallMS float64 `json:"wall_ms"`
+}
+
+// PointMetrics mimics a per-point metrics record.
+type PointMetrics struct {
+	WallMS float64 `json:"wall_ms"`
+}

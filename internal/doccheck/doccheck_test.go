@@ -146,6 +146,14 @@ func TestRequiredDocSections(t *testing.T) {
 			"RunMetrics",
 			"StripRuntime",
 			"BENCH_",
+			"## Correctness tooling",
+			"nodeterminism",
+			"maprange",
+			"intaccum",
+			"atomicfields",
+			"goldenpurity",
+			"ndlint.json",
+			"cmd/ndlint",
 		},
 		"README.md": {
 			"-progress",
@@ -154,6 +162,9 @@ func TestRequiredDocSections(t *testing.T) {
 			"-trace",
 			"ndbench",
 			"BENCH_",
+			"ndlint",
+			"ndlint.json",
+			"docs/ARCHITECTURE.md",
 		},
 	}
 	for rel, wants := range requirements {

@@ -218,12 +218,14 @@ func prepare(sc Scenario, opt Options) (*point, error) {
 }
 
 // contactWorst is the contact-bin scale: the exact worst case, when the
-// schedule is deterministic. Zero disables contact binning.
-func (p *point) contactWorst() float64 {
+// schedule is deterministic. Zero disables contact binning. Kept in ticks
+// so streamAccum stays all-integer (mergeable state must be exact); the
+// one consumer divides in float space at use.
+func (p *point) contactWorst() timebase.Ticks {
 	if p.sc.Churn == nil || p.b.WorstTwoWay <= 0 {
 		return 0
 	}
-	return float64(p.b.WorstTwoWay)
+	return p.b.WorstTwoWay
 }
 
 // chanCount is the advertising-channel count for per-channel discovery

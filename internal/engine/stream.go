@@ -81,7 +81,7 @@ func useStream(sc Scenario, opt Options) bool {
 type streamAccum struct {
 	horizon  timebase.Ticks
 	binWidth timebase.Ticks
-	worst    float64 // contact-bin scale (exact worst case); 0 disables
+	worst    timebase.Ticks // contact-bin scale (exact worst case); 0 disables
 
 	count        int64
 	misses       int64
@@ -99,7 +99,7 @@ type streamAccum struct {
 	chanColl []int64 // collided packets per advertising channel (multi-node)
 }
 
-func newStreamAccum(horizon timebase.Ticks, worst float64, channels int) *streamAccum {
+func newStreamAccum(horizon, worst timebase.Ticks, channels int) *streamAccum {
 	w := timebase.CeilDiv(horizon+1, streamBins)
 	if w < 1 {
 		w = 1
@@ -150,7 +150,7 @@ func (a *streamAccum) absorb(out trialOutput) {
 	a.collided += int64(out.collided)
 	if a.worst > 0 {
 		for _, c := range out.contacts {
-			idx := contactBinIndex(float64(c.Overlap) / a.worst)
+			idx := contactBinIndex(float64(c.Overlap) / float64(a.worst))
 			a.contactN[idx]++
 			if c.Discovered {
 				a.contactD[idx]++
