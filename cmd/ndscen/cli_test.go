@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Exit-path tests. The test binary re-execs itself with NDSCEN_RUN_MAIN=1,
+// which routes TestMain straight into main(), so flag validation, fatal()
+// exit codes, and stderr wording are pinned exactly as a shell user sees
+// them — not through an in-process approximation.
+func TestMain(m *testing.M) {
+	if os.Getenv("NDSCEN_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runNdscen runs the CLI with the given arguments and returns its output
+// streams and exit code.
+func runNdscen(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "NDSCEN_RUN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+// Malformed -shard specs and inconsistent shard/merge/journal flag
+// combinations must exit 1 with an error naming the problem.
+func TestShardFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr substring
+	}{
+		{"zero shard", []string{"-suite", "paper-fig7", "-shard", "0/0", "-snapshot", "s.json"}, "shard"},
+		{"k exceeds n", []string{"-suite", "paper-fig7", "-shard", "3/2", "-snapshot", "s.json"}, "shard"},
+		{"negative k", []string{"-suite", "paper-fig7", "-shard", "-1/3", "-snapshot", "s.json"}, "shard"},
+		{"garbage", []string{"-suite", "paper-fig7", "-shard", "one/three", "-snapshot", "s.json"}, `want "k/n"`},
+		{"no snapshot", []string{"-suite", "paper-fig7", "-shard", "1/2"}, "needs -snapshot"},
+		{"shard with journal", []string{"-suite", "paper-fig7", "-shard", "1/2", "-snapshot", "s.json", "-journal", "d"}, "mutually exclusive"},
+		{"resume without shard", []string{"-adaptive", "adaptive-eta", "-resume", "c.json"}, "needs -shard and -adaptive"},
+		{"stray positionals", []string{"-suite", "paper-fig7", "x.json"}, "unexpected arguments"},
+		{"merge with run flags", []string{"-merge", "-suite", "paper-fig7", "x.json"}, "-merge takes snapshot files"},
+		{"adaptive with journal", []string{"-adaptive", "adaptive-eta", "-journal", "d"}, "shard round by round"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := runNdscen(t, tc.args...)
+			if code != 1 {
+				t.Fatalf("exit code %d, want 1 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr %q does not contain %q", stderr, tc.want)
+			}
+			if !strings.HasPrefix(stderr, "ndscen: ") {
+				t.Errorf("stderr %q does not carry the ndscen: prefix", stderr)
+			}
+		})
+	}
+}
+
+// -merge with no file arguments, or with files that are not valid
+// snapshots, must fail loudly.
+func TestMergeInputErrors(t *testing.T) {
+	_, stderr, code := runNdscen(t, "-merge")
+	if code != 1 || !strings.Contains(stderr, "at least one snapshot file") {
+		t.Errorf("bare -merge: exit %d, stderr %q", code, stderr)
+	}
+
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope.json")
+	_, stderr, code = runNdscen(t, "-merge", missing)
+	if code != 1 || !strings.Contains(stderr, "nope.json") {
+		t.Errorf("missing file: exit %d, stderr %q", code, stderr)
+	}
+
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte(`{"codec": "ndshard/9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code = runNdscen(t, "-merge", garbage)
+	if code != 1 || !strings.Contains(stderr, "codec") {
+		t.Errorf("wrong codec: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// A sharded run plus -merge must reproduce the unsharded -strip document
+// byte for byte, end to end through the real CLI.
+func TestShardMergeCLI(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	blob := `[{"name": "cli-pair", "protocol": {"kind": "optimal", "omega": 36, "alpha": 1, "eta": 0.05},
+	           "population": 2, "trials": 9, "horizon": {"worst_multiple": 3}, "seed": 7}]`
+	if err := os.WriteFile(spec, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	plain := filepath.Join(dir, "plain.json")
+	if _, stderr, code := runNdscen(t, "-spec", spec, "-quiet", "-strip", "-out", plain); code != 0 {
+		t.Fatalf("unsharded run failed: %s", stderr)
+	}
+	want, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var shardFiles []string
+	for k := 1; k <= 3; k++ {
+		snap := filepath.Join(dir, "shard"+strconv.Itoa(k)+".json")
+		shardFiles = append(shardFiles, snap)
+		if _, stderr, code := runNdscen(t, "-spec", spec, "-quiet",
+			"-shard", strconv.Itoa(k)+"/3", "-snapshot", snap); code != 0 {
+			t.Fatalf("shard %d/3 failed: %s", k, stderr)
+		}
+	}
+
+	merged := filepath.Join(dir, "merged.json")
+	// Flags must precede the positional snapshot files: flag parsing stops
+	// at the first non-flag argument.
+	args := append([]string{"-merge", "-quiet", "-strip", "-out", merged}, shardFiles...)
+	_, stderr, code := runNdscen(t, args...)
+	if code != 0 {
+		t.Fatalf("merge failed: %s", stderr)
+	}
+	if !strings.Contains(stderr, "merged 3 shards") {
+		t.Errorf("merge stderr %q does not report the shard count", stderr)
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("merged document differs from the unsharded run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// A journaled sweep interrupted mid-run (simulated by deleting completed
+// point entries) must resume, re-execute only the missing points, and
+// still produce the golden-pinned document.
+func TestJournalResumeCLI(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("..", "..", "internal", "engine", "testdata", "golden", "sweep-sweep-density.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	job := filepath.Join(dir, "job")
+	out := filepath.Join(dir, "density.json")
+	trialsRe := regexp.MustCompile(`(\d+) trials in`)
+	run := func() (trials int) {
+		t.Helper()
+		_, stderr, code := runNdscen(t, "-sweep", "sweep-density", "-journal", job, "-quiet", "-strip", "-out", out)
+		if code != 0 {
+			t.Fatalf("journaled sweep failed: %s", stderr)
+		}
+		m := trialsRe.FindStringSubmatch(stderr)
+		if m == nil {
+			t.Fatalf("no trial count in stderr %q", stderr)
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, golden) {
+			t.Errorf("journaled sweep differs from golden (%d vs %d bytes)", len(got), len(golden))
+		}
+		return n
+	}
+
+	fresh := run()
+	if fresh == 0 {
+		t.Fatal("fresh run executed no trials")
+	}
+
+	// Simulate the kill: one completed point never made it to the journal.
+	if err := os.Remove(filepath.Join(job, "point-0002.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(out); err != nil {
+		t.Fatal(err)
+	}
+	resumed := run()
+	if resumed == 0 || resumed >= fresh {
+		t.Errorf("resume ran %d trials, want fewer than the fresh run's %d and more than 0", resumed, fresh)
+	}
+}

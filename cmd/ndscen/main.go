@@ -25,6 +25,17 @@
 // live ticker to stderr, and -cpuprofile/-memprofile/-trace capture
 // standard Go profiles of the run.
 //
+// Sharded execution (-shard k/n -snapshot f.json) runs only trial-range
+// shard k of n and writes the run's accumulator state as a versioned
+// ndshard/1 snapshot instead of results; -merge a.json b.json ... merges a
+// complete shard set into the final document, byte-identical (after
+// -strip) to the unsharded run. Adaptive searches shard round by round:
+// each merge either finishes the search or writes a continuation snapshot
+// (-snapshot) that the next round's shards consume via -resume. -journal
+// dir makes suite and sweep runs crash-resumable: every completed point's
+// snapshot is persisted, and re-running the same job re-executes only the
+// missing points.
+//
 // Usage:
 //
 //	ndscen -list
@@ -35,6 +46,10 @@
 //	ndscen -adaptive adaptive-eta -out eta-refined.json
 //	ndscen -spec myscenarios.json -trials 100
 //	ndscen -sweep sweep-density -progress -cpuprofile cpu.out
+//	ndscen -sweep sweep-density -shard 1/3 -snapshot shard1.json
+//	ndscen -merge -strip -out merged.json shard1.json shard2.json shard3.json
+//	ndscen -adaptive adaptive-eta -shard 2/3 -resume cont.json -snapshot shard2.json
+//	ndscen -sweep sweep-density -journal /tmp/density-job -out density.json
 package main
 
 import (
@@ -72,6 +87,12 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		traceOut = flag.String("trace", "", "write a runtime execution trace to this file")
+		shard    = flag.String("shard", "", "run only trial-range shard k/n and write an ndshard/1 snapshot (needs -snapshot)")
+		snapshot = flag.String("snapshot", "", "snapshot file: the -shard output, or the continuation an adaptive -merge writes")
+		merge    = flag.Bool("merge", false, "merge the snapshot files given as arguments into the final document")
+		resume   = flag.String("resume", "", "adaptive continuation snapshot from the previous round's -merge (with -shard -adaptive)")
+		journal  = flag.String("journal", "", "journal directory: persist per-point snapshots and resume interrupted runs")
+		strip    = flag.Bool("strip", false, "strip runtime (observability) sections from the -out document")
 	)
 	flag.Parse()
 
@@ -106,6 +127,33 @@ func main() {
 	stopProfiles := startProfiles(*cpuProf, *memProf, *traceOut)
 	defer stopProfiles()
 
+	if *merge {
+		if *suite != "" || *scenario != "" || *spec != "" || *sweep != "" || *adaptive != "" || *shard != "" || *journal != "" {
+			fatal(fmt.Errorf("-merge takes snapshot files as arguments and combines only with -out, -snapshot, -strip, -quiet"))
+		}
+		runMerge(flag.Args(), *out, *snapshot, *strip, *quiet)
+		return
+	}
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments %q (snapshot files go with -merge)", flag.Args()))
+	}
+	var shardSpec engine.ShardSpec
+	if *shard != "" {
+		shardSpec, err = engine.ParseShard(*shard)
+		if err != nil {
+			fatal(err)
+		}
+		if *snapshot == "" {
+			fatal(fmt.Errorf("-shard needs -snapshot to write the shard's accumulator state"))
+		}
+		if *journal != "" {
+			fatal(fmt.Errorf("-shard and -journal are mutually exclusive (shards merge, journals resume)"))
+		}
+	}
+	if *resume != "" && (*shard == "" || *adaptive == "") {
+		fatal(fmt.Errorf("-resume continues an adaptive shard round: it needs -shard and -adaptive"))
+	}
+
 	var metrics obs.RunMetrics
 	opt := engine.Options{
 		Workers: *workers, Trials: *trials, Stream: mode,
@@ -120,9 +168,18 @@ func main() {
 			fatal(fmt.Errorf("pass only one of -suite, -scenario, -spec, -sweep, -adaptive"))
 		}
 		if *adaptive != "" {
-			runAdaptive(*adaptive, opt, *out, *quiet)
+			if *journal != "" {
+				fatal(fmt.Errorf("-journal supports -suite/-scenario/-spec/-sweep runs; adaptive searches shard round by round instead"))
+			}
+			if *shard != "" {
+				runAdaptiveShard(*adaptive, shardSpec, *resume, opt, *snapshot, *out, *strip, *quiet)
+			} else {
+				runAdaptive(*adaptive, opt, *out, *quiet, *strip)
+			}
+		} else if *shard != "" {
+			runSweepShard(*sweep, shardSpec, opt, *snapshot)
 		} else {
-			runSweep(*sweep, opt, *out, *plot, *quiet)
+			runSweep(*sweep, opt, *out, *plot, *quiet, *strip, *journal)
 		}
 		return
 	}
@@ -135,7 +192,22 @@ func main() {
 		fatal(fmt.Errorf("nothing to run: pass -suite, -scenario, -spec, -sweep or -adaptive (or -list)"))
 	}
 
-	aggs, err := engine.RunSuite(scenarios, opt)
+	if *shard != "" {
+		snap, err := engine.RunScenariosShard(label, scenarios, shardSpec, opt)
+		if err != nil {
+			fatal(err)
+		}
+		exitLine(fmt.Sprintf("shard %s of %d scenarios", shardSpec, len(scenarios)), metrics)
+		writeShardSnapshot(*snapshot, snap)
+		return
+	}
+
+	var aggs []engine.Aggregate
+	if *journal != "" {
+		aggs, err = engine.RunJournaled(label, scenarios, opt, *journal)
+	} else {
+		aggs, err = engine.RunSuite(scenarios, opt)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -154,19 +226,157 @@ func main() {
 	summarize(metrics, *quiet)
 	exitLine(fmt.Sprintf("%d scenarios", len(aggs)), metrics)
 
-	writeResult(*out, engine.SuiteResult{Suite: label, Scenarios: aggs, Runtime: &metrics})
+	res := engine.SuiteResult{Suite: label, Scenarios: aggs, Runtime: &metrics}
+	if *strip {
+		res.StripRuntime()
+	}
+	writeResult(*out, res)
 }
 
-// runSweep resolves (registry name, else SweepSpec JSON file), expands and
-// runs the sweep, and reports one row per grid point.
-func runSweep(name string, opt engine.Options, out string, plot, quiet bool) {
+// runMerge reads a complete shard-snapshot set and merges it: suite and
+// sweep sets produce the final document; adaptive sets either finish the
+// search or write the next round's continuation snapshot.
+func runMerge(files []string, out, snapshot string, strip, quiet bool) {
+	if len(files) == 0 {
+		fatal(fmt.Errorf("-merge needs at least one snapshot file argument"))
+	}
+	snaps := make([]engine.Snapshot, len(files))
+	for i, f := range files {
+		s, err := engine.ReadSnapshotFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		snaps[i] = s
+	}
+	if snaps[0].Kind == engine.SnapshotAdaptive {
+		res, cont, err := engine.MergeAdaptiveSnapshots(snaps)
+		if err != nil {
+			fatal(err)
+		}
+		if cont != nil {
+			if snapshot == "" {
+				fatal(fmt.Errorf("adaptive search %q needs another shard round: pass -snapshot to write the continuation", cont.Label))
+			}
+			if err := engine.WriteSnapshotFile(snapshot, *cont); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "ndscen: adaptive %q needs another shard round (%d evaluations pooled); wrote continuation %s\n",
+				cont.Label, len(cont.Evaluations), snapshot)
+			return
+		}
+		if !quiet {
+			fmt.Print(engine.RenderAdaptiveTable(*res))
+		}
+		fmt.Fprintf(os.Stderr, "ndscen: merged %d shards: adaptive %s, %d evaluations over %d rounds\n",
+			len(files), res.Name, res.Evaluations, len(res.Rounds))
+		if strip {
+			res.StripRuntime()
+		}
+		writeOut(out, func(w io.Writer) error { return engine.WriteAdaptiveJSON(w, *res) })
+		return
+	}
+	res, err := engine.MergeSnapshots(snaps)
+	if err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		fmt.Print(engine.RenderTable(res.Scenarios))
+		if ch := engine.RenderChannels(res.Scenarios); ch != "" {
+			fmt.Println()
+			fmt.Print(ch)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ndscen: merged %d shards: %d scenarios\n", len(files), len(res.Scenarios))
+	if strip {
+		res.StripRuntime()
+	}
+	writeResult(out, res)
+}
+
+// writeShardSnapshot persists a shard's snapshot — the only output a
+// sharded run produces.
+func writeShardSnapshot(path string, snap engine.Snapshot) {
+	if err := engine.WriteSnapshotFile(path, snap); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ndscen: wrote shard %s snapshot %s (%d points)\n", snap.Shard, path, len(snap.Points))
+}
+
+// runSweepShard runs one trial-range shard of a sweep and writes its
+// snapshot.
+func runSweepShard(name string, shard engine.ShardSpec, opt engine.Options, snapshot string) {
 	sp, err := resolveSweep(name)
 	if err != nil {
 		fatal(err)
 	}
-	aggs, err := engine.RunSweep(sp, opt)
+	snap, err := engine.RunSweepShard(sp, shard, opt)
 	if err != nil {
 		fatal(err)
+	}
+	exitLine(fmt.Sprintf("sweep %s shard %s", sp.Name, shard), *opt.Metrics)
+	writeShardSnapshot(snapshot, snap)
+}
+
+// runAdaptiveShard runs one trial-range shard of the current adaptive
+// round: it replays the search against the -resume continuation's pooled
+// evaluations and runs this shard's slice of the first pending round. When
+// the pool already completes the search there is nothing left to shard and
+// the final trace is reported directly.
+func runAdaptiveShard(name string, shard engine.ShardSpec, resume string, opt engine.Options, snapshot, out string, strip, quiet bool) {
+	ap, err := resolveAdaptive(name)
+	if err != nil {
+		fatal(err)
+	}
+	var prior *engine.Snapshot
+	if resume != "" {
+		s, err := engine.ReadSnapshotFile(resume)
+		if err != nil {
+			fatal(err)
+		}
+		prior = &s
+	}
+	snap, res, err := engine.RunAdaptiveShard(ap, shard, prior, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if res != nil {
+		if !quiet {
+			fmt.Print(engine.RenderAdaptiveTable(*res))
+		}
+		fmt.Fprintf(os.Stderr, "ndscen: adaptive %s already complete from pooled evaluations\n", res.Name)
+		if strip {
+			res.StripRuntime()
+		}
+		writeOut(out, func(w io.Writer) error { return engine.WriteAdaptiveJSON(w, *res) })
+		return
+	}
+	exitLine(fmt.Sprintf("adaptive %s shard %s: %d pending points", ap.Name, shard, len(snap.Points)), *opt.Metrics)
+	writeShardSnapshot(snapshot, *snap)
+}
+
+// runSweep resolves (registry name, else SweepSpec JSON file), expands and
+// runs the sweep — through the resumable journal when -journal names a
+// directory — and reports one row per grid point.
+func runSweep(name string, opt engine.Options, out string, plot, quiet, strip bool, journal string) {
+	sp, err := resolveSweep(name)
+	if err != nil {
+		fatal(err)
+	}
+	var aggs []engine.Aggregate
+	if journal != "" {
+		scenarios, err := sp.Expand()
+		if err != nil {
+			fatal(err)
+		}
+		aggs, err = engine.RunJournaled(sp.Name, scenarios, opt, journal)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		aggs, err = engine.RunSweep(sp, opt)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	if !quiet {
@@ -183,12 +393,16 @@ func runSweep(name string, opt engine.Options, out string, plot, quiet bool) {
 	summarize(*opt.Metrics, quiet)
 	exitLine(fmt.Sprintf("sweep %s: %d points", sp.Name, len(aggs)), *opt.Metrics)
 
-	writeResult(out, engine.SuiteResult{Suite: sp.Name, Scenarios: aggs, Runtime: opt.Metrics})
+	res := engine.SuiteResult{Suite: sp.Name, Scenarios: aggs, Runtime: opt.Metrics}
+	if strip {
+		res.StripRuntime()
+	}
+	writeResult(out, res)
 }
 
 // runAdaptive resolves (registry name, else AdaptiveSpec JSON file), runs
 // the coarse-to-fine search, and reports the refinement trace.
-func runAdaptive(name string, opt engine.Options, out string, quiet bool) {
+func runAdaptive(name string, opt engine.Options, out string, quiet, strip bool) {
 	ap, err := resolveAdaptive(name)
 	if err != nil {
 		fatal(err)
@@ -205,6 +419,9 @@ func runAdaptive(name string, opt engine.Options, out string, quiet bool) {
 	exitLine(fmt.Sprintf("adaptive %s: %d evaluations over %d rounds",
 		res.Name, res.Evaluations, len(res.Rounds)), *opt.Metrics)
 
+	if strip {
+		res.StripRuntime()
+	}
 	writeOut(out, func(w io.Writer) error { return engine.WriteAdaptiveJSON(w, res) })
 }
 

@@ -133,15 +133,20 @@ func checkGenDecl(t *testing.T, fset *token.FileSet, root, fname string, d *ast.
 	}
 }
 
-// TestRequiredDocSections: the observability layer must stay documented —
-// the architecture guide needs its Observability section, and the README
-// must cover the progress flag, the profiling flags and the benchmark
+// TestRequiredDocSections: the sharding and observability layers must
+// stay documented — the architecture guide needs its Sharded execution
+// and Observability sections, and the README must cover the shard/merge/
+// journal flags, the progress flag, the profiling flags and the benchmark
 // trajectory workflow. A doc that silently drops one of these would strand
 // the features it explains.
 func TestRequiredDocSections(t *testing.T) {
 	root := repoRoot(t)
 	requirements := map[string][]string{
 		"docs/ARCHITECTURE.md": {
+			"## Sharded execution",
+			"ndshard/1",
+			"ndjournal/1",
+			"continuation",
 			"## Observability",
 			"RunMetrics",
 			"StripRuntime",
@@ -156,6 +161,13 @@ func TestRequiredDocSections(t *testing.T) {
 			"cmd/ndlint",
 		},
 		"README.md": {
+			"-shard",
+			"-merge",
+			"-snapshot",
+			"-resume",
+			"-journal",
+			"-strip",
+			"ndshard/1",
 			"-progress",
 			"-cpuprofile",
 			"-memprofile",

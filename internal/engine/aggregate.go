@@ -191,79 +191,112 @@ func baseAggregate(sc Scenario, b *built, horizon timebase.Ticks) Aggregate {
 
 // aggregate pools the per-trial outputs in trial order, so every sum and
 // sort sees the same sequence regardless of which worker ran which trial.
+// It is a thin composition of the exact accumulator state and its
+// finalizer — the same two stages a sharded run serializes between
+// processes — so an unsharded run and a merged shard set cannot drift.
 func aggregate(sc Scenario, b *built, horizon timebase.Ticks, outputs []trialOutput) Aggregate {
-	var samples []timebase.Ticks
-	misses := 0
-	transmissions, collided := 0, 0
+	return aggregateExact(sc, b, horizon, exactStateFromOutputs(sc, b, outputs))
+}
+
+// exactStateFromOutputs folds the trial-indexed outputs into the exact
+// path's mergeable state: the trial-ordered sample pool plus every integer
+// counter the finalizer needs. Concatenating two states covering adjacent
+// trial ranges gives exactly the state of the combined range.
+func exactStateFromOutputs(sc Scenario, b *built, outputs []trialOutput) *ExactState {
+	st := &ExactState{}
 	for i := range outputs {
-		samples = append(samples, outputs[i].samples...)
-		misses += outputs[i].misses
-		transmissions += outputs[i].transmissions
-		collided += outputs[i].collided
+		st.Samples = append(st.Samples, outputs[i].samples...)
+		st.Misses += int64(outputs[i].misses)
+		st.Transmissions += int64(outputs[i].transmissions)
+		st.Collided += int64(outputs[i].collided)
 	}
-
-	// One sort of the pooled samples serves both the quantile stats and
-	// the CDF; samples is a local pool, safe to sort in place.
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-
-	agg := baseAggregate(sc, b, horizon)
-	agg.Pairs = len(samples) + misses
-	agg.Latency = sim.CollectSorted(samples, misses)
-	agg.Transmissions = transmissions
-	agg.Collided = collided
-	agg.FailureRate = agg.Latency.FailureRate()
-	if transmissions > 0 {
-		agg.CollisionRate = float64(collided) / float64(transmissions)
-	}
-	agg.CDF = empiricalCDF(samples, misses)
 	if sc.Churn != nil && b.WorstTwoWay > 0 {
-		agg.ContactBins = binContacts(outputs, float64(b.WorstTwoWay))
+		st.ContactN = make([]int64, len(contactBinEdges))
+		st.ContactD = make([]int64, len(contactBinEdges))
+		worst := float64(b.WorstTwoWay)
+		for i := range outputs {
+			for _, c := range outputs[i].contacts {
+				idx := contactBinIndex(float64(c.Overlap) / worst)
+				st.ContactN[idx]++
+				if c.Discovered {
+					st.ContactD[idx]++
+				}
+			}
+		}
 	}
 	switch b.Mode {
 	case modeMultiChannel:
-		counts := make([]int64, b.MC.Channels)
+		st.ChanDisc = make([]int64, b.MC.Channels)
 		for i := range outputs {
-			if c := outputs[i].channel; c >= 0 && c < len(counts) {
-				counts[c]++
+			if c := outputs[i].channel; c >= 0 && c < len(st.ChanDisc) {
+				st.ChanDisc[c]++
 			}
 		}
-		agg.PerChannel = channelStats(b, counts, nil, nil)
 	case modeMultiChannelGroup:
-		counts := make([]int64, b.MC.Channels)
-		tx := make([]int64, b.MC.Channels)
-		coll := make([]int64, b.MC.Channels)
+		st.ChanDisc = make([]int64, b.MC.Channels)
+		st.ChanTx = make([]int64, b.MC.Channels)
+		st.ChanColl = make([]int64, b.MC.Channels)
 		for i := range outputs {
 			for c, n := range outputs[i].chanDisc {
-				counts[c] += int64(n)
+				st.ChanDisc[c] += int64(n)
 			}
 			for c, l := range outputs[i].perChannel {
-				tx[c] += int64(l.Transmissions)
-				coll[c] += int64(l.Collided)
+				st.ChanTx[c] += int64(l.Transmissions)
+				st.ChanColl[c] += int64(l.Collided)
 			}
 		}
-		agg.PerChannel = channelStats(b, counts, tx, coll)
+	}
+	return st
+}
+
+// aggregateExact finalizes an exact accumulator state covering a point's
+// full trial range. It takes ownership of st.Samples (sorted in place);
+// the counter slices are only read. Sorting erases the trial order, so any
+// state assembled from the same sample multiset and counters — one process
+// or a merged shard set — finalizes to the identical aggregate.
+func aggregateExact(sc Scenario, b *built, horizon timebase.Ticks, st *ExactState) Aggregate {
+	samples := st.Samples
+	// One sort of the pooled samples serves both the quantile stats and
+	// the CDF.
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+	agg := baseAggregate(sc, b, horizon)
+	agg.Pairs = len(samples) + int(st.Misses)
+	agg.Latency = sim.CollectSorted(samples, int(st.Misses))
+	agg.Transmissions = int(st.Transmissions)
+	agg.Collided = int(st.Collided)
+	agg.FailureRate = agg.Latency.FailureRate()
+	if st.Transmissions > 0 {
+		agg.CollisionRate = float64(st.Collided) / float64(st.Transmissions)
+	}
+	agg.CDF = empiricalCDF(samples, int(st.Misses))
+	if sc.Churn != nil && b.WorstTwoWay > 0 {
+		agg.ContactBins = contactBinsFromCounters(st.ContactN, st.ContactD)
+	}
+	switch b.Mode {
+	case modeMultiChannel:
+		agg.PerChannel = channelStats(b, st.ChanDisc, nil, nil)
+	case modeMultiChannelGroup:
+		agg.PerChannel = channelStats(b, st.ChanDisc, st.ChanTx, st.ChanColl)
 	}
 	return agg
 }
 
-// binContacts builds the churn discovery-ratio histogram over all trials'
-// contact records (integer counts: order-independent, so trivially
-// deterministic across worker counts).
-func binContacts(outputs []trialOutput, worst float64) []ContactBin {
+// contactBinsFromCounters materializes the churn discovery-ratio histogram
+// from the pooled per-bin counters (integer counts: order-independent, so
+// trivially deterministic across worker counts and shard splits).
+func contactBinsFromCounters(contactN, contactD []int64) []ContactBin {
 	bins := make([]ContactBin, len(contactBinEdges))
 	for i, lo := range contactBinEdges {
 		bins[i].Lo = lo
 		if i+1 < len(contactBinEdges) {
 			bins[i].Hi = contactBinEdges[i+1]
 		}
-	}
-	for i := range outputs {
-		for _, c := range outputs[i].contacts {
-			idx := contactBinIndex(float64(c.Overlap) / worst)
-			bins[idx].Contacts++
-			if c.Discovered {
-				bins[idx].Discovered++
-			}
+		if i < len(contactN) {
+			bins[i].Contacts = int(contactN[i])
+		}
+		if i < len(contactD) {
+			bins[i].Discovered = int(contactD[i])
 		}
 	}
 	return bins

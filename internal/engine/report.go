@@ -348,6 +348,12 @@ func RenderRunMetrics(m obs.RunMetrics) string {
 	if m.MemoHits > 0 {
 		fmt.Fprintf(&b, "  adaptive memo: %d hits\n", m.MemoHits)
 	}
+	if m.ShardN > 0 {
+		fmt.Fprintf(&b, "  shard: %d/%d, %d snapshot points\n", m.ShardK, m.ShardN, m.SnapshotPoints)
+	}
+	if m.ResumedPoints > 0 {
+		fmt.Fprintf(&b, "  journal: %d points resumed, %d freshly run\n", m.ResumedPoints, m.SnapshotPoints)
+	}
 	return b.String()
 }
 

@@ -49,6 +49,21 @@ type Options struct {
 	// when execution finishes — on a failed run too, with what was
 	// measured up to the failure.
 	Metrics *obs.RunMetrics
+
+	// shard restricts every point to its trial-range shard (zero = the
+	// full range). Set by the shard layer (shard.go), never by callers:
+	// a sharded run produces snapshots, not aggregates.
+	shard ShardSpec
+
+	// capture makes finalize export each point's accumulator state as a
+	// PointSnapshot (point.snap) instead of (for partial ranges) or in
+	// addition to (for full ranges) aggregating.
+	capture bool
+
+	// pointDone, when non-nil, is invoked by the finalizing worker with
+	// the point's input index and captured snapshot, serialized by the
+	// journal layer. An error fails the point.
+	pointDone func(idx int, snap *PointSnapshot) error
 }
 
 func (o Options) workers() int {
@@ -84,6 +99,16 @@ type point struct {
 	horizon timebase.Ticks
 	hash    uint64
 	stream  bool
+
+	// idx is the point's index in the run's input order; lo/hi is the
+	// half-open trial range this process executes (the full [0, Trials)
+	// unless the run is sharded). capture/done mirror Options; snap is
+	// the exported accumulator state when capture is set.
+	idx     int
+	lo, hi  int
+	capture bool
+	done    func(idx int, snap *PointSnapshot) error
+	snap    *PointSnapshot
 
 	// outputs (exact mode) and accs (streaming mode, one accumulator slot
 	// per worker — only worker w touches accs[w]) are allocated by the
@@ -150,23 +175,74 @@ func (p *point) finalize(rec *runRecorder) {
 			if acc != nil {
 				freed += acc.approxBytes()
 			}
-			merged.merge(acc)
+			if err := merged.merge(acc); err != nil {
+				// Unreachable by construction — every per-worker
+				// accumulator of a point shares one layout — but a merge
+				// refusal must fail the point, not corrupt it.
+				p.recordErr(p.lo, err)
+				rec.accumRelease(freed)
+				p.accs = nil
+				return
+			}
 		}
-		p.agg = aggregateStream(p.sc, p.b, p.horizon, merged)
+		if p.capture {
+			p.snap = p.makeSnapshot()
+			p.snap.Stream = merged.state()
+		}
+		if p.fullRange() {
+			p.agg = aggregateStream(p.sc, p.b, p.horizon, merged)
+		}
 		rec.accumRelease(freed)
 		p.accs = nil
 	} else {
-		p.agg = aggregate(p.sc, p.b, p.horizon, p.outputs)
+		st := exactStateFromOutputs(p.sc, p.b, p.outputs)
+		if p.capture {
+			p.snap = p.makeSnapshot()
+			p.snap.Exact = st
+			if p.fullRange() {
+				// aggregateExact sorts Samples in place; the snapshot must
+				// keep trial order, so the aggregate gets its own copy.
+				st = st.clone()
+			}
+		}
+		if p.fullRange() {
+			p.agg = aggregateExact(p.sc, p.b, p.horizon, st)
+		}
 		rec.accumRelease(int64(len(p.outputs)) * trialOutputBytes)
 		p.outputs = nil
 	}
-	wall := rec.sinceNS() - (p.startNS.Load() - 1)
-	if wall < 1 {
-		wall = 1
+	if p.fullRange() {
+		wall := rec.sinceNS() - (p.startNS.Load() - 1)
+		if wall < 1 {
+			wall = 1
+		}
+		p.agg.Runtime = &obs.PointMetrics{
+			WallMS:       float64(wall) / 1e6,
+			TrialsPerSec: float64(p.sc.Trials) / (float64(wall) / 1e9),
+		}
 	}
-	p.agg.Runtime = &obs.PointMetrics{
-		WallMS:       float64(wall) / 1e6,
-		TrialsPerSec: float64(p.sc.Trials) / (float64(wall) / 1e9),
+	if p.done != nil {
+		if err := p.done(p.idx, p.snap); err != nil {
+			p.recordErr(p.lo, err)
+		}
+	}
+}
+
+// fullRange reports whether this process runs the point's every trial —
+// partial (sharded) ranges export state only and never aggregate.
+func (p *point) fullRange() bool { return p.lo == 0 && p.hi == p.sc.Trials }
+
+// makeSnapshot exports the point's identity and range; the caller attaches
+// the accumulator state.
+func (p *point) makeSnapshot() *PointSnapshot {
+	return &PointSnapshot{
+		Name:     p.sc.Name,
+		Scenario: p.sc,
+		SpecHash: p.hash,
+		Trials:   p.sc.Trials,
+		TrialLo:  p.lo,
+		TrialHi:  p.hi,
+		Streamed: p.stream,
 	}
 }
 
@@ -198,6 +274,10 @@ func prepare(sc Scenario, opt Options) (*point, error) {
 			return nil, err
 		}
 	}
+	lo, hi := 0, sc.Trials
+	if !opt.shard.IsZero() {
+		lo, hi = opt.shard.Range(sc.Trials)
+	}
 	p := &point{
 		sc:      sc,
 		b:       b,
@@ -205,6 +285,10 @@ func prepare(sc Scenario, opt Options) (*point, error) {
 		horizon: horizon,
 		hash:    sc.Hash(),
 		stream:  useStream(sc, opt),
+		lo:      lo,
+		hi:      hi,
+		capture: opt.capture,
+		done:    opt.pointDone,
 		cfg: sim.Config{
 			Horizon:          horizon,
 			Collisions:       sc.Channel.Collisions,
@@ -213,7 +297,7 @@ func prepare(sc Scenario, opt Options) (*point, error) {
 			Jitter:           sc.Channel.Jitter,
 		},
 	}
-	p.remaining.Store(int64(sc.Trials))
+	p.remaining.Store(int64(hi - lo))
 	return p, nil
 }
 
@@ -251,6 +335,22 @@ type workItem struct {
 // trial completes — both orderings make every aggregate bit-identical for
 // any worker count.
 func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
+	points, err := runPoints(scenarios, opt)
+	if err != nil {
+		return nil, err
+	}
+	aggs := make([]Aggregate, len(points))
+	for i, p := range points {
+		aggs[i] = p.agg
+	}
+	return aggs, nil
+}
+
+// runPoints is runMany's engine room, shared with the shard and journal
+// layers: it runs every point's trial range (the shard's slice of it, when
+// Options.shard is set) and returns the finalized points — aggregates on
+// full ranges, captured snapshots when Options.capture is set.
+func runPoints(scenarios []Scenario, opt Options) ([]*point, error) {
 	workers := opt.workers()
 	rec := newRunRecorder(workers, len(scenarios))
 
@@ -281,24 +381,33 @@ func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 			return nil, err
 		}
 	}
-	for _, p := range points {
-		rec.trialsTotal += int64(p.sc.Trials)
+	for i, p := range points {
+		p.idx = i
+		rec.trialsTotal += int64(p.hi - p.lo)
 	}
 	stopProgress := rec.startProgress(opt)
 
 	work := make(chan workItem, 4*workers)
 	go func() {
 		for _, p := range points {
+			// A shard of fewer trials than shards leaves some ranges
+			// empty; no worker ever decrements such a point, so the
+			// feeder finalizes it (to an empty snapshot) directly.
+			if p.hi == p.lo {
+				p.finalize(rec)
+				rec.pointsDone.Add(1)
+				continue
+			}
 			// Allocated here, not in prepare: the bounded channel
 			// throttles the feeder, so only in-flight points hold their
 			// trial state.
 			if p.stream {
 				p.accs = make([]*streamAccum, workers)
 			} else {
-				p.outputs = make([]trialOutput, p.sc.Trials)
-				rec.accumAdd(int64(p.sc.Trials) * trialOutputBytes)
+				p.outputs = make([]trialOutput, p.hi-p.lo)
+				rec.accumAdd(int64(p.hi-p.lo) * trialOutputBytes)
 			}
-			for t := 0; t < p.sc.Trials; t++ {
+			for t := p.lo; t < p.hi; t++ {
 				work <- workItem{p, t}
 			}
 		}
@@ -327,7 +436,7 @@ func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 					}
 					acc.absorb(out)
 				default:
-					p.outputs[it.trial] = out
+					p.outputs[it.trial-p.lo] = out
 				}
 				// The worker finishing the point's last trial aggregates
 				// and releases it. The atomic counter orders every
@@ -350,14 +459,12 @@ func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 		*opt.Metrics = rec.metrics(points)
 	}
 
-	aggs := make([]Aggregate, len(points))
-	for i, p := range points {
+	for _, p := range points {
 		if p.err != nil {
 			return nil, fmt.Errorf("engine: scenario %q trial %d: %w", p.sc.Name, p.errTrial, p.err)
 		}
-		aggs[i] = p.agg
 	}
-	return aggs, nil
+	return points, nil
 }
 
 // RunScenario executes one scenario: builds (or recalls) its schedules,

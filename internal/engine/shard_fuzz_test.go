@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/timebase"
+)
+
+// Satellite 2: the ndshard/1 codec fuzz target. The invariant under
+// arbitrary input: DecodeSnapshot either returns an error — never panics —
+// or returns a snapshot whose re-encoding is a fixed point of the codec
+// (decode ∘ encode is the identity on accepted documents).
+func FuzzSnapshotCodec(f *testing.F) {
+	seedScenario := func(trials int, churn bool) Scenario {
+		sc := Scenario{
+			Name:       "fuzz-seed",
+			Protocol:   ProtocolSpec{Kind: "optimal", Omega: 36 * timebase.Microsecond, Alpha: 1, Eta: 0.05},
+			Population: 2,
+			Trials:     trials,
+			Horizon:    HorizonSpec{WorstMultiple: 3},
+			Seed:       31,
+		}
+		if churn {
+			sc.Population = 4
+			sc.Horizon = HorizonSpec{WorstMultiple: 8}
+			sc.Churn = &ChurnSpec{StayWorstMultiple: 2}
+		}
+		return sc
+	}
+	encodeSeed := func(sc Scenario, k, n int, mode StreamMode) []byte {
+		snap, err := RunScenariosShard("fuzz", []Scenario{sc}, ShardSpec{K: k, N: n}, Options{Workers: 2, Stream: mode})
+		if err != nil {
+			f.Fatalf("seed run: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeSnapshot(&buf, snap); err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	exact := encodeSeed(seedScenario(6, false), 1, 2, StreamOff)
+	streamed := encodeSeed(seedScenario(6, false), 2, 3, StreamOn)
+	churned := encodeSeed(seedScenario(5, true), 1, 1, StreamOff)
+	empty := encodeSeed(seedScenario(2, false), 3, 7, StreamOff) // empty trial range
+
+	f.Add(exact)
+	f.Add(streamed)
+	f.Add(churned)
+	f.Add(empty)
+	f.Add(exact[:len(exact)/2])                                              // truncated
+	f.Add(bytes.Replace(exact, []byte("ndshard/1"), []byte("ndshard/2"), 1)) // version skew
+	f.Add(bytes.Replace(streamed, []byte(`"count"`), []byte(`"cuont"`), 1))  // unknown field
+	f.Add(append(append([]byte(nil), churned...), '{', '}'))                 // trailing data
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"codec":"ndshard/1","kind":"suite","shard":{"k":1,"n":1},"points":[]}`))
+	f.Add([]byte(`not json at all`))
+	if i := bytes.IndexByte(streamed, ':'); i >= 0 { // flipped byte
+		corrupt := append([]byte(nil), streamed...)
+		corrupt[i+1] ^= 0x5a
+		f.Add(corrupt)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking is the only failure mode here
+		}
+		var first bytes.Buffer
+		if err := EncodeSnapshot(&first, snap); err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		again, err := DecodeSnapshot(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("codec rejected its own output: %v", err)
+		}
+		var second bytes.Buffer
+		if err := EncodeSnapshot(&second, again); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("decode∘encode is not a fixed point:\nfirst:  %.300s\nsecond: %.300s", first.Bytes(), second.Bytes())
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"math/bits"
 
 	"repro/internal/sim"
@@ -185,10 +186,27 @@ func (a *streamAccum) approxBytes() int64 {
 }
 
 // merge folds b into a. All state is integer sums and min/max, so the
-// result is independent of merge order.
-func (a *streamAccum) merge(b *streamAccum) {
+// result is independent of merge order. Accumulators from different bin
+// layouts or contact scales are rejected: pooling them would not panic but
+// would silently misattribute counts, which matters now that accumulator
+// state crosses process boundaries as ndshard snapshots.
+func (a *streamAccum) merge(b *streamAccum) error {
 	if b == nil {
-		return
+		return nil
+	}
+	if a.horizon != b.horizon || a.binWidth != b.binWidth || a.worst != b.worst {
+		return fmt.Errorf("engine: merging incompatible stream accumulators: horizon/binWidth/worst %d/%d/%d vs %d/%d/%d",
+			a.horizon, a.binWidth, a.worst, b.horizon, b.binWidth, b.worst)
+	}
+	if len(a.bins) != len(b.bins) {
+		return fmt.Errorf("engine: merging incompatible stream accumulators: %d histogram bins vs %d", len(a.bins), len(b.bins))
+	}
+	if len(a.contactN) != len(b.contactN) || len(a.contactD) != len(b.contactD) {
+		return fmt.Errorf("engine: merging incompatible stream accumulators: contact bins %d/%d vs %d/%d",
+			len(a.contactN), len(a.contactD), len(b.contactN), len(b.contactD))
+	}
+	if len(a.chanDisc) != len(b.chanDisc) || len(a.chanTx) != len(b.chanTx) || len(a.chanColl) != len(b.chanColl) {
+		return fmt.Errorf("engine: merging incompatible stream accumulators: %d channels vs %d", len(a.chanDisc), len(b.chanDisc))
 	}
 	if b.count > 0 {
 		if a.count == 0 || b.min < a.min {
@@ -217,6 +235,76 @@ func (a *streamAccum) merge(b *streamAccum) {
 		a.chanTx[i] += b.chanTx[i]
 		a.chanColl[i] += b.chanColl[i]
 	}
+	return nil
+}
+
+// state exports the accumulator as its serializable ndshard/1 form. Every
+// slice is copied, so the snapshot is immune to later mutation of the
+// accumulator (and vice versa).
+func (a *streamAccum) state() *StreamState {
+	return &StreamState{
+		Horizon:       a.horizon,
+		BinWidth:      a.binWidth,
+		Worst:         a.worst,
+		Count:         a.count,
+		Misses:        a.misses,
+		SumLo:         a.sumLo,
+		SumHi:         a.sumHi,
+		Min:           a.min,
+		Max:           a.max,
+		Bins:          append([]int64(nil), a.bins...),
+		Transmissions: a.transmissions,
+		Collided:      a.collided,
+		ContactN:      append([]int64(nil), a.contactN...),
+		ContactD:      append([]int64(nil), a.contactD...),
+		ChanDisc:      copyCounts(a.chanDisc),
+		ChanTx:        copyCounts(a.chanTx),
+		ChanColl:      copyCounts(a.chanColl),
+	}
+}
+
+// accum reconstructs a streamAccum from its serialized state. The state
+// has already passed StreamState.validate, so the slice lengths are
+// internally consistent; compatibility with a specific scenario's layout is
+// checked by the caller via merge's guards.
+func (s *StreamState) accum() *streamAccum {
+	return &streamAccum{
+		horizon:       s.Horizon,
+		binWidth:      s.BinWidth,
+		worst:         s.Worst,
+		count:         s.Count,
+		misses:        s.Misses,
+		sumLo:         s.SumLo,
+		sumHi:         s.SumHi,
+		min:           s.Min,
+		max:           s.Max,
+		bins:          append([]int64(nil), s.Bins...),
+		transmissions: s.Transmissions,
+		collided:      s.Collided,
+		contactN:      append([]int64(nil), s.ContactN...),
+		contactD:      append([]int64(nil), s.ContactD...),
+		chanDisc:      expandCounts(s.ChanDisc),
+		chanTx:        expandCounts(s.ChanTx),
+		chanColl:      expandCounts(s.ChanColl),
+	}
+}
+
+// copyCounts copies a counter slice, normalizing empty to nil so encoded
+// snapshots have one canonical form (decode∘encode is the identity).
+func copyCounts(s []int64) []int64 {
+	if len(s) == 0 {
+		return nil
+	}
+	return append([]int64(nil), s...)
+}
+
+// expandCounts is copyCounts' inverse direction: a nil serialized counter
+// list reconstructs as the empty (zero-channel) slice newStreamAccum makes.
+func expandCounts(s []int64) []int64 {
+	if len(s) == 0 {
+		return []int64{}
+	}
+	return append([]int64(nil), s...)
 }
 
 // binUpper returns the quantile estimate for histogram bin b: the bin's

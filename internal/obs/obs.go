@@ -81,6 +81,17 @@ type RunMetrics struct {
 	// evaluation memo instead of re-run (adaptive runs only).
 	MemoHits int `json:"memo_hits,omitempty"`
 
+	// ShardK/ShardN identify the trial-range shard this invocation ran
+	// (sharded runs only; 0/0 = unsharded) and SnapshotPoints counts the
+	// accumulator snapshots it exported.
+	ShardK         int `json:"shard_k,omitempty"`
+	ShardN         int `json:"shard_n,omitempty"`
+	SnapshotPoints int `json:"snapshot_points,omitempty"`
+
+	// ResumedPoints counts points restored from a job journal instead of
+	// re-executed (journaled runs only).
+	ResumedPoints int `json:"resumed_points,omitempty"`
+
 	// PeakAccumBytes is the high-water estimate of live aggregation
 	// state — materialized trial-output slices plus streaming
 	// accumulators — across the run.
@@ -99,6 +110,11 @@ func (m *RunMetrics) Merge(o RunMetrics) {
 	m.StreamedPoints += o.StreamedPoints
 	m.ExactPoints += o.ExactPoints
 	m.MemoHits += o.MemoHits
+	m.SnapshotPoints += o.SnapshotPoints
+	m.ResumedPoints += o.ResumedPoints
+	if m.ShardK == 0 && m.ShardN == 0 {
+		m.ShardK, m.ShardN = o.ShardK, o.ShardN
+	}
 	if o.Workers > m.Workers {
 		m.Workers = o.Workers
 	}
