@@ -67,13 +67,26 @@ func registry() ([]bench, error) {
 	}
 	grid := grids[0]
 
+	quick, err := engine.Preset("quickstart")
+	if err != nil {
+		return nil, err
+	}
+
 	all := runtime.GOMAXPROCS(0)
+	exact := quick
+	exact.Exact = true
 	return []bench{
 		{"EngineScenario1Worker", 32, engineBench(busy, 32, 1)},
 		{"EngineScenarioAllCores", 32, engineBench(busy, 32, all)},
 		{"EngineMultiChannelPair", 64, engineBench(fast, 64, all)},
 		{"EngineSlotGridPair", 64, engineBench(grid, 64, all)},
 		{"EngineMultiChannelGroup", 16, engineBench(crowd, 16, all)},
+		// The exact-analysis fast path against its Monte-Carlo twin: the
+		// same preset answered from the schedule analysis (no trials) vs
+		// simulated at its registry trial count. Their ns/op ratio is the
+		// exact-mode speedup the trajectory tracks.
+		{"EngineExactPoint", 0, engineBench(exact, 0, all)},
+		{"EngineExactPointMC", 500, engineBench(quick, 500, all)},
 		{"CoverageAnalyzeDisco2329", 0, benchCoverageDisco},
 		{"MultichannelAnalyzeBLE", 0, benchMultichannelBLE},
 		{"SlotDomainWorstCase", 0, benchSlotWorstCase},
@@ -218,7 +231,7 @@ func renderResults(f obs.BenchFile) string {
 }
 
 func renderDeltas(deltas []obs.BenchDelta) string {
-	tbl := textplot.NewTable("benchmark", "base ns/op", "cur ns/op", "ratio", "verdict")
+	tbl := textplot.NewTable("benchmark", "base ns/op", "cur ns/op", "ratio", "base allocs", "cur allocs", "verdict")
 	for _, d := range deltas {
 		verdict := "ok"
 		switch {
@@ -226,8 +239,12 @@ func renderDeltas(deltas []obs.BenchDelta) string {
 			verdict = "dropped"
 		case d.OnlyCurrent:
 			verdict = "new"
+		case d.Regression && d.AllocRegression:
+			verdict = "REGRESSION (ns+allocs)"
 		case d.Regression:
 			verdict = "REGRESSION"
+		case d.AllocRegression:
+			verdict = "ALLOC REGRESSION"
 		case d.Improvement:
 			verdict = "improved"
 		}
@@ -241,7 +258,14 @@ func renderDeltas(deltas []obs.BenchDelta) string {
 		if d.Ratio > 0 {
 			ratio = fmt.Sprintf("%.2fx", d.Ratio)
 		}
-		tbl.Add(d.Name, ns(d.BaseNs), ns(d.CurNs), ratio, verdict)
+		allocs := func(v int64) string {
+			if d.OnlyBase || d.OnlyCurrent {
+				return "—"
+			}
+			return fmt.Sprintf("%d", v)
+		}
+		tbl.Add(d.Name, ns(d.BaseNs), ns(d.CurNs), ratio,
+			allocs(d.BaseAllocs), allocs(d.CurAllocs), verdict)
 	}
 	return tbl.String()
 }
@@ -274,6 +298,7 @@ func main() {
 		compare   = flag.String("compare", "", "baseline BENCH_*.json to compare against")
 		against   = flag.String("against", "", "candidate BENCH_*.json for -compare (default: run live)")
 		tol       = flag.Float64("tolerance", obs.DefaultBenchTolerance, "relative ns/op slack before a row counts as regressed")
+		allocTol  = flag.Float64("alloctol", obs.DefaultAllocTolerance, "relative allocs/op slack before a row counts as regressed (allocs are deterministic, so this band is tight)")
 		strict    = flag.Bool("strict", false, "exit nonzero when -compare finds regressions")
 	)
 	testing.Init()
@@ -340,11 +365,11 @@ func main() {
 		if base.Host != cur.Host {
 			fmt.Fprintln(os.Stderr, "ndbench: warning: host fingerprints differ; ratios are apples-to-oranges")
 		}
-		deltas := obs.CompareBench(base, cur, *tol)
+		deltas := obs.CompareBench(base, cur, *tol, *allocTol)
 		fmt.Print(renderDeltas(deltas))
 		if n := obs.Regressions(deltas); n > 0 {
-			fmt.Fprintf(os.Stderr, "ndbench: %d benchmark(s) regressed beyond %.0f%% vs %s\n",
-				n, *tol*100, *compare)
+			fmt.Fprintf(os.Stderr, "ndbench: %d benchmark(s) regressed (ns/op beyond %.0f%% or allocs/op beyond %.0f%%) vs %s\n",
+				n, *tol*100, *allocTol*100, *compare)
 			if *strict {
 				os.Exit(1)
 			}

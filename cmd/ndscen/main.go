@@ -12,6 +12,13 @@
 // trial index, and aggregation is either trial-ordered (exact) or built
 // from order-insensitive integer accumulators (streaming).
 //
+// -exact (or "exact": true in a spec) answers scenarios from the exact
+// schedule analysis instead of running any trials: deterministic
+// quiet-channel pair questions return the analysis's worst/mean latency and
+// bound ratio directly, flagged "exact_mode" in the JSON; stochastic
+// scenarios (crowds, churn, channel models, lossy schedules) are rejected
+// with an explanation rather than silently approximated.
+//
 // Adaptive sweeps (-adaptive) search the parameter space coarse-to-fine
 // instead of on a fixed grid: a coarse pass, then refinement rounds that
 // bracket the best objective value seen so far, reported as a
@@ -41,6 +48,7 @@
 //	ndscen -list
 //	ndscen -suite paper-fig7 -workers 8 -out results.json
 //	ndscen -scenario quickstart,sensornet -plot
+//	ndscen -sweep sweep-eta -exact -out eta-exact.json
 //	ndscen -sweep sweep-eta -out eta.json
 //	ndscen -sweep mysweep.json -stream on
 //	ndscen -adaptive adaptive-eta -out eta-refined.json
@@ -79,6 +87,7 @@ func main() {
 		list     = flag.Bool("list", false, "list presets, suites and sweeps, then exit")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		trials   = flag.Int("trials", 0, "override every scenario's trial count")
+		exact    = flag.Bool("exact", false, "answer every scenario from the exact schedule analysis (no trials; deterministic quiet-channel pairs only)")
 		stream   = flag.String("stream", "auto", "streaming aggregator: auto|on|off")
 		out      = flag.String("out", "", "write JSON results to this file (\"-\" = stdout)")
 		plot     = flag.Bool("plot", false, "render the latency CDFs as an ASCII plot")
@@ -156,7 +165,7 @@ func main() {
 
 	var metrics obs.RunMetrics
 	opt := engine.Options{
-		Workers: *workers, Trials: *trials, Stream: mode,
+		Workers: *workers, Trials: *trials, Exact: *exact, Stream: mode,
 		Metrics: &metrics,
 	}
 	if *progress {

@@ -133,16 +133,21 @@ func checkGenDecl(t *testing.T, fset *token.FileSet, root, fname string, d *ast.
 	}
 }
 
-// TestRequiredDocSections: the sharding and observability layers must
-// stay documented — the architecture guide needs its Sharded execution
-// and Observability sections, and the README must cover the shard/merge/
-// journal flags, the progress flag, the profiling flags and the benchmark
-// trajectory workflow. A doc that silently drops one of these would strand
-// the features it explains.
+// TestRequiredDocSections: the hot-path, sharding and observability
+// layers must stay documented — the architecture guide needs its Hot
+// path & exact mode, Sharded execution and Observability sections, and
+// the README must cover the exact-mode flag, the shard/merge/journal
+// flags, the progress flag, the profiling flags and the benchmark
+// trajectory workflow. A doc that silently drops one of these would
+// strand the features it explains.
 func TestRequiredDocSections(t *testing.T) {
 	root := repoRoot(t)
 	requirements := map[string][]string{
 		"docs/ARCHITECTURE.md": {
+			"## Hot path & exact mode",
+			"Scratch",
+			"exact_mode",
+			"batch windows",
 			"## Sharded execution",
 			"ndshard/1",
 			"ndjournal/1",
@@ -161,6 +166,8 @@ func TestRequiredDocSections(t *testing.T) {
 			"cmd/ndlint",
 		},
 		"README.md": {
+			"-exact",
+			"exact_mode",
 			"-shard",
 			"-merge",
 			"-snapshot",

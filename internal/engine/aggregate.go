@@ -46,6 +46,13 @@ type Aggregate struct {
 	Transmissions int        `json:"transmissions"`
 	Collided      int        `json:"collided"`
 
+	// ExactMode marks aggregates answered from the schedule analysis alone
+	// (Scenario.Exact / the -exact flag): no trials ran, so the Monte-Carlo
+	// block is empty except for Latency.Max/Mean, which restate the exact
+	// worst/mean latency so downstream table and sweep consumers keep
+	// reading the same columns.
+	ExactMode bool `json:"exact_mode,omitempty"`
+
 	// Streamed marks aggregates produced by the bounded-memory streaming
 	// accumulator; their quantiles and CDF latencies are histogram bin
 	// upper edges, accurate to QuantileResolution ticks (see stream.go for
@@ -278,6 +285,26 @@ func aggregateExact(sc Scenario, b *built, horizon timebase.Ticks, st *ExactStat
 		agg.PerChannel = channelStats(b, st.ChanDisc, nil, nil)
 	case modeMultiChannelGroup:
 		agg.PerChannel = channelStats(b, st.ChanDisc, st.ChanTx, st.ChanColl)
+	}
+	return agg
+}
+
+// aggregateAnalysis answers an exact-mode point from the schedule analysis
+// alone: the coverage analysis already integrates the trial ensemble over
+// every phase offset exactly, so the worst and mean latency are the limits
+// the Monte-Carlo estimators converge to. Eligibility (exactEligible) has
+// guaranteed a deterministic quiet-channel pair, so the failure mass is
+// zero and no sample pool, CDF or traffic counters exist. Multi-channel
+// points keep their per-branch exact rows with zero Monte-Carlo counts.
+func aggregateAnalysis(sc Scenario, b *built, horizon timebase.Ticks) Aggregate {
+	agg := baseAggregate(sc, b, horizon)
+	agg.ExactMode = true
+	agg.Latency = sim.Stats{
+		Max:  b.Analysis.WorstLatency,
+		Mean: b.Analysis.MeanLatency,
+	}
+	if b.Mode == modeMultiChannel {
+		agg.PerChannel = channelStats(b, make([]int64, b.MC.Channels), nil, nil)
 	}
 	return agg
 }

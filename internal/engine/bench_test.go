@@ -18,10 +18,29 @@ func benchScenario() Scenario {
 func runBench(b *testing.B, workers int) {
 	b.Helper()
 	sc := benchScenario()
+	// Warm the build cache so the loop measures the batched trial path,
+	// not schedule analysis.
+	if _, err := RunScenario(sc, Options{Trials: 1, Workers: workers}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunScenario(sc, Options{Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
+	}
+	reportTrials(b, sc.Trials)
+}
+
+// reportTrials derives trials/sec from the measured loop so the batched
+// execution path's throughput is visible directly in `go test -bench`
+// output, matching the ndbench trajectory metric.
+func reportTrials(b *testing.B, trials int) {
+	b.Helper()
+	elapsed := b.Elapsed().Seconds()
+	if trials > 0 && elapsed > 0 {
+		b.ReportMetric(float64(trials)*float64(b.N)/elapsed, "trials/s")
 	}
 }
 
@@ -38,12 +57,37 @@ func benchKind(b *testing.B, sc Scenario, trials int) {
 	if _, err := RunScenario(sc, Options{Trials: 1}); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunScenario(sc, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportTrials(b, sc.Trials)
+}
+
+// BenchmarkExactPoint measures the exact-analysis fast path: the same
+// quickstart point BenchmarkExactPointMC simulates, answered straight
+// from the cached schedule analysis with zero trials. Their ns/op ratio
+// is the exact-mode speedup ISSUE 9 gates on (≥ 100×).
+func BenchmarkExactPoint(b *testing.B) {
+	sc, err := Preset("quickstart")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.Exact = true
+	benchKind(b, sc, 0)
+}
+
+// BenchmarkExactPointMC is the Monte-Carlo twin of BenchmarkExactPoint:
+// identical scenario, 500 simulated trials.
+func BenchmarkExactPointMC(b *testing.B) {
+	sc, err := Preset("quickstart")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchKind(b, sc, 500)
 }
 
 // BenchmarkMultiChannelPairScenario measures the multi-channel pair path

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// kindSweep returns one small scenario per protocol-kind family, each
+// exercising its arena-backed trial primitive through the batched worker
+// path: the single-channel pair kernel (optimal, asymmetric, ble), the
+// multi-channel pair, the slot-aligned grid, the multi-channel crowd, the
+// group workload, and churn.
+func kindSweep(t *testing.T) []Scenario {
+	t.Helper()
+	var out []Scenario
+	add := func(name string, trials int) {
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Trials = trials
+		out = append(out, sc)
+	}
+	add("quickstart", 16)        // optimal pair
+	add("sensornet", 16)         // asymmetric pair
+	add("ble-fast", 16)          // BLE pair with advDelay jitter
+	add("ble3-fast", 16)         // multi-channel pair
+	add("ble3-crowd", 4)         // multi-channel group
+	add("busynetwork-jitter", 8) // population group on the collision channel
+	add("churn-busy", 4)         // churn workload
+	grids, err := Suite("slotgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := grids[0]
+	grid.Trials = 16
+	out = append(out, grid) // slot-aligned grid pair
+	return out
+}
+
+// TestArenaPathWorkerInvarianceAllKinds pins the arena overhaul's contract
+// in one sweep: for every protocol-kind family, the batched per-worker
+// scratch path aggregates byte-identically with 1 worker and with 8. Run
+// under -race this doubles as the data-race check on the shared batch
+// cursor and per-worker arenas.
+func TestArenaPathWorkerInvarianceAllKinds(t *testing.T) {
+	for _, sc := range kindSweep(t) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := RunScenario(sc, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := RunScenario(sc, Options{Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(marshalAgg(t, serial), marshalAgg(t, parallel)) {
+				t.Error("aggregates differ between 1 and 8 workers")
+			}
+		})
+	}
+}
+
+// TestExactMatchesMonteCarlo: the exact fast path and a Monte-Carlo run of
+// the same point must tell the same story — the simulated mean converges on
+// the analytic mean, and no simulated latency exceeds the analytic worst
+// case (phases are uniform, so the MC maximum approaches it from below).
+func TestExactMatchesMonteCarlo(t *testing.T) {
+	sc, err := Preset("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Trials = 2000
+	mc, err := RunScenario(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := RunScenario(sc, Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.ExactMode || exact.Trials != 0 {
+		t.Fatalf("exact aggregate not flagged: exact_mode=%v trials=%d", exact.ExactMode, exact.Trials)
+	}
+	if mc.ExactMode {
+		t.Fatal("Monte-Carlo aggregate flagged exact_mode")
+	}
+	if exact.ExactWorst != mc.ExactWorst {
+		t.Errorf("exact-mode analysis worst %d != Monte-Carlo run's analysis worst %d", exact.ExactWorst, mc.ExactWorst)
+	}
+	if mc.Latency.Max > exact.Latency.Max {
+		t.Errorf("simulated max %d exceeds exact worst case %d", mc.Latency.Max, exact.Latency.Max)
+	}
+	if rel := math.Abs(mc.Latency.Mean-exact.Latency.Mean) / exact.Latency.Mean; rel > 0.05 {
+		t.Errorf("simulated mean %.1f vs exact mean %.1f: relative error %.3f > 0.05",
+			mc.Latency.Mean, exact.Latency.Mean, rel)
+	}
+}
+
+// TestExactRejectsStochasticKinds: every stochastic ingredient must be
+// refused loudly — each exactEligible branch, with an error naming why
+// that workload needs Monte-Carlo trials.
+func TestExactRejectsStochasticKinds(t *testing.T) {
+	quick, err := Preset("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := Preset("ble3-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd.Population = 2
+	crowd.Channel = ChannelSpec{}
+	churn, err := Preset("churn-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn.Population = 2
+	churn.Channel = ChannelSpec{}
+	jittery := quick
+	jittery.Channel = ChannelSpec{Jitter: 10}
+	protos, err := Suite("protocols")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var disco Scenario
+	for _, sc := range protos {
+		if sc.Name == "proto-disco" {
+			disco = sc
+		}
+	}
+	if disco.Name == "" {
+		t.Fatal("proto-disco not in the protocols suite")
+	}
+
+	group := quick
+	group.Population = 5
+
+	cases := []struct {
+		sc   Scenario
+		want string
+	}{
+		{group, "pair workload only"},
+		{churn, "cannot answer churn"},
+		{jittery, "quiet channel"},
+		{crowd, "collides stochastically"},
+		{disco, "deterministic schedule"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.sc.Name+"/"+c.want, func(t *testing.T) {
+			_, err := RunScenario(c.sc, Options{Exact: true})
+			if err == nil {
+				t.Fatal("stochastic scenario accepted in exact mode")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}

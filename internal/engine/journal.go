@@ -101,12 +101,19 @@ func RunJournaled(label string, scenarios []Scenario, opt Options, dir string) (
 	if len(scenarios) == 0 {
 		return nil, errors.New("engine: journaled run needs at least one scenario")
 	}
-	// Fold the trial override up front: the journal is keyed by effective
-	// scenarios, and snapshots embed them.
+	// Fold the trial and exact overrides up front, exactly as prepare
+	// would: the journal is keyed by effective scenarios, and snapshots
+	// embed them.
 	eff := make([]Scenario, len(scenarios))
 	for i, sc := range scenarios {
 		if opt.Trials > 0 {
 			sc.Trials = opt.Trials
+		}
+		if opt.Exact {
+			sc.Exact = true
+		}
+		if sc.Exact {
+			sc.Trials = 0
 		}
 		if err := sc.Validate(); err != nil {
 			return nil, err
@@ -115,6 +122,7 @@ func RunJournaled(label string, scenarios []Scenario, opt Options, dir string) (
 	}
 	o := opt
 	o.Trials = 0
+	o.Exact = false
 
 	if err := openJournal(dir, journalManifest{
 		Codec:   JournalCodec,

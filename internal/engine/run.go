@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,6 +27,13 @@ type Options struct {
 	// Trials, when > 0, overrides Scenario.Trials (e.g. a CLI -trials
 	// flag or a fast test run).
 	Trials int
+
+	// Exact forces every scenario onto the exact-analysis fast path
+	// (Scenario.Exact, the -exact flag): aggregates are synthesized from
+	// the schedule analysis and no trials run. Scenarios that need
+	// Monte-Carlo trials — crowds, churn, any channel model, lossy
+	// schedules — fail loudly instead of silently degrading.
+	Exact bool
 
 	// Stream selects the aggregation strategy: StreamAuto engages the
 	// bounded-memory streaming accumulator above streamThreshold expected
@@ -99,6 +105,7 @@ type point struct {
 	horizon timebase.Ticks
 	hash    uint64
 	stream  bool
+	exact   bool // answered from the analysis; lo == hi == Trials == 0
 
 	// idx is the point's index in the run's input order; lo/hi is the
 	// half-open trial range this process executes (the full [0, Trials)
@@ -206,12 +213,21 @@ func (p *point) finalize(rec *runRecorder) {
 			}
 		}
 		if p.fullRange() {
-			p.agg = aggregateExact(p.sc, p.b, p.horizon, st)
+			if p.exact {
+				// The snapshot keeps the empty (but layout-valid) exact
+				// state so shard merges work unchanged; the aggregate
+				// comes from the analysis, not from the zero samples.
+				p.agg = aggregateAnalysis(p.sc, p.b, p.horizon)
+			} else {
+				p.agg = aggregateExact(p.sc, p.b, p.horizon, st)
+			}
 		}
 		rec.accumRelease(int64(len(p.outputs)) * trialOutputBytes)
 		p.outputs = nil
 	}
-	if p.fullRange() {
+	// Runtime is a trial-execution record; an exact point never starts a
+	// trial, so it carries none.
+	if p.fullRange() && !p.exact {
 		wall := rec.sinceNS() - (p.startNS.Load() - 1)
 		if wall < 1 {
 			wall = 1
@@ -246,10 +262,39 @@ func (p *point) makeSnapshot() *PointSnapshot {
 	}
 }
 
+// exactEligible gates the exact-analysis fast path: the coverage analysis
+// answers only the deterministic quiet-channel pair question, so every
+// stochastic ingredient must be absent. Each rejection names what would
+// have required Monte-Carlo trials — silently falling back would defeat
+// the point of asking for an exact answer.
+func exactEligible(sc Scenario, b *built) error {
+	switch {
+	case sc.Population != 2:
+		return fmt.Errorf("engine: scenario %q: exact mode answers the pair workload only; a population of %d interacts stochastically and needs Monte-Carlo trials", sc.Name, sc.Population)
+	case sc.Churn != nil:
+		return fmt.Errorf("engine: scenario %q: exact mode cannot answer churn — arrivals are a stochastic process; drop the churn spec or run Monte-Carlo trials", sc.Name)
+	case sc.Channel != (ChannelSpec{}):
+		return fmt.Errorf("engine: scenario %q: exact mode models a quiet channel; collisions, half-duplex, truncation and jitter need Monte-Carlo trials", sc.Name)
+	case b.Mode == modeMultiChannelGroup:
+		return fmt.Errorf("engine: scenario %q: exact mode cannot answer kind %q — crowd traffic collides stochastically; use kind \"multichannel\" for the pair question", sc.Name, sc.Protocol.Kind)
+	case !b.Analysis.Deterministic:
+		return fmt.Errorf("engine: scenario %q: exact mode needs a deterministic schedule; this one covers only %.4f of phase offsets, so latency is a distribution with failure mass — run Monte-Carlo trials", sc.Name, b.Analysis.CoveredFraction)
+	}
+	return nil
+}
+
 // prepare validates and materializes one scenario into a schedulable point.
 func prepare(sc Scenario, opt Options) (*point, error) {
 	if opt.Trials > 0 {
 		sc.Trials = opt.Trials
+	}
+	if opt.Exact {
+		sc.Exact = true
+	}
+	if sc.Exact {
+		// The effective spec records the truth: zero trials run. The empty
+		// trial range below makes the feeder finalize the point directly.
+		sc.Trials = 0
 	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -257,6 +302,11 @@ func prepare(sc Scenario, opt Options) (*point, error) {
 	b, err := build(sc.Protocol, sc.Population)
 	if err != nil {
 		return nil, fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+	}
+	if sc.Exact {
+		if err := exactEligible(sc, b); err != nil {
+			return nil, err
+		}
 	}
 	// Group and churn workloads instantiate every device from E's
 	// schedule, so a protocol with distinct E/F roles cannot express them.
@@ -284,7 +334,10 @@ func prepare(sc Scenario, opt Options) (*point, error) {
 		stay:    stay,
 		horizon: horizon,
 		hash:    sc.Hash(),
-		stream:  useStream(sc, opt),
+		exact:   sc.Exact,
+		// Exact points carry the (empty) exact-path state in snapshots, so
+		// a forced -stream on never switches them to the streaming form.
+		stream:  !sc.Exact && useStream(sc, opt),
 		lo:      lo,
 		hi:      hi,
 		capture: opt.capture,
@@ -321,10 +374,34 @@ func (p *point) chanCount() int {
 	return p.b.MC.Channels
 }
 
-// workItem addresses one trial of one point.
+// workItem addresses one contiguous window of trials of one point. Workers
+// claim whole windows, amortizing the per-item scheduling cost (channel
+// receive, accumulator lookup, point bookkeeping) over batchSize trials;
+// outputs stay trial-indexed and streaming accumulators are order-
+// insensitive integer state, so batching cannot change any aggregate.
 type workItem struct {
-	p     *point
-	trial int
+	p      *point
+	lo, hi int // half-open trial window
+}
+
+// batchCap bounds a batch: large enough to amortize scheduling, small
+// enough that a point still spreads across workers and progress stays
+// responsive.
+const batchCap = 256
+
+// batchSize picks the trial-window size for a point: an even split into
+// ~4 windows per worker (so the tail imbalance stays small), clamped to
+// [1, batchCap]. The size depends only on the trial count and worker
+// count, never on scheduling, so windows are deterministic.
+func batchSize(trials, workers int) int {
+	n := trials / (4 * workers)
+	if n < 1 {
+		return 1
+	}
+	if n > batchCap {
+		return batchCap
+	}
+	return n
 }
 
 // runMany is the scenario-level scheduler: it prepares every scenario,
@@ -387,6 +464,28 @@ func runPoints(scenarios []Scenario, opt Options) ([]*point, error) {
 	}
 	stopProgress := rec.startProgress(opt)
 
+	// An all-exact run (or a shard whose every range is empty) has no
+	// trials to schedule: the feeder loop below would only finalize each
+	// point, so run it inline and skip spawning the trial pool entirely —
+	// the exact fast path answers a sweep in microseconds and must not pay
+	// goroutine startup for a pool that would receive nothing.
+	if rec.trialsTotal == 0 {
+		for _, p := range points {
+			p.finalize(rec)
+			rec.pointsDone.Add(1)
+		}
+		stopProgress()
+		if opt.Metrics != nil {
+			*opt.Metrics = rec.metrics(points)
+		}
+		for _, p := range points {
+			if p.err != nil {
+				return nil, fmt.Errorf("engine: scenario %q trial %d: %w", p.sc.Name, p.errTrial, p.err)
+			}
+		}
+		return points, nil
+	}
+
 	work := make(chan workItem, 4*workers)
 	go func() {
 		for _, p := range points {
@@ -407,8 +506,13 @@ func runPoints(scenarios []Scenario, opt Options) ([]*point, error) {
 				p.outputs = make([]trialOutput, p.hi-p.lo)
 				rec.accumAdd(int64(p.hi-p.lo) * trialOutputBytes)
 			}
-			for t := p.lo; t < p.hi; t++ {
-				work <- workItem{p, t}
+			bs := batchSize(p.hi-p.lo, workers)
+			for t := p.lo; t < p.hi; t += bs {
+				hi := t + bs
+				if hi > p.hi {
+					hi = p.hi
+				}
+				work <- workItem{p, t, hi}
 			}
 		}
 		close(work)
@@ -419,24 +523,35 @@ func runPoints(scenarios []Scenario, opt Options) ([]*point, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Each worker owns one simulation arena, reused across every
+			// trial it runs (see sim.Scratch for the ownership rules).
+			scr := sim.NewScratch()
 			for it := range work {
 				p := it.p
 				t0 := rec.sinceNS()
 				p.startNS.CompareAndSwap(0, t0+1)
-				out := runTrial(p.sc, p.b, p.cfg, p.stay, p.hash, it.trial)
-				switch {
-				case out.err != nil:
-					p.recordErr(it.trial, out.err)
-				case p.stream:
-					acc := p.accs[w]
+				// Per-batch state shared by the window's trials: the
+				// streaming accumulator is fetched (or created) once.
+				var acc *streamAccum
+				if p.stream {
+					acc = p.accs[w]
 					if acc == nil {
 						acc = newStreamAccum(p.horizon, p.contactWorst(), p.chanCount())
 						rec.accumAdd(acc.approxBytes())
 						p.accs[w] = acc
 					}
-					acc.absorb(out)
-				default:
-					p.outputs[it.trial-p.lo] = out
+				}
+				for trial := it.lo; trial < it.hi; trial++ {
+					out := runTrial(p.sc, p.b, p.cfg, p.stay, p.hash, trial, scr)
+					switch {
+					case out.err != nil:
+						p.recordErr(trial, out.err)
+					case p.stream:
+						acc.absorb(out)
+					default:
+						p.outputs[trial-p.lo] = out
+					}
+					rec.trialsDone.Add(1)
 				}
 				// The worker finishing the point's last trial aggregates
 				// and releases it. The atomic counter orders every
@@ -444,8 +559,7 @@ func runPoints(scenarios []Scenario, opt Options) ([]*point, error) {
 				// and both trial-ordered exact aggregation and the
 				// order-insensitive accumulator merge are independent of
 				// which worker finalizes.
-				rec.trialsDone.Add(1)
-				if p.remaining.Add(-1) == 0 {
+				if p.remaining.Add(int64(it.lo-it.hi)) == 0 {
 					p.finalize(rec)
 					rec.pointsDone.Add(1)
 				}
@@ -485,15 +599,18 @@ func RunSuite(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 	return runMany(scenarios, opt)
 }
 
-// runTrial executes one trial on its own deterministic RNG stream. The
-// stream uses sim.NewFastSource: the default math/rand source costs ~25 µs
-// of seeding per instantiation, which dominated the per-trial budget.
-func runTrial(sc Scenario, b *built, cfg sim.Config, stay timebase.Ticks, hash uint64, trial int) trialOutput {
-	rng := rand.New(sim.NewFastSource(trialSeed(hash, trial)))
+// runTrial executes one trial on its own deterministic RNG stream, drawn
+// from the worker's arena: reseeding the arena's splitmix source in place
+// yields the exact stream a fresh rand.New(sim.NewFastSource(seed)) would
+// (the default math/rand source costs ~25 µs of seeding per instantiation,
+// which dominated the per-trial budget), and the sim buffers are reused
+// across the worker's trials.
+func runTrial(sc Scenario, b *built, cfg sim.Config, stay timebase.Ticks, hash uint64, trial int, scr *sim.Scratch) trialOutput {
+	rng := scr.Rand(trialSeed(hash, trial))
 	out := trialOutput{channel: -1}
 	switch {
 	case b.Mode == modeMultiChannel:
-		oc, err := sim.MultiChannelPairTrial(b.MC, cfg.Horizon, rng)
+		oc, err := sim.MultiChannelPairTrialScratch(b.MC, cfg.Horizon, rng, scr)
 		if err != nil {
 			return trialOutput{channel: -1, err: err}
 		}
@@ -508,9 +625,9 @@ func runTrial(sc Scenario, b *built, cfg sim.Config, stay timebase.Ticks, hash u
 		var res sim.MultiChannelGroupResult
 		var err error
 		if sc.Churn != nil {
-			res, err = sim.MultiChannelChurnTrial(b.MC, sc.Population, stay, cfg, rng)
+			res, err = sim.MultiChannelChurnTrialScratch(b.MC, sc.Population, stay, cfg, rng, scr)
 		} else {
-			res, err = sim.MultiChannelGroupTrial(b.MC, sc.Population, cfg, rng)
+			res, err = sim.MultiChannelGroupTrialScratch(b.MC, sc.Population, cfg, rng, scr)
 		}
 		if err != nil {
 			return trialOutput{channel: -1, err: err}
@@ -524,7 +641,7 @@ func runTrial(sc Scenario, b *built, cfg sim.Config, stay timebase.Ticks, hash u
 		out.chanDisc = res.Discoveries
 
 	case b.Mode == modeSlotGrid:
-		at, ok, err := b.SlotPair.Trial(cfg.Horizon, rng)
+		at, ok, err := b.SlotPair.TrialScratch(cfg.Horizon, rng, scr)
 		if err != nil {
 			return trialOutput{channel: -1, err: err}
 		}
@@ -535,7 +652,7 @@ func runTrial(sc Scenario, b *built, cfg sim.Config, stay timebase.Ticks, hash u
 		}
 
 	case sc.Churn != nil:
-		contacts, res, err := sim.ChurnTrial(b.E, sc.Population, stay, cfg, rng)
+		contacts, res, err := sim.ChurnTrialScratch(b.E, sc.Population, stay, cfg, rng, scr)
 		if err != nil {
 			return trialOutput{err: err}
 		}
@@ -554,8 +671,8 @@ func runTrial(sc Scenario, b *built, cfg sim.Config, stay timebase.Ticks, hash u
 		// The pair workload measures the one-way direction the bounds
 		// speak about: E's beacons against F's windows, stripped so that
 		// neither device's other half participates.
-		at, ok, err := sim.PairTrial(
-			schedule.Device{B: b.E.B}, schedule.Device{C: b.F.C}, cfg, rng)
+		at, ok, err := sim.PairTrialScratch(
+			schedule.Device{B: b.E.B}, schedule.Device{C: b.F.C}, cfg, rng, scr)
 		if err != nil {
 			return trialOutput{err: err}
 		}
@@ -566,7 +683,7 @@ func runTrial(sc Scenario, b *built, cfg sim.Config, stay timebase.Ticks, hash u
 		}
 
 	default:
-		tr, err := sim.GroupTrial(b.E, sc.Population, cfg, rng)
+		tr, err := sim.GroupTrialScratch(b.E, sc.Population, cfg, rng, scr)
 		if err != nil {
 			return trialOutput{err: err}
 		}

@@ -623,6 +623,11 @@ func finalizePoint(ps PointSnapshot) (Aggregate, error) {
 	if err != nil {
 		return Aggregate{}, err
 	}
+	if p.exact && ps.Streamed {
+		// prepare never streams an exact point, so a snapshot claiming both
+		// was not produced by this engine.
+		return Aggregate{}, fmt.Errorf("engine: point %q: an exact point cannot carry stream state", ps.Name)
+	}
 	if ps.Streamed {
 		// Merging the state into a freshly laid-out accumulator both
 		// validates the layout against the scenario (horizon, bin width,
@@ -646,6 +651,12 @@ func finalizePoint(ps PointSnapshot) (Aggregate, error) {
 	if len(st.ContactN) != wantContact || len(st.ChanDisc) != wantChan || len(st.ChanTx) != wantTx {
 		return Aggregate{}, fmt.Errorf("engine: point %q: snapshot does not match its scenario: contact/chan/tx counters %d/%d/%d, want %d/%d/%d",
 			ps.Name, len(st.ContactN), len(st.ChanDisc), len(st.ChanTx), wantContact, wantChan, wantTx)
+	}
+	if p.exact {
+		// Same synthesis as an unsharded run's finalize: the snapshot's
+		// exact state is empty by construction, and the answer comes from
+		// the analysis.
+		return aggregateAnalysis(p.sc, p.b, p.horizon), nil
 	}
 	return aggregateExact(p.sc, p.b, p.horizon, st.clone()), nil
 }

@@ -183,6 +183,17 @@ type Scenario struct {
 	// Seed folds into every per-trial RNG stream; two scenarios differing
 	// only in Seed run disjoint randomness.
 	Seed int64 `json:"seed"`
+
+	// Exact switches the scenario to the exact-analysis fast path: the
+	// aggregate is answered from the schedule's already-computed coverage
+	// analysis (worst/mean latency, covered fraction, bound ratio) and no
+	// Monte-Carlo trials run at all. Only deterministic quiet-channel pair
+	// questions qualify — population 2, no churn, a zero channel model, and
+	// a schedule whose analysis is deterministic; anything stochastic is
+	// rejected loudly at prepare time (see exactEligible). Trials is forced
+	// to 0 in the effective spec, and the resulting aggregate carries the
+	// ExactMode flag.
+	Exact bool `json:"exact,omitempty"`
 }
 
 // Validate checks the parts of the spec that can be judged without
@@ -200,8 +211,13 @@ func (s Scenario) Validate() error {
 	if s.Population < 2 {
 		return fmt.Errorf("engine: scenario %q: population %d must be ≥ 2", s.Name, s.Population)
 	}
-	if s.Trials < 1 {
+	// Exact points run no trials, so their effective specs (and snapshots
+	// of them) legitimately carry Trials == 0.
+	if s.Trials < 1 && !s.Exact {
 		return fmt.Errorf("engine: scenario %q: trials %d must be ≥ 1", s.Name, s.Trials)
+	}
+	if s.Trials < 0 {
+		return fmt.Errorf("engine: scenario %q: trials %d must be ≥ 0", s.Name, s.Trials)
 	}
 	if s.Channel.Jitter < 0 {
 		return fmt.Errorf("engine: scenario %q: jitter %d must be ≥ 0", s.Name, s.Channel.Jitter)

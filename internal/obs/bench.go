@@ -17,6 +17,12 @@ const BenchSchema = "ndbench/1"
 // magnitude drifts and trend lines, not 5% wobbles.
 const DefaultBenchTolerance = 0.25
 
+// DefaultAllocTolerance is the relative allocs/op slack -compare allows.
+// Allocation counts are deterministic — no scheduler noise, no CPU
+// contention — so the band is much tighter than the ns/op one: a 10% drift
+// means someone actually added allocations to a measured path.
+const DefaultAllocTolerance = 0.10
+
 // HostInfo fingerprints the machine a benchmark file was produced on, so
 // a cross-host comparison is visibly apples-to-oranges.
 type HostInfo struct {
@@ -120,9 +126,19 @@ type BenchDelta struct {
 	CurNs  float64 `json:"cur_ns,omitempty"`
 	Ratio  float64 `json:"ratio,omitempty"`
 
-	// Regression / Improvement flag ratios outside the tolerance band.
-	// OnlyBase marks benchmarks dropped since the baseline; OnlyCurrent
-	// newly added ones. Neither counts as a regression.
+	// BaseAllocs and CurAllocs are the two allocs/op readings; AllocRatio
+	// is CurAllocs/BaseAllocs (0 when the base row allocated nothing).
+	// AllocRegression flags an allocs/op growth beyond the alloc tolerance
+	// — including the 0 → N case, which has no finite ratio but is exactly
+	// the drift an arena-reuse overhaul must not silently absorb.
+	BaseAllocs      int64   `json:"base_allocs,omitempty"`
+	CurAllocs       int64   `json:"cur_allocs,omitempty"`
+	AllocRatio      float64 `json:"alloc_ratio,omitempty"`
+	AllocRegression bool    `json:"alloc_regression,omitempty"`
+
+	// Regression / Improvement flag ns/op ratios outside the tolerance
+	// band. OnlyBase marks benchmarks dropped since the baseline;
+	// OnlyCurrent newly added ones. Neither counts as a regression.
 	Regression  bool `json:"regression,omitempty"`
 	Improvement bool `json:"improvement,omitempty"`
 	OnlyBase    bool `json:"only_base,omitempty"`
@@ -130,12 +146,17 @@ type BenchDelta struct {
 }
 
 // CompareBench joins two bench files by benchmark name and judges each
-// shared row against the relative tolerance: ratio > 1+tol is a
-// regression, ratio < 1−tol an improvement. Rows are returned sorted by
-// name; tolerance ≤ 0 takes DefaultBenchTolerance.
-func CompareBench(base, cur BenchFile, tolerance float64) []BenchDelta {
+// shared row on two axes: ns/op against the relative tolerance (ratio >
+// 1+tol is a regression, < 1−tol an improvement) and allocs/op against
+// allocTol (growth beyond 1+allocTol, or any allocations where the base
+// had none, is an alloc regression). Rows are returned sorted by name;
+// non-positive tolerances take the respective defaults.
+func CompareBench(base, cur BenchFile, tolerance, allocTol float64) []BenchDelta {
 	if tolerance <= 0 {
 		tolerance = DefaultBenchTolerance
+	}
+	if allocTol <= 0 {
+		allocTol = DefaultAllocTolerance
 	}
 	baseBy := make(map[string]BenchResult, len(base.Results))
 	for _, r := range base.Results {
@@ -168,6 +189,16 @@ func CompareBench(base, cur BenchFile, tolerance float64) []BenchDelta {
 			d.Ratio = c.NsPerOp / b.NsPerOp
 			d.Regression = d.Ratio > 1+tolerance
 			d.Improvement = d.Ratio < 1-tolerance
+			d.BaseAllocs = b.AllocsPerOp
+			d.CurAllocs = c.AllocsPerOp
+			if b.AllocsPerOp > 0 {
+				d.AllocRatio = float64(c.AllocsPerOp) / float64(b.AllocsPerOp)
+				d.AllocRegression = d.AllocRatio > 1+allocTol
+			} else if c.AllocsPerOp > 0 {
+				// A zero-alloc baseline has no finite ratio; any growth is
+				// the regression the zero was fought for.
+				d.AllocRegression = true
+			}
 		case inBase:
 			d.BaseNs = b.NsPerOp
 			d.OnlyBase = true
@@ -180,11 +211,12 @@ func CompareBench(base, cur BenchFile, tolerance float64) []BenchDelta {
 	return deltas
 }
 
-// Regressions counts the regression rows of a comparison.
+// Regressions counts the rows of a comparison regressed on either axis
+// (ns/op or allocs/op).
 func Regressions(deltas []BenchDelta) int {
 	n := 0
 	for _, d := range deltas {
-		if d.Regression {
+		if d.Regression || d.AllocRegression {
 			n++
 		}
 	}

@@ -69,7 +69,7 @@ func TestCompareBenchThresholds(t *testing.T) {
 		row("edge-high", 110), // exactly 1+tol: NOT a regression (strict >)
 		row("added", 100),     // only in current
 	)
-	deltas := CompareBench(base, cur, 0.10)
+	deltas := CompareBench(base, cur, 0.10, 0)
 	got := make(map[string]BenchDelta, len(deltas))
 	for _, d := range deltas {
 		got[d.Name] = d
@@ -111,12 +111,71 @@ func TestCompareBenchThresholds(t *testing.T) {
 func TestCompareBenchDefaultTolerance(t *testing.T) {
 	base := benchFixture(row("a", 100))
 	cur := benchFixture(row("a", 120)) // +20%: inside the 25% default
-	if n := Regressions(CompareBench(base, cur, 0)); n != 0 {
+	if n := Regressions(CompareBench(base, cur, 0, 0)); n != 0 {
 		t.Fatalf("+20%% flagged under the %g default tolerance", DefaultBenchTolerance)
 	}
 	cur = benchFixture(row("a", 130)) // +30%: outside
-	if n := Regressions(CompareBench(base, cur, 0)); n != 1 {
+	if n := Regressions(CompareBench(base, cur, 0, 0)); n != 1 {
 		t.Fatal("+30% not flagged under the default tolerance")
+	}
+}
+
+func allocRow(name string, ns float64, allocs int64) BenchResult {
+	return BenchResult{Name: name, Iters: 10, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+// TestCompareBenchAllocRegression pins the allocs/op axis: growth beyond
+// the alloc tolerance regresses, growth within it does not, shrinking
+// never does, and a zero-alloc baseline flags ANY allocation — the exact
+// guard an arena-reuse overhaul needs.
+func TestCompareBenchAllocRegression(t *testing.T) {
+	base := benchFixture(
+		allocRow("steady", 100, 1000),
+		allocRow("grown", 100, 1000),
+		allocRow("shrunk", 100, 1000),
+		allocRow("edge", 100, 1000),
+		allocRow("waszero", 100, 0),
+		allocRow("stayzero", 100, 0),
+	)
+	cur := benchFixture(
+		allocRow("steady", 100, 1050), // +5%: inside the 10% band
+		allocRow("grown", 100, 1200),  // +20%: regression
+		allocRow("shrunk", 100, 100),  // 10× fewer: fine
+		allocRow("edge", 100, 1100),   // exactly 1+tol: NOT a regression (strict >)
+		allocRow("waszero", 100, 3),   // 0 → 3: regression, no finite ratio
+		allocRow("stayzero", 100, 0),  // 0 → 0: fine
+	)
+	deltas := CompareBench(base, cur, 0.25, 0.10)
+	got := make(map[string]BenchDelta, len(deltas))
+	for _, d := range deltas {
+		got[d.Name] = d
+	}
+	if d := got["steady"]; d.AllocRegression {
+		t.Errorf("steady misjudged: %+v", d)
+	}
+	if d := got["grown"]; !d.AllocRegression || d.AllocRatio != 1.2 {
+		t.Errorf("grown misjudged: %+v", d)
+	}
+	if d := got["shrunk"]; d.AllocRegression {
+		t.Errorf("shrunk misjudged: %+v", d)
+	}
+	if d := got["edge"]; d.AllocRegression {
+		t.Errorf("ratio exactly at the alloc tolerance edge must not regress: %+v", d)
+	}
+	if d := got["waszero"]; !d.AllocRegression || d.AllocRatio != 0 {
+		t.Errorf("waszero misjudged: %+v", d)
+	}
+	if d := got["stayzero"]; d.AllocRegression {
+		t.Errorf("stayzero misjudged: %+v", d)
+	}
+	// None of these rows moved on ns/op, so Regressions counts exactly the
+	// alloc-regressed ones.
+	if n := Regressions(deltas); n != 2 {
+		t.Errorf("Regressions = %d, want 2 (grown, waszero)", n)
+	}
+	// A non-positive allocTol falls back to the 10% default.
+	if n := Regressions(CompareBench(benchFixture(allocRow("a", 100, 100)), benchFixture(allocRow("a", 100, 115)), 0.25, 0)); n != 1 {
+		t.Error("+15% allocs not flagged under the default alloc tolerance")
 	}
 }
 

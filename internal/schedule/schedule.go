@@ -115,10 +115,16 @@ func (c WindowSeq) Empty() bool { return len(c.Windows) == 0 }
 // in increasing start order, with absolute times. It implements
 // WindowStream.
 func (c WindowSeq) WindowsWithin(from, to timebase.Ticks) []Window {
+	return c.AppendWindowsWithin(nil, from, to)
+}
+
+// AppendWindowsWithin appends the windows of C∞ starting in [from, to) to
+// dst and returns the extended slice, letting hot callers reuse one buffer
+// across calls instead of allocating per query.
+func (c WindowSeq) AppendWindowsWithin(dst []Window, from, to timebase.Ticks) []Window {
 	if c.Period <= 0 || len(c.Windows) == 0 || to <= from {
-		return nil
+		return dst
 	}
-	var out []Window
 	// First instance index whose windows could start at or after from.
 	firstCycle := floorDiv(from-c.Windows[len(c.Windows)-1].Start, c.Period) - 1
 	for cycle := firstCycle; ; cycle++ {
@@ -134,10 +140,10 @@ func (c WindowSeq) WindowsWithin(from, to timebase.Ticks) []Window {
 			if t >= to {
 				break
 			}
-			out = append(out, Window{Start: t, Len: w.Len})
+			dst = append(dst, Window{Start: t, Len: w.Len})
 		}
 	}
-	return out
+	return dst
 }
 
 // BeaconSeq is a finite beacon sequence B whose infinite concatenation forms
@@ -241,10 +247,16 @@ func (b BeaconSeq) MaxGap() timebase.Ticks {
 // BeaconsWithin returns all beacons of B∞ sent (started) in [from, to), in
 // increasing time order, with absolute times. It implements BeaconStream.
 func (b BeaconSeq) BeaconsWithin(from, to timebase.Ticks) []Beacon {
+	return b.AppendBeaconsWithin(nil, from, to)
+}
+
+// AppendBeaconsWithin appends the beacons of B∞ sent in [from, to) to dst
+// and returns the extended slice, letting hot callers reuse one buffer
+// across calls instead of allocating per query.
+func (b BeaconSeq) AppendBeaconsWithin(dst []Beacon, from, to timebase.Ticks) []Beacon {
 	if b.Period <= 0 || len(b.Beacons) == 0 || to <= from {
-		return nil
+		return dst
 	}
-	var out []Beacon
 	firstCycle := floorDiv(from-b.Beacons[len(b.Beacons)-1].Time, b.Period) - 1
 	for cycle := firstCycle; ; cycle++ {
 		base := cycle * b.Period
@@ -259,10 +271,10 @@ func (b BeaconSeq) BeaconsWithin(from, to timebase.Ticks) []Beacon {
 			if t >= to {
 				break
 			}
-			out = append(out, Beacon{Time: t, Len: bc.Len})
+			dst = append(dst, Beacon{Time: t, Len: bc.Len})
 		}
 	}
-	return out
+	return dst
 }
 
 // BeaconStream yields the beacons of a (possibly aperiodic) B∞ inside a

@@ -79,6 +79,11 @@ func NewSlotGridPair(a, b slots.Schedule, slotLen timebase.Ticks) (*SlotGridPair
 // offsets and therefore sees the misalignment losses of the paper's
 // Figure 5.
 func (p *SlotGridPair) Trial(horizon timebase.Ticks, rng *rand.Rand) (timebase.Ticks, bool, error) {
+	return p.TrialScratch(horizon, rng, NewScratch())
+}
+
+// TrialScratch is Trial against a caller-owned arena.
+func (p *SlotGridPair) TrialScratch(horizon timebase.Ticks, rng *rand.Rand, scr *Scratch) (timebase.Ticks, bool, error) {
 	if horizon <= 0 {
 		return 0, false, fmt.Errorf("sim: horizon %d must be positive", horizon)
 	}
@@ -99,10 +104,13 @@ func (p *SlotGridPair) Trial(horizon timebase.Ticks, rng *rand.Rand) (timebase.T
 	// Phase -u·slotLen places the sender's local slot u at global slot 0,
 	// so global slot t shows the sender's slot (u+t) mod pa against the
 	// receiver's (v+t) mod pb.
-	nodes := []WorldNode{
-		{Emits: []Emission{{Channel: 0, B: p.beacons, Phase: -timebase.Ticks(u) * p.slotLen}}},
-		{Listens: []Listening{{Channel: 0, C: p.windows, Phase: -timebase.Ticks(v) * p.slotLen}}},
-	}
+	nodes := scr.worldNodes(2, 1, 1)
+	em := scr.nodeEmits(0, 1)
+	em[0] = Emission{Channel: 0, B: p.beacons, Phase: -timebase.Ticks(u) * p.slotLen}
+	ls := scr.nodeListens(1, 1)
+	ls[0] = Listening{Channel: 0, C: p.windows, Phase: -timebase.Ticks(v) * p.slotLen}
+	nodes[0] = WorldNode{Emits: em}
+	nodes[1] = WorldNode{Listens: ls}
 	// Escalating horizon: discovery typically lands within a couple of
 	// schedule periods, so start the kernel there and double up to the cap
 	// only on a miss. All packets are one slot long, so a reception found
@@ -112,7 +120,7 @@ func (p *SlotGridPair) Trial(horizon timebase.Ticks, rng *rand.Rand) (timebase.T
 	// escalation bounds a missing trial at ~2× one capped run.
 	start := maxTicks(timebase.Ticks(p.pa), timebase.Ticks(p.pb)) * p.slotLen
 	for h := minTicks(start, limit); ; h = minTicks(2*h, limit) {
-		wr, err := RunWorld(nodes, Config{Horizon: h})
+		wr, err := RunWorldScratch(nodes, Config{Horizon: h}, scr)
 		if err != nil {
 			return 0, false, err
 		}

@@ -80,6 +80,13 @@ type MultiChannelOutcome struct {
 // channel c is received iff it starts inside the scanner's window on c;
 // PDUs that began before range entry are lost.
 func MultiChannelPairTrial(cfg multichannel.Config, horizon timebase.Ticks, rng *rand.Rand) (MultiChannelOutcome, error) {
+	return MultiChannelPairTrialScratch(cfg, horizon, rng, NewScratch())
+}
+
+// MultiChannelPairTrialScratch is MultiChannelPairTrial against a
+// caller-owned arena: the kernel buffers, the node set and the per-channel
+// schedule templates (memoized per config) all come from scr.
+func MultiChannelPairTrialScratch(cfg multichannel.Config, horizon timebase.Ticks, rng *rand.Rand, scr *Scratch) (MultiChannelOutcome, error) {
 	if err := cfg.Validate(); err != nil {
 		return MultiChannelOutcome{}, err
 	}
@@ -93,6 +100,8 @@ func MultiChannelPairTrial(cfg multichannel.Config, horizon timebase.Ticks, rng 
 	u := timebase.Ticks(rng.Int63n(int64(cfg.Ta)))
 	x := timebase.Ticks(rng.Int63n(int64(circle)))
 
+	bs, ws := scr.mcTemplates(cfg)
+
 	// Escalating horizon: discovery typically lands within one
 	// advertiser/scanner cycle, so start the kernel there and double up
 	// to the caller's horizon only on a miss. All PDUs are Omega long and
@@ -105,11 +114,16 @@ func MultiChannelPairTrial(cfg multichannel.Config, horizon timebase.Ticks, rng 
 		// PDU counts iff it starts before the horizon, even when its
 		// airtime runs past it (the kernel's presence window would
 		// otherwise drop it).
-		nodes := []WorldNode{
-			{Emits: advertiserEmissions(cfg, -u), Depart: h + cfg.Omega},
-			{Listens: scannerListens(cfg, -x), Depart: h + cfg.Omega},
+		nodes := scr.worldNodes(2, cfg.Channels, cfg.Channels)
+		em := scr.nodeEmits(0, cfg.Channels)
+		ls := scr.nodeListens(1, cfg.Channels)
+		for c := 0; c < cfg.Channels; c++ {
+			em[c] = Emission{Channel: c, B: bs[c], Phase: -u}
+			ls[c] = Listening{Channel: c, C: ws[c], Phase: -x}
 		}
-		wr, err := RunWorld(nodes, Config{Horizon: h})
+		nodes[0] = WorldNode{Emits: em, Depart: h + cfg.Omega}
+		nodes[1] = WorldNode{Listens: ls, Depart: h + cfg.Omega}
+		wr, err := RunWorldScratch(nodes, Config{Horizon: h}, scr)
 		if err != nil {
 			return MultiChannelOutcome{}, err
 		}
@@ -152,7 +166,7 @@ type MultiChannelGroupResult struct {
 // deterministic node order, builds the node set, and runs the kernel on a
 // child RNG stream so the channel semantics (per-channel collisions,
 // half-duplex, jitter) come from cfg.
-func runMultiChannelWorld(mc multichannel.Config, s int, churn bool, stay timebase.Ticks, cfg Config, rng *rand.Rand) ([]WorldNode, WorldResult, error) {
+func runMultiChannelWorld(mc multichannel.Config, s int, churn bool, stay timebase.Ticks, cfg Config, rng *rand.Rand, scr *Scratch) ([]WorldNode, WorldResult, error) {
 	if err := mc.Validate(); err != nil {
 		return nil, WorldResult{}, err
 	}
@@ -160,7 +174,8 @@ func runMultiChannelWorld(mc multichannel.Config, s int, churn bool, stay timeba
 		return nil, WorldResult{}, fmt.Errorf("sim: group size %d must be ≥ 2", s)
 	}
 	circle := timebase.Ticks(mc.Channels) * mc.Ts
-	nodes := make([]WorldNode, s)
+	bs, ws := scr.mcTemplates(mc)
+	nodes := scr.worldNodes(s, mc.Channels, mc.Channels)
 	for i := range nodes {
 		var arrive, depart timebase.Ticks
 		if churn {
@@ -171,16 +186,22 @@ func runMultiChannelWorld(mc multichannel.Config, s int, churn bool, stay timeba
 		}
 		u := timebase.Ticks(rng.Int63n(int64(mc.Ta)))
 		x := timebase.Ticks(rng.Int63n(int64(circle)))
+		em := scr.nodeEmits(i, mc.Channels)
+		ls := scr.nodeListens(i, mc.Channels)
+		for c := 0; c < mc.Channels; c++ {
+			em[c] = Emission{Channel: c, B: bs[c], Phase: -u}
+			ls[c] = Listening{Channel: c, C: ws[c], Phase: -x}
+		}
 		nodes[i] = WorldNode{
-			Emits:   advertiserEmissions(mc, -u),
-			Listens: scannerListens(mc, -x),
+			Emits:   em,
+			Listens: ls,
 			Arrive:  arrive,
 			Depart:  depart,
 		}
 	}
 	runCfg := cfg
-	runCfg.Source = NewFastSource(rng.Int63())
-	wr, err := RunWorld(nodes, runCfg)
+	runCfg.Source = scr.childSource(rng.Int63())
+	wr, err := RunWorldScratch(nodes, runCfg, scr)
 	if err != nil {
 		return nil, WorldResult{}, err
 	}
@@ -196,8 +217,10 @@ func poolMultiChannel(nodes []WorldNode, wr WorldResult, channels int, horizon, 
 	out := MultiChannelGroupResult{
 		Transmissions: wr.Transmissions,
 		Collided:      wr.Collided,
-		PerChannel:    wr.PerChannel,
-		Discoveries:   make([]int, channels),
+		// The kernel result may alias a reusable arena; the returned
+		// per-channel loads must survive the next trial, so copy them.
+		PerChannel:  append([]ChannelLoad(nil), wr.PerChannel...),
+		Discoveries: make([]int, channels),
 	}
 	for r := range nodes {
 		for snd := range nodes {
@@ -233,7 +256,14 @@ func poolMultiChannel(nodes []WorldNode, wr WorldResult, channels int, horizon, 
 // workload the pairwise analysis cannot model. The channel semantics
 // (per-channel ALOHA collisions, half-duplex, jitter) come from cfg.
 func MultiChannelGroupTrial(mc multichannel.Config, s int, cfg Config, rng *rand.Rand) (MultiChannelGroupResult, error) {
-	nodes, wr, err := runMultiChannelWorld(mc, s, false, 0, cfg, rng)
+	return MultiChannelGroupTrialScratch(mc, s, cfg, rng, NewScratch())
+}
+
+// MultiChannelGroupTrialScratch is MultiChannelGroupTrial against a
+// caller-owned arena. The returned result is fully owned by the caller
+// (samples, contacts and per-channel loads are copied out of the arena).
+func MultiChannelGroupTrialScratch(mc multichannel.Config, s int, cfg Config, rng *rand.Rand, scr *Scratch) (MultiChannelGroupResult, error) {
+	nodes, wr, err := runMultiChannelWorld(mc, s, false, 0, cfg, rng, scr)
 	if err != nil {
 		return MultiChannelGroupResult{}, err
 	}
@@ -249,10 +279,16 @@ func MultiChannelGroupTrial(mc multichannel.Config, s int, cfg Config, rng *rand
 // can legitimately miss — and latency is measured from the joint-presence
 // instant to the first received PDU's start.
 func MultiChannelChurnTrial(mc multichannel.Config, s int, stay timebase.Ticks, cfg Config, rng *rand.Rand) (MultiChannelGroupResult, error) {
+	return MultiChannelChurnTrialScratch(mc, s, stay, cfg, rng, NewScratch())
+}
+
+// MultiChannelChurnTrialScratch is MultiChannelChurnTrial against a
+// caller-owned arena. The returned result is fully owned by the caller.
+func MultiChannelChurnTrialScratch(mc multichannel.Config, s int, stay timebase.Ticks, cfg Config, rng *rand.Rand, scr *Scratch) (MultiChannelGroupResult, error) {
 	if cfg.Horizon < 2 {
 		return MultiChannelGroupResult{}, fmt.Errorf("sim: churn horizon %d must be ≥ 2", cfg.Horizon)
 	}
-	nodes, wr, err := runMultiChannelWorld(mc, s, true, stay, cfg, rng)
+	nodes, wr, err := runMultiChannelWorld(mc, s, true, stay, cfg, rng, scr)
 	if err != nil {
 		return MultiChannelGroupResult{}, err
 	}

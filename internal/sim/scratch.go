@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/multichannel"
+	"repro/internal/schedule"
+	"repro/internal/timebase"
+)
+
+// Scratch is a per-worker arena for the simulation kernel: every slice,
+// map and RNG the hot path needs lives here and is reused across trials,
+// so a steady-state trial allocates nothing beyond the samples it hands
+// back. A Scratch is NOT safe for concurrent use — the engine owns one per
+// worker goroutine; serial callers get a fresh one per call through the
+// non-scratch wrappers (RunWorld, PairTrial, ...), which keeps those call
+// sites bit-identical to the pre-arena code.
+//
+// Ownership rule: a WorldResult produced through a Scratch aliases the
+// arena (First maps, PerChannel loads). It is valid only until the next
+// kernel run on the same Scratch; callers that keep data across trials
+// must copy it out first (see poolMultiChannel's PerChannel copy).
+type Scratch struct {
+	// Kernel buffers (RunWorldScratch).
+	txs       []transmission
+	runs      []txRun          // per-emission sorted segments of txs
+	nodeRuns  []int            // node i's runs are runs[nodeRuns[i]:nodeRuns[i+1]]
+	runPos    []int            // collision merge-scan cursor per run
+	heap      []int            // k-way merge-scan heap of run ordinals
+	headStart []timebase.Ticks // cached head starts for the linear merge scan
+	emMax     []timebase.Ticks // per-emission airtime maxima (half-duplex)
+	emBase    []int            // per-node first emission ordinal
+	perLoad   []ChannelLoad
+
+	// First-reception maps: the outer map is cleared per run, inner maps
+	// are pooled and recycled in allocation order.
+	first     map[int]map[int]Reception
+	inner     []map[int]Reception
+	innerUsed int
+
+	// Node-building buffers (trial primitives).
+	nodes     []Node
+	wnodes    []WorldNode
+	emitBuf   []Emission
+	listenBuf []Listening
+
+	// Multi-channel schedule templates, memoized per config: the beacon and
+	// window sequences of advertiserEmissions/scannerListens depend only on
+	// the multichannel.Config, not the per-trial phase.
+	mcCfg     multichannel.Config
+	mcBeacons []schedule.BeaconSeq
+	mcWindows []schedule.WindowSeq
+
+	// Reseedable RNGs: trialRand is the engine's per-trial stream (Rand),
+	// childSrc/childRand the kernel stream the trial primitives derive from
+	// it. Reseeding a splitmix in place yields the exact stream a fresh
+	// rand.New(NewFastSource(seed)) would, so reuse is bit-identical.
+	trialSrc  splitmix
+	trialRand *rand.Rand
+	childSrc  splitmix
+	childRand *rand.Rand
+}
+
+// NewScratch returns an empty arena. Buffers grow on first use and are
+// retained at high-water size afterwards.
+func NewScratch() *Scratch {
+	s := &Scratch{}
+	s.trialRand = rand.New(&s.trialSrc)
+	s.childRand = rand.New(&s.childSrc)
+	return s
+}
+
+// Rand reseeds the arena's trial RNG in place and returns it: the stream
+// is bit-identical to rand.New(NewFastSource(seed)) without the two
+// allocations. The returned *rand.Rand is owned by the Scratch and valid
+// until the next Rand call.
+func (s *Scratch) Rand(seed int64) *rand.Rand {
+	s.trialSrc.Seed(seed)
+	return s.trialRand
+}
+
+// childSource reseeds the kernel-stream source and returns it, for use as
+// Config.Source of a kernel run within the same Scratch.
+func (s *Scratch) childSource(seed int64) rand.Source {
+	s.childSrc.Seed(seed)
+	return &s.childSrc
+}
+
+// kernelRNG returns the RNG for a kernel run: the cached wrapper when cfg
+// carries the arena's own child source, else a fresh materialization.
+func (s *Scratch) kernelRNG(cfg Config) *rand.Rand {
+	if cfg.Source == &s.childSrc {
+		return s.childRand
+	}
+	return cfg.rng()
+}
+
+// grow returns s resized to length n, reallocating only when the capacity
+// is insufficient. Contents are NOT cleared.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// firstMaps returns the arena's outer first-reception map, emptied.
+func (s *Scratch) firstMaps() map[int]map[int]Reception {
+	if s.first == nil {
+		s.first = make(map[int]map[int]Reception)
+	} else {
+		clear(s.first)
+	}
+	s.innerUsed = 0
+	return s.first
+}
+
+// innerMap returns an empty per-receiver reception map from the pool.
+func (s *Scratch) innerMap() map[int]Reception {
+	if s.innerUsed < len(s.inner) {
+		m := s.inner[s.innerUsed]
+		s.innerUsed++
+		clear(m)
+		return m
+	}
+	m := make(map[int]Reception)
+	s.inner = append(s.inner, m)
+	s.innerUsed++
+	return m
+}
+
+// mcTemplates returns the per-channel beacon and window sequences for a
+// multi-channel config, memoized so repeated trials of the same scenario
+// skip the per-channel slice allocations. The sequences are extracted from
+// the canonical zero-phase builders (advertiserEmissions/scannerListens) —
+// only Phase varies per trial, and Phase lives outside the sequences.
+func (s *Scratch) mcTemplates(mc multichannel.Config) ([]schedule.BeaconSeq, []schedule.WindowSeq) {
+	if s.mcBeacons != nil && s.mcCfg == mc {
+		return s.mcBeacons, s.mcWindows
+	}
+	bs := make([]schedule.BeaconSeq, mc.Channels)
+	ws := make([]schedule.WindowSeq, mc.Channels)
+	for c, em := range advertiserEmissions(mc, 0) {
+		bs[c] = em.B
+	}
+	for c, ls := range scannerListens(mc, 0) {
+		ws[c] = ls.C
+	}
+	s.mcCfg, s.mcBeacons, s.mcWindows = mc, bs, ws
+	return bs, ws
+}
+
+// worldNodes returns the arena's WorldNode buffer resized to n, with the
+// per-node emission and listening backing arrays sized for per-node counts
+// emits and listens. Node i's slices are emitBuf[i*emits : (i+1)*emits]
+// and likewise for listens; callers fill them by index.
+func (s *Scratch) worldNodes(n, emits, listens int) []WorldNode {
+	s.wnodes = grow(s.wnodes, n)
+	for i := range s.wnodes {
+		s.wnodes[i] = WorldNode{}
+	}
+	s.emitBuf = grow(s.emitBuf, n*emits)
+	s.listenBuf = grow(s.listenBuf, n*listens)
+	return s.wnodes
+}
+
+// nodeEmits returns node i's emission sub-slice (per-node count emits),
+// capacity-clamped so appends cannot bleed into a neighbor's range.
+func (s *Scratch) nodeEmits(i, emits int) []Emission {
+	return s.emitBuf[i*emits : (i+1)*emits : (i+1)*emits]
+}
+
+// nodeListens returns node i's listening sub-slice.
+func (s *Scratch) nodeListens(i, listens int) []Listening {
+	return s.listenBuf[i*listens : (i+1)*listens : (i+1)*listens]
+}

@@ -88,10 +88,13 @@ func (c Config) rng() *rand.Rand {
 }
 
 // transmission is one on-air packet.
+// transmission is one packet on air. The narrow sender/channel fields keep
+// the struct at 32 bytes — the kernel streams millions of these per second,
+// so its footprint is memory-bandwidth-sensitive.
 type transmission struct {
-	sender     int
-	channel    int
 	start, end timebase.Ticks
+	sender     int32
+	channel    int32
 	collided   bool
 }
 

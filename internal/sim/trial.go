@@ -12,25 +12,55 @@ import (
 // random choices (phases, arrivals) from the caller-supplied rng and runs
 // the event simulation on a child RNG stream derived from it, so a caller
 // that owns one rng per trial can shard trials across goroutines and still
-// obtain results bit-identical to a serial loop. The serial helpers
+// obtain results bit-identical to a serial loop. Every primitive comes in
+// two forms: the Scratch variant the engine's workers call with a
+// per-worker arena, and a plain wrapper that allocates a fresh arena per
+// call — same results, no reuse hazards. The serial helpers
 // (PairLatencies, GroupDiscovery, ChurnContacts) are thin loops over these.
+
+// worldFromNodes materializes single-channel Nodes as WorldNodes on the
+// arena: every node's beacon and window schedules land on channel 0,
+// exactly the conversion Run performs.
+func worldFromNodes(nodes []Node, scr *Scratch) []WorldNode {
+	ws := scr.worldNodes(len(nodes), 1, 1)
+	for i := range nodes {
+		n := &nodes[i]
+		ws[i] = WorldNode{Arrive: n.Arrive, Depart: n.Depart}
+		if !n.Device.B.Empty() {
+			em := scr.nodeEmits(i, 1)
+			em[0] = Emission{Channel: 0, B: n.Device.B, Phase: n.Phase}
+			ws[i].Emits = em
+		}
+		if !n.Device.C.Empty() {
+			ls := scr.nodeListens(i, 1)
+			ls[0] = Listening{Channel: 0, C: n.Device.C, Phase: n.Phase}
+			ws[i].Listens = ls
+		}
+	}
+	return ws
+}
 
 // PairTrial runs one trial of receiver f hearing sender e: both devices get
 // independent uniform random phases drawn from rng. It returns the first
 // reception time and whether discovery happened within the horizon.
 func PairTrial(e, f schedule.Device, cfg Config, rng *rand.Rand) (timebase.Ticks, bool, error) {
-	nodes := []Node{
-		{Device: e, Phase: randPhase(rng, e)},
-		{Device: f, Phase: randPhase(rng, f)},
-	}
+	return PairTrialScratch(e, f, cfg, rng, NewScratch())
+}
+
+// PairTrialScratch is PairTrial against a caller-owned arena.
+func PairTrialScratch(e, f schedule.Device, cfg Config, rng *rand.Rand, scr *Scratch) (timebase.Ticks, bool, error) {
+	scr.nodes = grow(scr.nodes, 2)
+	scr.nodes[0] = Node{Device: e, Phase: randPhase(rng, e)}
+	scr.nodes[1] = Node{Device: f, Phase: randPhase(rng, f)}
 	runCfg := cfg
-	runCfg.Source = NewFastSource(rng.Int63())
-	res, err := Run(nodes, runCfg)
+	runCfg.Source = scr.childSource(rng.Int63())
+	wr, err := RunWorldScratch(worldFromNodes(scr.nodes, scr), runCfg, scr)
 	if err != nil {
 		return 0, false, err
 	}
-	at, ok := res.FirstDiscovery(1, 0)
-	return at, ok, nil
+	// Discovery completes when the packet does, matching Run's convention.
+	rec, ok := wr.FirstReception(1, 0)
+	return rec.End, ok, nil
 }
 
 // GroupTrialResult is the outcome of one many-device trial.
@@ -51,30 +81,37 @@ type GroupTrialResult struct {
 // GroupTrial runs one trial of s identical devices with random phases and
 // collects all ordered-pair discovery latencies plus channel statistics.
 func GroupTrial(dev schedule.Device, s int, cfg Config, rng *rand.Rand) (GroupTrialResult, error) {
+	return GroupTrialScratch(dev, s, cfg, rng, NewScratch())
+}
+
+// GroupTrialScratch is GroupTrial against a caller-owned arena. The
+// returned Samples slice is freshly allocated (callers retain it across
+// trials); everything else the kernel touched stays in the arena.
+func GroupTrialScratch(dev schedule.Device, s int, cfg Config, rng *rand.Rand, scr *Scratch) (GroupTrialResult, error) {
 	if s < 2 {
 		return GroupTrialResult{}, fmt.Errorf("sim: group size %d must be ≥ 2", s)
 	}
-	nodes := make([]Node, s)
-	for i := range nodes {
-		nodes[i] = Node{Device: dev, Phase: randPhase(rng, dev)}
+	scr.nodes = grow(scr.nodes, s)
+	for i := range scr.nodes {
+		scr.nodes[i] = Node{Device: dev, Phase: randPhase(rng, dev)}
 	}
 	runCfg := cfg
-	runCfg.Source = NewFastSource(rng.Int63())
-	res, err := Run(nodes, runCfg)
+	runCfg.Source = scr.childSource(rng.Int63())
+	wr, err := RunWorldScratch(worldFromNodes(scr.nodes, scr), runCfg, scr)
 	if err != nil {
 		return GroupTrialResult{}, err
 	}
 	out := GroupTrialResult{
-		Transmissions: res.Transmissions,
-		Collided:      res.Collided,
+		Transmissions: wr.Transmissions,
+		Collided:      wr.Collided,
 	}
 	for r := 0; r < s; r++ {
 		for snd := 0; snd < s; snd++ {
 			if r == snd {
 				continue
 			}
-			if at, ok := res.FirstDiscovery(r, snd); ok {
-				out.Samples = append(out.Samples, at)
+			if rec, ok := wr.FirstReception(r, snd); ok {
+				out.Samples = append(out.Samples, rec.End)
 			} else {
 				out.Misses++
 			}
@@ -89,11 +126,34 @@ func GroupTrial(dev schedule.Device, s int, cfg Config, rng *rand.Rand) (GroupTr
 // records of every ordered pair whose joint presence spans at least one
 // listening period, plus the raw run result for channel statistics.
 func ChurnTrial(dev schedule.Device, s int, stay timebase.Ticks, cfg Config, rng *rand.Rand) ([]Contact, Result, error) {
+	contacts, wr, err := ChurnTrialScratch(dev, s, stay, cfg, rng, NewScratch())
+	if err != nil {
+		return nil, Result{}, err
+	}
+	res := Result{
+		First:         make(map[int]map[int]timebase.Ticks, len(wr.First)),
+		Transmissions: wr.Transmissions,
+		Collided:      wr.Collided,
+	}
+	for r, m := range wr.First {
+		rm := make(map[int]timebase.Ticks, len(m))
+		for snd, rec := range m {
+			rm[snd] = rec.End
+		}
+		res.First[r] = rm
+	}
+	return contacts, res, nil
+}
+
+// ChurnTrialScratch is ChurnTrial against a caller-owned arena. The
+// returned contacts are freshly allocated; the WorldResult aliases the
+// arena and is valid only until its next kernel run.
+func ChurnTrialScratch(dev schedule.Device, s int, stay timebase.Ticks, cfg Config, rng *rand.Rand, scr *Scratch) ([]Contact, WorldResult, error) {
 	if s < 2 {
-		return nil, Result{}, fmt.Errorf("sim: group size %d must be ≥ 2", s)
+		return nil, WorldResult{}, fmt.Errorf("sim: group size %d must be ≥ 2", s)
 	}
 	if cfg.Horizon < 2 {
-		return nil, Result{}, fmt.Errorf("sim: churn horizon %d must be ≥ 2", cfg.Horizon)
+		return nil, WorldResult{}, fmt.Errorf("sim: churn horizon %d must be ≥ 2", cfg.Horizon)
 	}
 	// Judge pairs whose joint presence spans at least one listening period
 	// — long enough that discovery is possible, short enough that bounded
@@ -103,7 +163,8 @@ func ChurnTrial(dev schedule.Device, s int, stay timebase.Ticks, cfg Config, rng
 	if minOverlap <= 0 {
 		minOverlap = dev.B.Period
 	}
-	nodes := make([]Node, s)
+	scr.nodes = grow(scr.nodes, s)
+	nodes := scr.nodes
 	for i := range nodes {
 		arrive := timebase.Ticks(rng.Int63n(int64(cfg.Horizon / 2)))
 		depart := timebase.Ticks(0)
@@ -118,10 +179,10 @@ func ChurnTrial(dev schedule.Device, s int, stay timebase.Ticks, cfg Config, rng
 		}
 	}
 	runCfg := cfg
-	runCfg.Source = NewFastSource(rng.Int63())
-	res, err := Run(nodes, runCfg)
+	runCfg.Source = scr.childSource(rng.Int63())
+	wr, err := RunWorldScratch(worldFromNodes(nodes, scr), runCfg, scr)
 	if err != nil {
-		return nil, Result{}, err
+		return nil, WorldResult{}, err
 	}
 	var contacts []Contact
 	for r := 0; r < s; r++ {
@@ -136,12 +197,12 @@ func ChurnTrial(dev schedule.Device, s int, stay timebase.Ticks, cfg Config, rng
 				continue // contact too short to judge
 			}
 			c := Contact{Overlap: overlap}
-			if at, ok := res.FirstDiscovery(r, snd); ok && at >= both {
+			if rec, ok := wr.FirstReception(r, snd); ok && rec.End >= both {
 				c.Discovered = true
-				c.Latency = at - both
+				c.Latency = rec.End - both
 			}
 			contacts = append(contacts, c)
 		}
 	}
-	return contacts, res, nil
+	return contacts, wr, nil
 }

@@ -2,8 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/schedule"
 	"repro/internal/timebase"
@@ -54,33 +55,74 @@ func (n WorldNode) departOr(horizon timebase.Ticks) timebase.Ticks {
 	return n.Depart
 }
 
-// transmitsDuring reports whether the node has any own beacon on air
+// transmitsDuring reports whether node r has any own beacon on air
 // overlapping [from, to), over all of its emissions. The check consults the
 // un-jittered schedules — the deliberate approximation the half-duplex
-// model has always used.
-func (n WorldNode) transmitsDuring(from, to timebase.Ticks) bool {
-	for _, em := range n.Emits {
+// model has always used. Instead of materializing candidate beacons it
+// walks the (at most two or three) schedule cycles touching the range and
+// binary-searches the first relevant beacon per cycle; the per-emission
+// airtime maxima come precomputed from scr.emMax (filled by RunWorldScratch
+// whenever cfg.HalfDuplex is set).
+func (n *WorldNode) transmitsDuring(r int, from, to timebase.Ticks, scr *Scratch) bool {
+	base := scr.emBase[r]
+	for j := range n.Emits {
+		em := &n.Emits[j]
 		if em.B.Empty() {
 			continue
 		}
 		// A beacon overlaps [from, to) if it starts before to and ends
 		// after from; beacons starting up to one airtime before from
-		// qualify.
-		maxLen := timebase.Ticks(0)
-		for _, bc := range em.B.Beacons {
-			if bc.Len > maxLen {
-				maxLen = bc.Len
-			}
+		// qualify, hence the maxLen-widened query range.
+		maxLen := scr.emMax[base+j]
+		lo := from - em.Phase - maxLen
+		hi := to - em.Phase
+		if em.B.Period <= 0 || hi <= lo {
+			continue
 		}
-		local := em.B.BeaconsWithin(from-em.Phase-maxLen, to-em.Phase)
-		for _, bc := range local {
-			s := bc.Time + em.Phase
-			if s < to && s+bc.Len > from {
-				return true
+		bs := em.B.Beacons
+		firstCycle := floorDiv(lo-bs[len(bs)-1].Time, em.B.Period) - 1
+		for cycle := firstCycle; ; cycle++ {
+			cb := cycle * em.B.Period
+			if cb > hi {
+				break
+			}
+			for i := beaconAt(bs, lo-cb); i < len(bs); i++ {
+				t := cb + bs[i].Time
+				if t >= hi {
+					break
+				}
+				s := t + em.Phase
+				if s < to && s+bs[i].Len > from {
+					return true
+				}
 			}
 		}
 	}
 	return false
+}
+
+// beaconAt returns the index of the first beacon with Time ≥ t.
+func beaconAt(bs []schedule.Beacon, t timebase.Ticks) int {
+	lo, hi := 0, len(bs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bs[mid].Time < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// floorDiv is floor division on ticks (round toward −∞), matching the
+// cycle-index convention of schedule's AppendWindowsWithin.
+func floorDiv(a, b timebase.Ticks) timebase.Ticks {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
 }
 
 // Reception is one received packet: its airtime and channel.
@@ -146,8 +188,73 @@ func channelCount(nodes []WorldNode) (int, error) {
 // RunWorld simulates the node set under cfg: it materializes every
 // emission's jittered transmissions, sorts the merged timeline, marks
 // per-channel collisions, and records every listener's first reception per
-// sender. Every run is deterministic given cfg's RNG stream.
+// sender. Every run is deterministic given cfg's RNG stream. This serial
+// form allocates a fresh arena per call, so the result never aliases
+// caller-visible state; hot loops hold a Scratch and call RunWorldScratch.
 func RunWorld(nodes []WorldNode, cfg Config) (WorldResult, error) {
+	return RunWorldScratch(nodes, cfg, NewScratch())
+}
+
+// linearMergeMax is the run count up to which the collision merge scan uses
+// a linear min-scan over the run heads instead of a binary heap; beyond it
+// the heap's O(log k) per element wins.
+const linearMergeMax = 16
+
+// txRun is one contiguous, start-sorted segment of the generation buffer:
+// the transmissions of a single (node, emission) pair, all on one channel.
+type txRun struct {
+	lo, hi  int
+	channel int
+}
+
+// txCmp orders transmissions by start; equal starts compare equal (the
+// kernel's results are invariant under equal-start permutations — see the
+// collision-pass and first-reception tie-break notes below).
+func txCmp(a, b transmission) int {
+	switch {
+	case a.start < b.start:
+		return -1
+	case a.start > b.start:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// runLess orders two active runs in a k-way merge by current head start,
+// ties broken by run ordinal, so the merged order is deterministic.
+func runLess(txs []transmission, pos []int, a, b int) bool {
+	sa, sb := txs[pos[a]].start, txs[pos[b]].start
+	if sa != sb {
+		return sa < sb
+	}
+	return a < b
+}
+
+// siftRun restores the min-heap property of h (a heap of run ordinals keyed
+// by runLess) after h[i] changed.
+func siftRun(h []int, i int, txs []transmission, pos []int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && runLess(txs, pos, h[r], h[l]) {
+			m = r
+		}
+		if !runLess(txs, pos, h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// RunWorldScratch is RunWorld against a caller-owned arena: all kernel
+// buffers come from scr and the result aliases it (valid until the next
+// run on the same Scratch). Results are bit-identical to RunWorld.
+func RunWorldScratch(nodes []WorldNode, cfg Config, scr *Scratch) (WorldResult, error) {
 	if cfg.Horizon <= 0 {
 		return WorldResult{}, fmt.Errorf("sim: horizon %d must be positive", cfg.Horizon)
 	}
@@ -163,150 +270,365 @@ func RunWorld(nodes []WorldNode, cfg Config) (WorldResult, error) {
 	// math/rand seeding.
 	var rng *rand.Rand
 	if cfg.Jitter > 0 {
-		rng = cfg.rng()
+		rng = scr.kernelRNG(cfg)
 	}
 
-	// Generate all transmissions in (node, emission, beacon) order —
-	// jitter is drawn in exactly this order — then sort by start.
-	// BeaconsWithin extends one period into the past so beacons that
-	// started before t = 0 can still overlap into the horizon.
-	var txs []transmission
-	for i, n := range nodes {
+	// Precompute the half-duplex airtime maxima per emission (node-major
+	// ordinals, bases in scr.emBase) so transmitsDuring does not rescan the
+	// beacon list on every candidate reception.
+	if cfg.HalfDuplex {
+		scr.emBase = grow(scr.emBase, len(nodes))
+		total := 0
+		for i := range nodes {
+			scr.emBase[i] = total
+			total += len(nodes[i].Emits)
+		}
+		scr.emMax = grow(scr.emMax, total)
+		for i := range nodes {
+			for j := range nodes[i].Emits {
+				var mx timebase.Ticks
+				for _, bc := range nodes[i].Emits[j].B.Beacons {
+					if bc.Len > mx {
+						mx = bc.Len
+					}
+				}
+				scr.emMax[scr.emBase[i]+j] = mx
+			}
+		}
+	}
+
+	// Generate all transmissions in (node, emission, beacon) order — jitter
+	// is drawn in exactly this order, which freezes the RNG stream — keeping
+	// one run (contiguous segment of txs) per non-empty emission.
+	// BeaconsWithin extends one period into the past so beacons that started
+	// before t = 0 can still overlap into the horizon. Each run is sorted by
+	// construction unless jitter exceeds a beacon gap; generation detects
+	// that and sorts only the disordered runs, so the common case skips
+	// sorting entirely.
+	txs := scr.txs[:0]
+	runs := scr.runs[:0]
+	scr.nodeRuns = grow(scr.nodeRuns, len(nodes)+1)
+	scr.nodeRuns[0] = 0
+	for i := range nodes {
+		n := &nodes[i]
 		depart := n.departOr(cfg.Horizon)
 		for _, em := range n.Emits {
-			if em.B.Empty() {
+			if em.B.Empty() || em.B.Period <= 0 {
 				continue
 			}
-			local := em.B.BeaconsWithin(-em.Phase-em.B.Period, cfg.Horizon-em.Phase)
-			for _, bc := range local {
-				start := bc.Time + em.Phase
-				if cfg.Jitter > 0 {
-					start += timebase.Ticks(rng.Int63n(int64(cfg.Jitter) + 1))
-				}
-				end := start + bc.Len
-				if end <= 0 || start >= cfg.Horizon {
-					continue
-				}
-				// A node only transmits while present.
-				if start < n.Arrive || end > depart {
-					continue
-				}
-				txs = append(txs, transmission{sender: i, channel: em.Channel, start: start, end: end})
+			// Enumerate the emission's beacon occurrences inline (the same
+			// cycle walk as schedule.AppendBeaconsWithin) straight into the
+			// transmission buffer — no intermediate beacon materialization.
+			bs := em.B.Beacons
+			from, to := -em.Phase-em.B.Period, cfg.Horizon-em.Phase
+			if to <= from {
+				continue
 			}
+			runLo := len(txs)
+			sorted := true
+			firstCycle := floorDiv(from-bs[len(bs)-1].Time, em.B.Period) - 1
+			for cycle := firstCycle; ; cycle++ {
+				cb := cycle * em.B.Period
+				if cb > to {
+					break
+				}
+				for _, bc := range bs {
+					t := cb + bc.Time
+					if t < from {
+						continue
+					}
+					if t >= to {
+						break
+					}
+					start := t + em.Phase
+					if cfg.Jitter > 0 {
+						start += timebase.Ticks(rng.Int63n(int64(cfg.Jitter) + 1))
+					}
+					end := start + bc.Len
+					if end <= 0 || start >= cfg.Horizon {
+						continue
+					}
+					// A node only transmits while present.
+					if start < n.Arrive || end > depart {
+						continue
+					}
+					if len(txs) > runLo && start < txs[len(txs)-1].start {
+						sorted = false
+					}
+					txs = append(txs, transmission{sender: int32(i), channel: int32(em.Channel), start: start, end: end})
+				}
+			}
+			if len(txs) == runLo {
+				continue
+			}
+			if !sorted {
+				slices.SortFunc(txs[runLo:], txCmp)
+			}
+			runs = append(runs, txRun{lo: runLo, hi: len(txs), channel: em.Channel})
 		}
+		scr.nodeRuns[i+1] = len(runs)
 	}
-	sort.Slice(txs, func(a, b int) bool { return txs[a].start < txs[b].start })
+	scr.txs, scr.runs = txs, runs
 
 	// Mark collisions per channel: a packet is destroyed iff its airtime
-	// overlaps another packet's on the same channel. One pass over the
-	// start-sorted list with a per-channel running furthest-end suffices:
-	// any packet starting before its channel's furthest end overlaps the
-	// packet holding it, and every overlapping pair is witnessed this way
-	// (if X overlaps a later W on its channel, then at W's turn the
-	// channel's running maximum either is X or belongs to a packet that
-	// overlaps X, which marked X earlier).
-	if cfg.Collisions {
-		maxEnd := make([]timebase.Ticks, nCh)
-		maxIdx := make([]int, nCh)
-		for c := range maxIdx {
-			maxIdx[c] = -1
-		}
-		for i := range txs {
-			c := txs[i].channel
-			if maxIdx[c] >= 0 && txs[i].start < maxEnd[c] {
-				txs[i].collided = true
-				txs[maxIdx[c]].collided = true
-			}
-			if txs[i].end > maxEnd[c] {
-				maxEnd[c] = txs[i].end
-				maxIdx[c] = i
-			}
-		}
+	// overlaps another packet's on the same channel. One time-ordered pass
+	// per channel with a running furthest-end suffices: any packet starting
+	// before the channel's furthest end overlaps the packet holding it, and
+	// every overlapping pair is witnessed this way (if X overlaps a later W
+	// on its channel, then at W's turn the channel's running maximum either
+	// is X or belongs to a packet that overlaps X, which marked X earlier).
+	// Equal-start packets overlap each other, so the marks do not depend on
+	// how ties were ordered. The time order comes from a k-way merge scan
+	// over the channel's runs (keyed by head start, ties by run ordinal)
+	// that writes marks in place — no merged copy of the timeline is ever
+	// built — and the per-channel collided totals are counted on the
+	// false→true mark transitions, so no separate counting pass runs.
+	scr.perLoad = grow(scr.perLoad, nCh)
+	for c := range scr.perLoad {
+		scr.perLoad[c] = ChannelLoad{}
 	}
-
 	res := WorldResult{
-		First:      make(map[int]map[int]Reception),
-		PerChannel: make([]ChannelLoad, nCh),
+		First:      scr.firstMaps(),
+		PerChannel: scr.perLoad,
 	}
 	res.Transmissions = len(txs)
-	for _, tx := range txs {
-		res.PerChannel[tx.channel].Transmissions++
-		if tx.collided {
-			res.Collided++
-			res.PerChannel[tx.channel].Collided++
+	for ri := range runs {
+		res.PerChannel[runs[ri].channel].Transmissions += runs[ri].hi - runs[ri].lo
+	}
+	if cfg.Collisions {
+		scr.runPos = grow(scr.runPos, len(runs))
+		pos := scr.runPos
+		for c := 0; c < nCh; c++ {
+			h := scr.heap[:0]
+			for ri := range runs {
+				if runs[ri].channel == c {
+					h = append(h, ri)
+					pos[ri] = runs[ri].lo
+				}
+			}
+			scr.heap = h
+			maxEnd := timebase.Ticks(0)
+			maxIdx := -1
+			col := 0
+			if len(h) == 1 {
+				ru := runs[h[0]]
+				for gi := ru.lo; gi < ru.hi; gi++ {
+					if maxIdx >= 0 && txs[gi].start < maxEnd {
+						if !txs[gi].collided {
+							txs[gi].collided = true
+							col++
+						}
+						if !txs[maxIdx].collided {
+							txs[maxIdx].collided = true
+							col++
+						}
+					}
+					if txs[gi].end > maxEnd {
+						maxEnd = txs[gi].end
+						maxIdx = gi
+					}
+				}
+				res.PerChannel[c].Collided = col
+				res.Collided += col
+				continue
+			}
+			if len(h) <= linearMergeMax {
+				// Few runs: a linear min-scan over the cached head starts
+				// beats heap bookkeeping (no sift swaps, one tiny array in
+				// cache). Ties pick the lowest slot = lowest run ordinal,
+				// the same order the heap produces.
+				heads := grow(scr.headStart, len(h))
+				scr.headStart = heads
+				for j, ri := range h {
+					heads[j] = txs[pos[ri]].start
+				}
+				for {
+					best := -1
+					bs := timebase.Ticks(math.MaxInt64)
+					for j := range heads {
+						if heads[j] < bs {
+							bs = heads[j]
+							best = j
+						}
+					}
+					if best < 0 {
+						break
+					}
+					ri := h[best]
+					gi := pos[ri]
+					if maxIdx >= 0 && txs[gi].start < maxEnd {
+						if !txs[gi].collided {
+							txs[gi].collided = true
+							col++
+						}
+						if !txs[maxIdx].collided {
+							txs[maxIdx].collided = true
+							col++
+						}
+					}
+					if txs[gi].end > maxEnd {
+						maxEnd = txs[gi].end
+						maxIdx = gi
+					}
+					pos[ri]++
+					if pos[ri] < runs[ri].hi {
+						heads[best] = txs[pos[ri]].start
+					} else {
+						heads[best] = math.MaxInt64
+					}
+				}
+				res.PerChannel[c].Collided = col
+				res.Collided += col
+				continue
+			}
+			for i := len(h)/2 - 1; i >= 0; i-- {
+				siftRun(h, i, txs, pos)
+			}
+			for len(h) > 0 {
+				top := h[0]
+				gi := pos[top]
+				if maxIdx >= 0 && txs[gi].start < maxEnd {
+					if !txs[gi].collided {
+						txs[gi].collided = true
+						col++
+					}
+					if !txs[maxIdx].collided {
+						txs[maxIdx].collided = true
+						col++
+					}
+				}
+				if txs[gi].end > maxEnd {
+					maxEnd = txs[gi].end
+					maxIdx = gi
+				}
+				pos[top]++
+				if pos[top] == runs[top].hi {
+					h[0] = h[len(h)-1]
+					h = h[:len(h)-1]
+				}
+				if len(h) > 0 {
+					siftRun(h, 0, txs, pos)
+				}
+			}
+			res.PerChannel[c].Collided = col
+			res.Collided += col
 		}
 	}
 
-	// Per-channel start-sorted views of the timeline. A single-channel
-	// world reuses the merged slices directly.
-	perChan := make([][]transmission, nCh)
-	if nCh == 1 {
-		perChan[0] = txs
-	} else {
-		for _, tx := range txs {
-			perChan[tx.channel] = append(perChan[tx.channel], tx)
-		}
-	}
-	perStarts := make([][]timebase.Ticks, nCh)
-	for c, ctxs := range perChan {
-		starts := make([]timebase.Ticks, len(ctxs))
-		for i, tx := range ctxs {
-			starts[i] = tx.start
-		}
-		perStarts[c] = starts
-	}
-
-	// Reception: walk every listener's windows. Windows that started
-	// before t = 0 still receive packets sent after t = 0 (the schedule ran
-	// before the devices came into range), so the range extends one period
-	// into the past; packets that started before t = 0, however, were only
-	// partially in range and are never received (start ≥ Arrive ≥ 0).
+	// Reception, walked per (receiver, listening, sender run) instead of
+	// per window over a merged channel timeline: each run is scanned in
+	// start order and stops at its first accepted packet. That first accept
+	// IS the run's best candidate — later packets start no earlier, and an
+	// equal-start packet from the same run is on the same channel, losing
+	// the strict (Start, Channel) tie-break — so per (receiver, sender) the
+	// combination over listens (in declaration order) and runs (in ordinal
+	// order) under strict improvement reproduces exactly what the old
+	// time-ordered window walk inserted. Discovery typically lands within a
+	// few beacon gaps, so each pair costs a handful of window-membership
+	// tests rather than a walk over every window in the horizon.
+	//
+	// Window membership is tested in O(log windows) by reducing the packet
+	// start into the schedule's period. Windows that started before t = 0
+	// still receive packets sent after t = 0 (the schedule ran before the
+	// devices came into range) — the reduction naturally covers those
+	// occurrences; packets that started before t = 0, however, were only
+	// partially in range and are never received (start ≥ Arrive ≥ 0, via
+	// the presence filter below).
 	for r := range nodes {
 		n := &nodes[r]
 		rDepart := n.departOr(cfg.Horizon)
-		for _, ls := range n.Listens {
-			if ls.C.Empty() {
+		for li := range n.Listens {
+			ls := &n.Listens[li]
+			if ls.C.Empty() || ls.C.Period <= 0 {
 				continue
 			}
-			ctxs, cstarts := perChan[ls.Channel], perStarts[ls.Channel]
-			windows := ls.C.WindowsWithin(-ls.Phase-ls.C.Period, cfg.Horizon-ls.Phase)
-			for _, w := range windows {
-				wStart := w.Start + ls.Phase
-				wEnd := wStart + w.Len
-				// Candidate packets starting inside the window.
-				lo := sort.Search(len(ctxs), func(i int) bool { return cstarts[i] >= wStart })
-				for i := lo; i < len(ctxs) && ctxs[i].start < wEnd; i++ {
-					tx := ctxs[i]
-					// Receivable only from other senders, only for packets
-					// sent entirely while the receiver is present (a packet
-					// straddling the receiver's arrival is heard partially
-					// and lost).
-					if tx.sender == r || tx.start < n.Arrive || tx.end > rDepart {
+			win := ls.C.Windows
+			period := ls.C.Period
+			for s := range nodes {
+				if s == r {
+					continue
+				}
+				for ri := scr.nodeRuns[s]; ri < scr.nodeRuns[s+1]; ri++ {
+					ru := runs[ri]
+					if ru.channel != ls.Channel {
 						continue
 					}
-					if cfg.TruncatedWindows && tx.end > wEnd {
-						continue
+					gi := ru.lo
+					if n.Arrive > 0 {
+						// Skip packets sent before the receiver arrived
+						// (starts are ascending within a run).
+						lo, hi := ru.lo, ru.hi
+						for lo < hi {
+							mid := int(uint(lo+hi) >> 1)
+							if txs[mid].start < n.Arrive {
+								lo = mid + 1
+							} else {
+								hi = mid
+							}
+						}
+						gi = lo
 					}
-					if cfg.Collisions && tx.collided {
-						continue
-					}
-					if cfg.HalfDuplex && n.transmitsDuring(tx.start, tx.end) {
-						continue
-					}
-					rec := Reception{Start: tx.start, End: tx.end, Channel: tx.channel}
-					m := res.First[r]
-					if m == nil {
-						res.First[r] = map[int]Reception{tx.sender: rec}
-						continue
-					}
-					prev, seen := m[tx.sender]
-					if !seen || rec.Start < prev.Start ||
-						(rec.Start == prev.Start && rec.Channel < prev.Channel) {
-						m[tx.sender] = rec
+					for ; gi < ru.hi; gi++ {
+						tx := &txs[gi]
+						// Only packets sent entirely while the receiver is
+						// present are receivable (a packet straddling the
+						// receiver's arrival is heard partially and lost).
+						if tx.start >= rDepart {
+							break
+						}
+						if tx.end > rDepart {
+							continue
+						}
+						// Window membership: reduce the start into the
+						// period and find the window covering it, if any.
+						rel := tx.start - ls.Phase
+						k := floorDiv(rel, period)
+						off := rel - k*period
+						wi := windowAt(win, off)
+						if wi < 0 || off >= win[wi].Start+win[wi].Len {
+							continue
+						}
+						if cfg.TruncatedWindows && tx.end > k*period+win[wi].Start+win[wi].Len+ls.Phase {
+							continue
+						}
+						if cfg.Collisions && tx.collided {
+							continue
+						}
+						if cfg.HalfDuplex && n.transmitsDuring(r, tx.start, tx.end, scr) {
+							continue
+						}
+						rec := Reception{Start: tx.start, End: tx.end, Channel: int(tx.channel)}
+						m := res.First[r]
+						if m == nil {
+							m = scr.innerMap()
+							m[s] = rec
+							res.First[r] = m
+							break
+						}
+						prev, seen := m[s]
+						if !seen || rec.Start < prev.Start ||
+							(rec.Start == prev.Start && rec.Channel < prev.Channel) {
+							m[s] = rec
+						}
+						break
 					}
 				}
 			}
 		}
 	}
 	return res, nil
+}
+
+// windowAt returns the index of the last window with Start ≤ off, or -1.
+func windowAt(win []schedule.Window, off timebase.Ticks) int {
+	lo, hi := 0, len(win)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if win[mid].Start <= off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
 }
