@@ -570,16 +570,11 @@ func resolveSpecArg[T any](name, what string, preset func(string) (T, error)) (T
 }
 
 func streamMode(s string) (engine.StreamMode, error) {
-	switch s {
-	case "", "auto":
-		return engine.StreamAuto, nil
-	case "on":
-		return engine.StreamOn, nil
-	case "off":
-		return engine.StreamOff, nil
-	default:
-		return engine.StreamAuto, fmt.Errorf("unknown -stream mode %q (want auto, on or off)", s)
+	mode, err := engine.ParseStreamMode(s)
+	if err != nil {
+		return mode, fmt.Errorf("unknown -stream mode %q (want auto, on or off)", s)
 	}
+	return mode, nil
 }
 
 func writeResult(out string, res engine.SuiteResult) {

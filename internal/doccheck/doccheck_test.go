@@ -133,13 +133,14 @@ func checkGenDecl(t *testing.T, fset *token.FileSet, root, fname string, d *ast.
 	}
 }
 
-// TestRequiredDocSections: the hot-path, sharding and observability
-// layers must stay documented — the architecture guide needs its Hot
-// path & exact mode, Sharded execution and Observability sections, and
-// the README must cover the exact-mode flag, the shard/merge/journal
-// flags, the progress flag, the profiling flags and the benchmark
-// trajectory workflow. A doc that silently drops one of these would
-// strand the features it explains.
+// TestRequiredDocSections: the hot-path, sharding, service and
+// observability layers must stay documented — the architecture guide
+// needs its Hot path & exact mode, Sharded execution, Service layer and
+// Observability sections, and the README must cover the exact-mode flag,
+// the shard/merge/journal flags, the ndd daemon (flags and endpoints),
+// the progress flag, the profiling flags and the benchmark trajectory
+// workflow. A doc that silently drops one of these would strand the
+// features it explains.
 func TestRequiredDocSections(t *testing.T) {
 	root := repoRoot(t)
 	requirements := map[string][]string{
@@ -152,6 +153,12 @@ func TestRequiredDocSections(t *testing.T) {
 			"ndshard/1",
 			"ndjournal/1",
 			"continuation",
+			"## Service layer",
+			"POST /v1/jobs",
+			"singleflight",
+			"result_cache_hit",
+			"Last-Event-ID",
+			"resumed_points",
 			"## Observability",
 			"RunMetrics",
 			"StripRuntime",
@@ -175,6 +182,12 @@ func TestRequiredDocSections(t *testing.T) {
 			"-journal",
 			"-strip",
 			"ndshard/1",
+			"## The ndd daemon",
+			"-addr",
+			"-runners",
+			"/v1/jobs",
+			"/healthz",
+			"Retry-After",
 			"-progress",
 			"-cpuprofile",
 			"-memprofile",

@@ -162,10 +162,22 @@ func RunJournaled(label string, scenarios []Scenario, opt Options, dir string) (
 		}
 		aggs[i] = agg
 		resumed++
+		// Restored points release their results through the same hook the
+		// executor fires, so a resumed run's event stream is complete.
+		if opt.PointResult != nil {
+			opt.PointResult(i, agg)
+		}
 	}
 
 	if len(pending) > 0 {
 		o.capture = true
+		if opt.PointResult != nil {
+			// The executor indexes the pending slice; callers see the
+			// original input order.
+			o.PointResult = func(idx int, agg Aggregate) {
+				opt.PointResult(pendingIdx[idx], agg)
+			}
+		}
 		o.pointDone = func(idx int, snap *PointSnapshot) error {
 			return WriteSnapshotFile(journalPointPath(dir, pendingIdx[idx]), Snapshot{
 				Codec:  SnapshotCodec,

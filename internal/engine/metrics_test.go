@@ -106,6 +106,7 @@ func sentinelMetrics() *obs.RunMetrics {
 		Workers: 1, WorkerBusy: []float64{1},
 		BuildCache:     obs.CacheStats{Hits: 1, Misses: 1, Evictions: 1},
 		StreamedPoints: 1, ExactPoints: 1, MemoHits: 1, PeakAccumBytes: 1,
+		QueueWaitMS: 1, ResultCacheHit: true,
 	}
 }
 

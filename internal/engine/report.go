@@ -354,6 +354,12 @@ func RenderRunMetrics(m obs.RunMetrics) string {
 	if m.ResumedPoints > 0 {
 		fmt.Fprintf(&b, "  journal: %d points resumed, %d freshly run\n", m.ResumedPoints, m.SnapshotPoints)
 	}
+	if m.ResultCacheHit {
+		fmt.Fprintf(&b, "  result cache: hit (no execution)\n")
+	}
+	if m.QueueWaitMS > 0 {
+		fmt.Fprintf(&b, "  queue wait: %.3fs\n", m.QueueWaitMS/1000)
+	}
 	return b.String()
 }
 

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,6 +14,15 @@ import (
 	"repro/internal/sim"
 	"repro/internal/timebase"
 )
+
+// ErrCanceled is the typed error a run returns when Options.Context is
+// cancelled before the run completes. Cancellation is honored between trial
+// windows, never inside one: a window's trials always finish, so a
+// cancelled run never leaves a worker mid-trial, and errors.Is(err,
+// ErrCanceled) distinguishes an abort from a genuine trial failure. The
+// partial run produces no aggregates — results are all-or-nothing, so a
+// caller can never mistake a truncated document for a complete one.
+var ErrCanceled = errors.New("engine: run canceled")
 
 // Options tunes execution without changing what is computed — except
 // Trials, which (when set) overrides every scenario's trial count and is
@@ -56,6 +67,22 @@ type Options struct {
 	// measured up to the failure.
 	Metrics *obs.RunMetrics
 
+	// Context, when non-nil, aborts the run when cancelled. Cancellation
+	// is checked between trial windows (see batchSize), so an abort is
+	// prompt — bounded by one window, never a whole point — and the run
+	// returns an error wrapping ErrCanceled. A nil Context never cancels.
+	Context context.Context
+
+	// PointResult, when non-nil, is invoked with each point's input index
+	// and finalized aggregate as soon as the point's last trial completes —
+	// the streaming hook the daemon's per-point SSE events are built on.
+	// Points finalize in completion order, not input order, and the
+	// callback runs on whichever worker finishes the point, so invocations
+	// for different points may be concurrent; the callback must be safe for
+	// that. Like Progress, it observes results and must not feed back into
+	// them. Failed and partial-range (sharded) points deliver nothing.
+	PointResult func(idx int, agg Aggregate)
+
 	// shard restricts every point to its trial-range shard (zero = the
 	// full range). Set by the shard layer (shard.go), never by callers:
 	// a sharded run produces snapshots, not aggregates.
@@ -77,6 +104,20 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// ctx resolves the run's context; a nil Options.Context never cancels.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// canceledErr wraps ErrCanceled with how far the run got — useful in logs,
+// and errors.Is(err, ErrCanceled) still holds.
+func canceledErr(rec *runRecorder) error {
+	return fmt.Errorf("%w after %d of %d trials", ErrCanceled, rec.trialsDone.Load(), rec.trialsTotal)
 }
 
 // trialOutput is one trial's contribution, stored at its trial index (or
@@ -115,6 +156,7 @@ type point struct {
 	lo, hi  int
 	capture bool
 	done    func(idx int, snap *PointSnapshot) error
+	result  func(idx int, agg Aggregate)
 	snap    *PointSnapshot
 
 	// outputs (exact mode) and accs (streaming mode, one accumulator slot
@@ -242,6 +284,9 @@ func (p *point) finalize(rec *runRecorder) {
 			p.recordErr(p.lo, err)
 		}
 	}
+	if p.result != nil && p.fullRange() && !p.failed.Load() {
+		p.result(p.idx, p.agg)
+	}
 }
 
 // fullRange reports whether this process runs the point's every trial —
@@ -342,6 +387,7 @@ func prepare(sc Scenario, opt Options) (*point, error) {
 		hi:      hi,
 		capture: opt.capture,
 		done:    opt.pointDone,
+		result:  opt.PointResult,
 		cfg: sim.Config{
 			Horizon:          horizon,
 			Collisions:       sc.Channel.Collisions,
@@ -429,6 +475,7 @@ func runMany(scenarios []Scenario, opt Options) ([]Aggregate, error) {
 // full ranges, captured snapshots when Options.capture is set.
 func runPoints(scenarios []Scenario, opt Options) ([]*point, error) {
 	workers := opt.workers()
+	ctx := opt.ctx()
 	rec := newRunRecorder(workers, len(scenarios))
 
 	// Preparation (schedule build + exact coverage analysis) is itself
@@ -461,6 +508,11 @@ func runPoints(scenarios []Scenario, opt Options) ([]*point, error) {
 	for i, p := range points {
 		p.idx = i
 		rec.trialsTotal += int64(p.hi - p.lo)
+	}
+	// A context that died before any trial ran aborts here, so a cancelled
+	// caller never pays for scheduling a pool that would only be torn down.
+	if ctx.Err() != nil {
+		return nil, canceledErr(rec)
 	}
 	stopProgress := rec.startProgress(opt)
 
@@ -512,7 +564,15 @@ func runPoints(scenarios []Scenario, opt Options) ([]*point, error) {
 				if hi > p.hi {
 					hi = p.hi
 				}
-				work <- workItem{p, t, hi}
+				// A cancelled run stops feeding: the select keeps the
+				// feeder from deadlocking on the bounded channel when
+				// workers are already bailing out.
+				select {
+				case work <- workItem{p, t, hi}:
+				case <-ctx.Done():
+					close(work)
+					return
+				}
 			}
 		}
 		close(work)
@@ -528,6 +588,19 @@ func runPoints(scenarios []Scenario, opt Options) ([]*point, error) {
 			scr := sim.NewScratch()
 			for it := range work {
 				p := it.p
+				// Cancellation is honored between trial windows: an
+				// already-claimed window is abandoned whole (its point is
+				// marked canceled and its trial accounting settled), and
+				// in-flight trials of other workers finish their own
+				// windows — nothing stops mid-trial.
+				if ctx.Err() != nil {
+					p.recordErr(it.lo, ErrCanceled)
+					if p.remaining.Add(int64(it.lo-it.hi)) == 0 {
+						p.finalize(rec)
+						rec.pointsDone.Add(1)
+					}
+					continue
+				}
 				t0 := rec.sinceNS()
 				p.startNS.CompareAndSwap(0, t0+1)
 				// Per-batch state shared by the window's trials: the
@@ -573,6 +646,12 @@ func runPoints(scenarios []Scenario, opt Options) ([]*point, error) {
 		*opt.Metrics = rec.metrics(points)
 	}
 
+	// The typed cancellation error wins over the per-point errors it
+	// induced: a caller asking errors.Is(err, ErrCanceled) must see the
+	// abort, not whichever point happened to record it first.
+	if ctx.Err() != nil {
+		return nil, canceledErr(rec)
+	}
 	for _, p := range points {
 		if p.err != nil {
 			return nil, fmt.Errorf("engine: scenario %q trial %d: %w", p.sc.Name, p.errTrial, p.err)

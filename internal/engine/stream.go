@@ -50,6 +50,21 @@ const (
 	StreamOff
 )
 
+// ParseStreamMode resolves the textual mode selector the CLI flag and the
+// daemon's job requests share: "auto" (or empty), "on", "off".
+func ParseStreamMode(s string) (StreamMode, error) {
+	switch s {
+	case "", "auto":
+		return StreamAuto, nil
+	case "on":
+		return StreamOn, nil
+	case "off":
+		return StreamOff, nil
+	default:
+		return StreamAuto, fmt.Errorf("engine: unknown stream mode %q (want auto, on or off)", s)
+	}
+}
+
 // expectedSamples bounds the latency samples a scenario can produce: one
 // per trial for the pair workload, S·(S−1) ordered pairs per trial
 // otherwise (churn contacts are a subset of the ordered pairs; the

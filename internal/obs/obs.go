@@ -92,6 +92,14 @@ type RunMetrics struct {
 	// re-executed (journaled runs only).
 	ResumedPoints int `json:"resumed_points,omitempty"`
 
+	// QueueWaitMS is the time a daemon job spent queued before a runner
+	// picked it up (daemon-scheduled runs only).
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+
+	// ResultCacheHit marks a daemon job answered from the result cache: no
+	// execution happened, and every other field reports the original run.
+	ResultCacheHit bool `json:"result_cache_hit,omitempty"`
+
 	// PeakAccumBytes is the high-water estimate of live aggregation
 	// state — materialized trial-output slices plus streaming
 	// accumulators — across the run.
@@ -112,6 +120,8 @@ func (m *RunMetrics) Merge(o RunMetrics) {
 	m.MemoHits += o.MemoHits
 	m.SnapshotPoints += o.SnapshotPoints
 	m.ResumedPoints += o.ResumedPoints
+	m.QueueWaitMS += o.QueueWaitMS
+	m.ResultCacheHit = m.ResultCacheHit || o.ResultCacheHit
 	if m.ShardK == 0 && m.ShardN == 0 {
 		m.ShardK, m.ShardN = o.ShardK, o.ShardN
 	}

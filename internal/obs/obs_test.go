@@ -28,6 +28,8 @@ func TestRunMetricsMerge(t *testing.T) {
 		StreamedPoints: 0, ExactPoints: 3,
 		MemoHits:       5,
 		PeakAccumBytes: 500,
+		QueueWaitMS:    25,
+		ResultCacheHit: true,
 	}
 	a.Merge(b)
 	if a.WallMS != 400 || a.Points != 5 || a.Trials != 800 {
@@ -44,6 +46,9 @@ func TestRunMetricsMerge(t *testing.T) {
 	}
 	if a.WorkerBusy != nil {
 		t.Fatal("merged record must drop per-worker busy fractions")
+	}
+	if a.QueueWaitMS != 25 || !a.ResultCacheHit {
+		t.Fatalf("daemon counters not merged: %+v", a)
 	}
 	// 800 trials over 0.4 s.
 	if a.TrialsPerSec != 2000 {

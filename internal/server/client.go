@@ -1,0 +1,153 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a running ndd daemon. The zero-ish constructor Dial is
+// all configuration most callers need; every method is context-aware and
+// returns the daemon's JSON error message on non-2xx responses.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Dial returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080"). No connection is made until the first call.
+func Dial(base string) *Client {
+	return &Client{base: strings.TrimSuffix(base, "/"), hc: http.DefaultClient}
+}
+
+// apiError is the daemon's error envelope, surfaced verbatim.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("daemon: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// IsRetryable reports whether err is the daemon's queue-full rejection.
+func IsRetryable(err error) bool {
+	ae, ok := err.(*apiError)
+	return ok && ae.Status == http.StatusTooManyRequests
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(blob))
+		if json.Unmarshal(blob, &envelope) == nil && envelope.Error != "" {
+			msg = envelope.Error
+		}
+		return &apiError{Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		*raw = blob
+		return nil
+	}
+	return json.Unmarshal(blob, out)
+}
+
+// Submit posts a job and returns its status: freshly queued, deduped onto
+// a live job, or answered from the result cache (Cached set, result
+// immediately available).
+func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches a finished job's document — the exact bytes the engine
+// rendered.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	var doc []byte
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &doc)
+	return doc, err
+}
+
+// Cancel requests cancellation: queued jobs settle immediately, running
+// jobs abort at the next trial-window boundary.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls until the job reaches a terminal state (done, failed or
+// canceled) or ctx expires, and returns the final status.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	const poll = 25 * time.Millisecond
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case stateDone, stateFailed, stateCanceled:
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		sleep(poll)
+	}
+}
+
+// Healthz fetches the daemon's health/counters document.
+func (c *Client) Healthz(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// Presets fetches the registry listing.
+func (c *Client) Presets(ctx context.Context) (map[string][]PresetEntry, error) {
+	var out map[string][]PresetEntry
+	err := c.do(ctx, http.MethodGet, "/v1/presets", nil, &out)
+	return out, err
+}

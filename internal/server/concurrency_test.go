@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSingleflight: N concurrent submissions of the same spec coalesce
+// onto one job — the engine runs exactly once, everyone reads the same
+// document.
+func TestSingleflight(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2})
+	ctx := testCtx(t)
+
+	const n = 16
+	var wg sync.WaitGroup
+	statuses := make([]JobStatus, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], errs[i] = c.Submit(ctx, tinySweepRequest())
+		}(i)
+	}
+	wg.Wait()
+
+	id := ""
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		if id == "" {
+			id = statuses[i].ID
+		}
+		if statuses[i].ID != id {
+			t.Fatalf("submit %d: id %s, want %s — identical specs must share one job", i, statuses[i].ID, id)
+		}
+	}
+	if _, err := c.Wait(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.jobsRun.Load(); got != 1 {
+		t.Errorf("jobs run = %d, want exactly 1 for %d identical submissions", got, n)
+	}
+
+	// And everyone who asks gets the same bytes.
+	first, err := c.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again) {
+		t.Error("repeated result fetches returned different bytes")
+	}
+}
+
+// TestQueueFull: submissions past the queue bound are rejected with 429 +
+// Retry-After, and succeed once the queue drains.
+func TestQueueFull(t *testing.T) {
+	s, c, gate := newGatedTestServer(t, Config{Workers: 2, QueueSize: 2})
+	ctx := testCtx(t)
+
+	submit := func(trials int) (JobStatus, error) {
+		req := tinySweepRequest()
+		req.Sweep.Base.Trials = trials // distinct trials → distinct spec hash
+		return c.Submit(ctx, req)
+	}
+
+	// First job: the runner pops it and parks at the gate (still in state
+	// queued, but out of the queue). Poll the queue depth so the fills
+	// below are deterministic.
+	first, err := submit(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		s.mu.Lock()
+		depth := s.queued
+		s.mu.Unlock()
+		if depth == 0 {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fill the queue.
+	var held []JobStatus
+	for i := 0; i < 2; i++ {
+		st, err := submit(5 + i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, st)
+	}
+
+	// The next distinct submission must bounce.
+	if _, err := submit(12); err == nil || !IsRetryable(err) {
+		t.Fatalf("overfull submit: got %v, want retryable 429", err)
+	}
+	// Raw request to check the Retry-After header the client discards.
+	resp, err := http.Post(c.base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"sweep","name":"sweep-density"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overfull raw submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+
+	// A duplicate of a queued job is NOT a new queue entry: dedupe still
+	// answers 200 even when the queue is full.
+	dup, err := submit(5)
+	if err != nil {
+		t.Fatalf("dedupe while full: %v", err)
+	}
+	if !dup.Deduped || dup.ID != held[0].ID {
+		t.Errorf("dedupe while full = %+v, want deduped onto %s", dup, held[0].ID)
+	}
+
+	// Open the gate: everything drains and the bounced spec now fits.
+	close(gate)
+	for _, st := range append([]JobStatus{first}, held...) {
+		if got, err := c.Wait(ctx, st.ID); err != nil || got.State != stateDone {
+			t.Fatalf("drain %s: %v %+v", st.ID, err, got)
+		}
+	}
+	st, err := submit(12)
+	if err != nil {
+		t.Fatalf("post-drain submit: %v", err)
+	}
+	if _, err := c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelQueued: canceling a queued job settles it immediately without
+// ever running it.
+func TestCancelQueued(t *testing.T) {
+	s, c, gate := newGatedTestServer(t, Config{Workers: 2})
+	ctx := testCtx(t)
+
+	// Hold the runner on one job, queue a second, cancel the second.
+	blocker, err := c.Submit(ctx, tinySweepRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimReq := tinySweepRequest()
+	victimReq.Sweep.Base.Trials = 16
+	victim, err := c.Submit(ctx, victimReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Cancel(ctx, victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != stateCanceled {
+		t.Errorf("canceled queued job state = %q, want canceled immediately", st.State)
+	}
+	if _, err := c.Result(ctx, victim.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("canceled job result: got %v, want 409", err)
+	}
+	// Canceling a terminal job is a conflict.
+	if _, err := c.Cancel(ctx, victim.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("double cancel: got %v, want 409", err)
+	}
+
+	close(gate)
+	if got, err := c.Wait(ctx, blocker.ID); err != nil || got.State != stateDone {
+		t.Fatalf("blocker: %v %+v", err, got)
+	}
+	if got := s.jobsRun.Load(); got != 1 {
+		t.Errorf("jobs run = %d, want 1 (the canceled job must never execute)", got)
+	}
+}
+
+// TestCancelRunning: DELETE on a running job aborts the engine at the next
+// trial-window boundary — promptly, long before the sweep would finish.
+func TestCancelRunning(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := testCtx(t)
+
+	st, err := c.Submit(ctx, slowSweepRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		got, err := c.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == stateRunning {
+			break
+		}
+		if got.State != stateQueued {
+			t.Fatalf("job state %q before cancel", got.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ack, err := c.Cancel(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.State != stateRunning && ack.State != stateCanceled {
+		t.Errorf("cancel ack state = %q", ack.State)
+	}
+
+	start := nowNS()
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != stateCanceled {
+		t.Fatalf("state after cancel = %q, error %q", final.State, final.Error)
+	}
+	if !strings.Contains(final.Error, "canceled") {
+		t.Errorf("canceled job error = %q, want the engine's typed cancellation", final.Error)
+	}
+	if waited := time.Duration(nowNS() - start); waited > 30*time.Second {
+		t.Errorf("cancellation took %v — the engine did not stop at a window boundary", waited)
+	}
+}

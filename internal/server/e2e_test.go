@@ -1,0 +1,162 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// stripDocument parses a served document, strips the runtime sections the
+// way the golden pipeline does, and re-renders it.
+func stripDocument(t *testing.T, kind string, doc []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if kind == "adaptive" {
+		var res engine.AdaptiveResult
+		if err := json.Unmarshal(doc, &res); err != nil {
+			t.Fatalf("parse adaptive document: %v", err)
+		}
+		res.StripRuntime()
+		if err := engine.WriteAdaptiveJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		var res engine.SuiteResult
+		if err := json.Unmarshal(doc, &res); err != nil {
+			t.Fatalf("parse suite document: %v", err)
+		}
+		res.StripRuntime()
+		if err := engine.WriteJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("..", "engine", "testdata", "golden", name))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	return blob
+}
+
+func counter(t *testing.T, h map[string]any, key string) float64 {
+	t.Helper()
+	v, ok := h[key].(float64)
+	if !ok {
+		t.Fatalf("healthz %q = %v (%T), want number", key, h[key], h[key])
+	}
+	return v
+}
+
+// TestGoldenEquivalence is the end-to-end harness: the documents the HTTP
+// service serves for the committed presets are byte-identical (after
+// stripping the runtime sections) to the engine's golden files — and the
+// result cache answers resubmissions with the same bytes without running
+// anything.
+func TestGoldenEquivalence(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := testCtx(t)
+
+	cases := []struct {
+		req    JobRequest
+		golden string
+	}{
+		{JobRequest{Kind: "suite", Name: "paper-fig7"}, "suite-paper-fig7.json"},
+		{JobRequest{Kind: "sweep", Name: "sweep-density"}, "sweep-sweep-density.json"},
+		{JobRequest{Kind: "adaptive", Name: "adaptive-eta"}, "adaptive-adaptive-eta.json"},
+	}
+
+	docs := make(map[string][]byte)
+	for _, tc := range cases {
+		st, err := c.Submit(ctx, tc.req)
+		if err != nil {
+			t.Fatalf("%s %s: submit: %v", tc.req.Kind, tc.req.Name, err)
+		}
+		if st.State != stateQueued && st.State != stateRunning {
+			t.Errorf("%s: fresh submit state = %q", tc.req.Name, st.State)
+		}
+		final, err := c.Wait(ctx, st.ID)
+		if err != nil {
+			t.Fatalf("%s: wait: %v", tc.req.Name, err)
+		}
+		if final.State != stateDone {
+			t.Fatalf("%s: state %q, error %q", tc.req.Name, final.State, final.Error)
+		}
+		if final.Runtime == nil || final.Runtime.Trials == 0 {
+			t.Errorf("%s: terminal status missing runtime metrics: %+v", tc.req.Name, final.Runtime)
+		}
+		doc, err := c.Result(ctx, st.ID)
+		if err != nil {
+			t.Fatalf("%s: result: %v", tc.req.Name, err)
+		}
+		docs[st.ID] = doc
+		got := stripDocument(t, tc.req.Kind, doc)
+		want := readGolden(t, tc.golden)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: served document differs from golden %s\ngot:\n%s\nwant:\n%s",
+				tc.req.Name, tc.golden, got, want)
+		}
+	}
+
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobsRun, cacheHits := counter(t, h, "jobs_run"), counter(t, h, "cache_hits")
+	if jobsRun != float64(len(cases)) {
+		t.Errorf("jobs_run = %v, want %d", jobsRun, len(cases))
+	}
+
+	// Resubmitting each spec must hit the result cache: no new execution,
+	// ResultCacheHit flagged, and the served bytes identical to the fresh
+	// run's — byte for byte, runtime sections included.
+	for _, tc := range cases {
+		st, err := c.Submit(ctx, tc.req)
+		if err != nil {
+			t.Fatalf("%s: resubmit: %v", tc.req.Name, err)
+		}
+		if !st.Cached || st.State != stateDone {
+			t.Errorf("%s: resubmit = %+v, want cached done", tc.req.Name, st)
+		}
+		if st.Runtime == nil || !st.Runtime.ResultCacheHit {
+			t.Errorf("%s: cache-hit response runtime = %+v, want ResultCacheHit", tc.req.Name, st.Runtime)
+		}
+		doc, err := c.Result(ctx, st.ID)
+		if err != nil {
+			t.Fatalf("%s: cached result: %v", tc.req.Name, err)
+		}
+		if !bytes.Equal(doc, docs[st.ID]) {
+			t.Errorf("%s: cached document differs from the fresh run's bytes", tc.req.Name)
+		}
+	}
+
+	h, err = c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(t, h, "jobs_run"); got != jobsRun {
+		t.Errorf("jobs_run after cache hits = %v, want unchanged %v", got, jobsRun)
+	}
+	if got := counter(t, h, "cache_hits"); got != cacheHits+float64(len(cases)) {
+		t.Errorf("cache_hits = %v, want %v", got, cacheHits+float64(len(cases)))
+	}
+
+	// The cache-hit status must not have mutated the stored job: a plain
+	// status fetch reports the original run, not the cache-hit view.
+	for id := range docs {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Cached || (st.Runtime != nil && st.Runtime.ResultCacheHit) {
+			t.Errorf("job %s: stored status leaked cache-hit flags: %+v", id, st)
+		}
+	}
+}

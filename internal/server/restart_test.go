@@ -1,0 +1,164 @@
+package server
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// startJournaled is newTestServer with a journal directory, returning the
+// server so the test can restart against the same directory.
+func startJournaled(t *testing.T, dir string) (*Server, *Client, func()) {
+	t.Helper()
+	s, err := New(Config{Workers: 2, JournalDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	stop := func() {
+		hs.Close()
+		s.Close()
+	}
+	return s, Dial(hs.URL), stop
+}
+
+// TestRestartResume: a journal-backed daemon that dies with a job's result
+// unwritten re-enqueues the job on restart and — via the engine's point
+// journal — re-executes only the points that never completed, producing
+// the identical document.
+func TestRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	ctx := testCtx(t)
+
+	// First life: run the sweep-density preset to completion so the job
+	// dir holds job.json, one engine point file per grid point, and
+	// result.json.
+	_, c, stop := startJournaled(t, dir)
+	st, err := c.Submit(ctx, JobRequest{Kind: "sweep", Name: "sweep-density"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != stateDone {
+		t.Fatalf("first life: state %q, error %q", final.State, final.Error)
+	}
+	want, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	// Simulate a crash that lost the final write and some point journal
+	// entries: delete result.json and two point files. What remains is
+	// exactly what a SIGKILL mid-sweep leaves behind.
+	jobDir := filepath.Join(dir, "jobs", st.ID)
+	if err := os.Remove(filepath.Join(jobDir, "result.json")); err != nil {
+		t.Fatal(err)
+	}
+	points, err := filepath.Glob(filepath.Join(jobDir, "engine", "point-*.json"))
+	if err != nil || len(points) < 3 {
+		t.Fatalf("engine journal files = %v (err %v), want one per grid point", points, err)
+	}
+	for _, p := range points[:2] {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Second life: recovery re-enqueues the job under the same identity
+	// and the run resumes the surviving points.
+	_, c2, stop2 := startJournaled(t, dir)
+	defer stop2()
+	final, err = c2.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("resumed job not visible after restart: %v", err)
+	}
+	if final.State != stateDone {
+		t.Fatalf("resumed job state %q, error %q", final.State, final.Error)
+	}
+	if final.Runtime == nil || final.Runtime.ResumedPoints != len(points)-2 {
+		t.Errorf("resumed_points = %+v, want %d restored from the journal", final.Runtime, len(points)-2)
+	}
+	doc, err := c2.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stripDocument(t, "sweep", doc), stripDocument(t, "sweep", want)) {
+		t.Error("resumed document differs from the pre-crash run")
+	}
+	if !bytes.Equal(stripDocument(t, "sweep", doc), readGolden(t, "sweep-sweep-density.json")) {
+		t.Error("resumed document differs from the golden file")
+	}
+}
+
+// TestRestartAdoptsFinished: finished journal-backed jobs come back as
+// cache entries — a resubmission after restart is a cache hit serving the
+// original bytes, with nothing re-executed.
+func TestRestartAdoptsFinished(t *testing.T) {
+	dir := t.TempDir()
+	ctx := testCtx(t)
+
+	_, c, stop := startJournaled(t, dir)
+	st, err := c.Submit(ctx, tinySweepRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	s2, c2, stop2 := startJournaled(t, dir)
+	defer stop2()
+	got, err := c2.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("recovered job's result not served: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("recovered result differs from the original bytes")
+	}
+	re, err := c2.Submit(ctx, tinySweepRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Cached || re.ID != st.ID {
+		t.Errorf("resubmit after restart = %+v, want cache hit on %s", re, st.ID)
+	}
+	if runs := s2.jobsRun.Load(); runs != 0 {
+		t.Errorf("restarted daemon executed %d jobs, want 0 — the journal held the result", runs)
+	}
+}
+
+// TestRecoverSkipsDebris: a half-written job.json (a kill mid-submit) must
+// not prevent startup or resurrect a bogus job.
+func TestRecoverSkipsDebris(t *testing.T) {
+	dir := t.TempDir()
+	debris := filepath.Join(dir, "jobs", "deadbeefdeadbeef")
+	if err := os.MkdirAll(debris, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(debris, "job.json"), []byte(`{"kind":"sui`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, c, stop := startJournaled(t, dir)
+	defer stop()
+	if len(s.jobs) != 0 {
+		t.Errorf("recovered %d jobs from debris, want 0", len(s.jobs))
+	}
+	h, err := c.Healthz(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" {
+		t.Errorf("daemon unhealthy after debris recovery: %v", h)
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// The per-job event stream: engine callbacks (progress snapshots, per-point
+// results) append into a bounded ring; SSE clients follow it at their own
+// pace. Appends NEVER block — when a slow client lets the ring fill, the
+// oldest events are dropped (the dropped count is observable on the stream's
+// first event id), so a stalled consumer can never stall the engine. The
+// terminal "result" event is always the last entry and is appended after
+// every point event, so a client that sees it has seen everything that
+// still exists.
+
+// event is one SSE frame: a monotonically increasing id, an event name
+// ("progress", "point", "result") and a JSON payload.
+type event struct {
+	id   int64
+	name string
+	data []byte
+}
+
+// eventBuffer is the bounded drop-oldest ring behind one job's SSE stream.
+type eventBuffer struct {
+	mu      sync.Mutex
+	cap     int
+	events  []event
+	nextID  int64
+	dropped int64
+	wake    chan struct{} // closed and replaced on every append
+}
+
+func newEventBuffer(capacity int) *eventBuffer {
+	return &eventBuffer{cap: capacity, nextID: 1, wake: make(chan struct{})}
+}
+
+// append adds one event, dropping the oldest when the ring is full, and
+// wakes every waiting follower. It never blocks on consumers.
+func (b *eventBuffer) append(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Payloads are our own types; a marshal failure is a programming
+		// error, but the stream must not panic a worker — drop the event.
+		return
+	}
+	b.mu.Lock()
+	b.events = append(b.events, event{id: b.nextID, name: name, data: data})
+	b.nextID++
+	if len(b.events) > b.cap {
+		drop := len(b.events) - b.cap
+		b.events = append(b.events[:0:0], b.events[drop:]...)
+		b.dropped += int64(drop)
+	}
+	close(b.wake)
+	b.wake = make(chan struct{})
+	b.mu.Unlock()
+}
+
+// since returns the buffered events with id > after, plus the channel the
+// next append will close — the follower's wait handle.
+func (b *eventBuffer) since(after int64) ([]event, <-chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	i := 0
+	for i < len(b.events) && b.events[i].id <= after {
+		i++
+	}
+	out := make([]event, len(b.events)-i)
+	copy(out, b.events[i:])
+	return out, b.wake
+}
+
+// droppedCount reports how many events the ring has discarded.
+func (b *eventBuffer) droppedCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// pointEvent is the "point" payload: one grid point's index in the job's
+// input order and its finalized aggregate, released as soon as the point's
+// last trial completes.
+type pointEvent struct {
+	Index     int              `json:"index"`
+	Aggregate engine.Aggregate `json:"aggregate"`
+}
+
+// resultEvent is the terminal "result" payload.
+type resultEvent struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// handleEvents serves GET /v1/jobs/{id}/events: a Server-Sent-Events
+// stream of the job's buffered events, followed live until the terminal
+// "result" event is delivered. Reconnecting clients resume from the
+// Last-Event-ID header; events dropped past the ring's capacity are gone
+// (the first delivered id reveals the gap).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	var last int64
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		fmt.Sscanf(lid, "%d", &last)
+	}
+	for {
+		// Sample terminality BEFORE draining: the "result" event is
+		// appended before the done channel closes, so a drain that starts
+		// after the terminal observation is guaranteed to include it.
+		term := j.terminal()
+		evs, wake := j.events.since(last)
+		for _, e := range evs {
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.id, e.name, e.data)
+			last = e.id
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+			continue // the ring may have grown while writing
+		}
+		if term {
+			return
+		}
+		select {
+		case <-wake:
+		case <-j.done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// sseFrame is one parsed SSE frame.
+type sseFrame struct {
+	id   int64
+	name string
+	data string
+}
+
+// readSSE consumes an SSE body until EOF (the handler closes the stream
+// after the terminal result event) and returns the parsed frames.
+func readSSE(t *testing.T, resp *http.Response) []sseFrame {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.name != "" || cur.data != "" {
+				frames = append(frames, cur)
+			}
+			cur = sseFrame{}
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			cur.id = id
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read SSE stream: %v", err)
+	}
+	return frames
+}
+
+// TestSSEStream: the events endpoint delivers well-formed frames with
+// strictly increasing ids, monotone progress snapshots, every point event
+// before the terminal result event — which is always last.
+func TestSSEStream(t *testing.T) {
+	_, c, gate := newGatedTestServer(t, Config{Workers: 2, ProgressInterval: time.Millisecond})
+	ctx := testCtx(t)
+
+	req := tinySweepRequest()
+	req.Sweep.Base.Trials = 64
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attach the stream while the job is still gated, then let it run:
+	// the client follows the run live.
+	resp, err := http.Get(c.base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	frames := readSSE(t, resp)
+
+	if len(frames) == 0 {
+		t.Fatal("no SSE frames delivered")
+	}
+	var lastID int64
+	var lastTrials int64
+	points := map[int]bool{}
+	resultAt := -1
+	for i, f := range frames {
+		if f.id <= lastID {
+			t.Errorf("frame %d: id %d not strictly increasing after %d", i, f.id, lastID)
+		}
+		lastID = f.id
+		switch f.name {
+		case "progress":
+			var p obs.Progress
+			if err := json.Unmarshal([]byte(f.data), &p); err != nil {
+				t.Fatalf("frame %d: bad progress payload: %v", i, err)
+			}
+			if p.TrialsDone < lastTrials {
+				t.Errorf("frame %d: trials done went backwards: %d after %d", i, p.TrialsDone, lastTrials)
+			}
+			lastTrials = p.TrialsDone
+		case "point":
+			var pe pointEvent
+			if err := json.Unmarshal([]byte(f.data), &pe); err != nil {
+				t.Fatalf("frame %d: bad point payload: %v", i, err)
+			}
+			if points[pe.Index] {
+				t.Errorf("frame %d: point %d delivered twice", i, pe.Index)
+			}
+			points[pe.Index] = true
+			if resultAt >= 0 {
+				t.Errorf("frame %d: point event after the terminal result event", i)
+			}
+		case "result":
+			if resultAt >= 0 {
+				t.Errorf("frame %d: second result event", i)
+			}
+			resultAt = i
+			var re resultEvent
+			if err := json.Unmarshal([]byte(f.data), &re); err != nil {
+				t.Fatalf("frame %d: bad result payload: %v", i, err)
+			}
+			if re.ID != st.ID || re.State != stateDone {
+				t.Errorf("result event = %+v, want done for %s", re, st.ID)
+			}
+		default:
+			t.Errorf("frame %d: unknown event %q", i, f.name)
+		}
+	}
+	if resultAt != len(frames)-1 {
+		t.Errorf("result event at frame %d, want last (%d)", resultAt, len(frames)-1)
+	}
+	if len(points) != 3 {
+		t.Errorf("point events for %d points, want 3", len(points))
+	}
+
+	// A late subscriber replays the buffered tail and still ends on the
+	// result event.
+	resp, err = http.Get(c.base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := readSSE(t, resp)
+	if len(replay) == 0 || replay[len(replay)-1].name != "result" {
+		t.Errorf("replayed stream does not end with the result event: %+v", replay)
+	}
+
+	// Last-Event-ID resumes past everything already seen: only the
+	// remainder (at least the result event) is delivered.
+	hreq, _ := http.NewRequest(http.MethodGet, c.base+"/v1/jobs/"+st.ID+"/events", nil)
+	hreq.Header.Set("Last-Event-ID", strconv.FormatInt(replay[len(replay)-2].id, 10))
+	resp, err = http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := readSSE(t, resp)
+	if len(resumed) != 1 || resumed[0].name != "result" {
+		t.Errorf("Last-Event-ID resume delivered %+v, want just the result event", resumed)
+	}
+}
+
+// TestSSESlowClient: a consumer that never reads cannot block the engine —
+// the ring drops the oldest events, the job completes, and a late reader
+// still gets a well-formed tail ending in the result event.
+func TestSSESlowClient(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2, EventBuffer: 4, ProgressInterval: time.Millisecond})
+	ctx := testCtx(t)
+
+	// No client attached at all — the buffer fills and sheds while the job
+	// runs, which is exactly the stalled-consumer case from the engine's
+	// point of view.
+	req := tinySweepRequest()
+	req.Sweep.Base.Trials = 256
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != stateDone {
+		t.Fatalf("job state %q — a full event ring must not affect execution", final.State)
+	}
+
+	s.mu.Lock()
+	j := s.jobs[st.ID]
+	s.mu.Unlock()
+	if j == nil {
+		t.Fatal("job evaporated")
+	}
+	if got := j.events.droppedCount(); got == 0 {
+		t.Error("event ring dropped nothing — the test did not exercise overflow")
+	}
+
+	resp, err := http.Get(c.base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := readSSE(t, resp)
+	if len(frames) == 0 || len(frames) > 4 {
+		t.Fatalf("late reader got %d frames, want 1..4 (ring capacity)", len(frames))
+	}
+	if frames[0].id == 1 {
+		t.Error("first delivered id is 1 — the drop gap should be visible in the ids")
+	}
+	if frames[len(frames)-1].name != "result" {
+		t.Errorf("tail does not end with the result event: %+v", frames)
+	}
+}

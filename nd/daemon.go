@@ -1,0 +1,47 @@
+package nd
+
+import (
+	"context"
+
+	"repro/internal/server"
+)
+
+// The service layer: ndd, the engine as a long-running HTTP daemon. These
+// aliases and helpers are the library-side client — submit jobs, wait for
+// them, fetch the finished documents — against a daemon started with
+// `ndd -addr ...` (or an in-process internal/server instance in tests).
+type (
+	// Daemon is an HTTP client bound to one running ndd instance.
+	Daemon = server.Client
+	// DaemonConfig tunes an embedded daemon (workers, queue bound, result
+	// cache size, journal directory).
+	DaemonConfig = server.Config
+	// JobRequest is one job submission: kind (scenario, suite, sweep,
+	// adaptive), a registry name or inline spec, and execution options.
+	JobRequest = server.JobRequest
+	// JobStatus is a job's status document: state, priority, dedupe/cache
+	// flags, and (terminal) the run's metrics.
+	JobStatus = server.JobStatus
+)
+
+// Dial returns a client for the daemon at base, e.g.
+// "http://127.0.0.1:8080". No connection is made until the first call.
+func Dial(base string) *Daemon { return server.Dial(base) }
+
+// SubmitJob submits a job and returns its status: freshly queued, deduped
+// onto an identical live job, or answered from the result cache.
+func SubmitJob(ctx context.Context, d *Daemon, req JobRequest) (JobStatus, error) {
+	return d.Submit(ctx, req)
+}
+
+// WaitJob blocks until the job reaches a terminal state (done, failed,
+// canceled) or ctx expires.
+func WaitJob(ctx context.Context, d *Daemon, id string) (JobStatus, error) {
+	return d.Wait(ctx, id)
+}
+
+// JobResult fetches a finished job's document — byte-identical (after
+// StripRuntime) to what the equivalent ndscen invocation writes.
+func JobResult(ctx context.Context, d *Daemon, id string) ([]byte, error) {
+	return d.Result(ctx, id)
+}
